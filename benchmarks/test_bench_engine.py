@@ -1,0 +1,105 @@
+"""Engine micro-benchmarks: simulator throughput in its main regimes.
+
+Unlike the experiment benchmarks (one timed campaign each), these use
+pytest-benchmark's normal calibrated rounds to track the simulator's
+serve-path cost:
+
+* **hit-bound** — ample HBM, every reference after warmup hits; the
+  classify/serve fast path dominates;
+* **channel-bound** — tiny HBM, every reference queues for the far
+  channel; arbitration + eviction dominate;
+* **remap-heavy** — Dynamic Priority with T = k, stressing the heap
+  rebuild path.
+"""
+
+import pytest
+
+from repro.core import SimulationConfig, Simulator
+from repro.traces import make_workload
+
+
+def _run(workload, **cfg):
+    return Simulator(workload.traces, SimulationConfig(**cfg)).run()
+
+
+@pytest.fixture(scope="module")
+def hit_workload():
+    return make_workload("zipf", threads=16, seed=0, length=4000, pages=64)
+
+
+@pytest.fixture(scope="module")
+def miss_workload():
+    return make_workload("adversarial_cycle", threads=16, pages=64, repeats=8)
+
+
+def test_engine_hit_bound_lru_fifo(benchmark, hit_workload):
+    result = benchmark(_run, hit_workload, hbm_slots=2048, arbitration="fifo")
+    assert result.hit_rate > 0.9
+
+
+def test_engine_channel_bound_fifo(benchmark, miss_workload):
+    result = benchmark(
+        _run, miss_workload, hbm_slots=64, arbitration="fifo"
+    )
+    assert result.hit_rate < 0.2
+
+
+def test_engine_channel_bound_priority(benchmark, miss_workload):
+    result = benchmark(
+        _run, miss_workload, hbm_slots=64, arbitration="priority"
+    )
+    assert result.total_requests == miss_workload.total_references
+
+
+def test_engine_remap_heavy_dynamic(benchmark, miss_workload):
+    result = benchmark(
+        _run,
+        miss_workload,
+        hbm_slots=256,
+        arbitration="dynamic_priority",
+        remap_period=256,
+    )
+    assert result.remap_count > 0
+
+
+def test_engine_multi_channel(benchmark, miss_workload):
+    result = benchmark(
+        _run, miss_workload, hbm_slots=256, channels=8, arbitration="priority"
+    )
+    assert result.total_requests == miss_workload.total_references
+
+
+def test_engine_clock_replacement(benchmark, miss_workload):
+    result = benchmark(
+        _run, miss_workload, hbm_slots=256, replacement="clock"
+    )
+    assert result.total_requests == miss_workload.total_references
+
+
+def test_trace_generation_introsort(benchmark):
+    from repro.traces.sorting import introsort_trace
+
+    trace = benchmark(introsort_trace, 500, 0, 256)
+    assert len(trace) > 500
+
+
+def test_fastengine_hit_bound(benchmark, hit_workload):
+    """Vectorized engine on the same hit-bound workload (parity check)."""
+    from repro.core.fastengine import FastSimulator
+
+    def run_fast(workload, **cfg):
+        return FastSimulator(workload.traces, SimulationConfig(**cfg)).run()
+
+    result = benchmark(run_fast, hit_workload, hbm_slots=2048, arbitration="fifo")
+    assert result.hit_rate > 0.9
+
+
+def test_fastengine_channel_bound(benchmark, miss_workload):
+    """Vectorized engine under channel pressure (scalar-path coverage)."""
+    from repro.core.fastengine import FastSimulator
+
+    def run_fast(workload, **cfg):
+        return FastSimulator(workload.traces, SimulationConfig(**cfg)).run()
+
+    result = benchmark(run_fast, miss_workload, hbm_slots=64, arbitration="fifo")
+    assert result.hit_rate < 0.2

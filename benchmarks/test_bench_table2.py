@@ -1,0 +1,24 @@
+"""Benchmarks regenerating Table 2 and Figure 6 (KNL microbenchmarks)."""
+
+from repro.experiments.table2 import figure6, table2a, table2b
+
+
+def test_tab2a_latency(run_experiment_once):
+    """Table 2a: pointer-chase latency per boot mode."""
+    out = run_experiment_once(table2a)
+    first = out.rows[0]
+    # Property 1: HBM ~24ns slower than DRAM
+    assert 10 < first["hbm_ns"] - first["dram_ns"] < 45
+
+
+def test_tab2b_glups(run_experiment_once):
+    """Table 2b: GLUPS bandwidth per boot mode."""
+    out = run_experiment_once(table2b)
+    first = out.rows[0]
+    assert first["hbm_mib_s"] > 4 * first["dram_mib_s"]
+
+
+def test_fig6_hierarchy_curves(run_experiment_once):
+    """Figure 6: latency plateaus across the full hierarchy."""
+    out = run_experiment_once(figure6)
+    assert "Figure 6b" in out.text

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Section 5 model validation on the synthetic Knights Landing.
+
+Runs the paper's two microbenchmarks — pointer chasing (latency) and
+GLUPS (bandwidth) — against the fitted KNL machine model in its three
+boot modes, then checks the four properties that make the HBM+DRAM
+model predictive:
+
+1. HBM latency is close to DRAM's (~24ns slower);
+2. HBM bandwidth is ~4.8x DRAM's;
+3. cache-mode misses pay roughly double latency;
+4. cache-mode bandwidth collapses to the far channel past HBM capacity.
+
+Run:
+    python examples/knl_validation.py
+"""
+
+from repro.analysis import format_table, line_plot
+from repro.machine import (
+    GIB,
+    MIB,
+    glups_curve,
+    knl_machines,
+    pointer_chase_curve,
+)
+
+
+def size_label(nbytes: int) -> str:
+    return f"{nbytes // GIB}GiB" if nbytes >= GIB else f"{nbytes // MIB}MiB"
+
+
+def main() -> None:
+    machines = knl_machines()
+
+    lat_sizes = [16 * MIB, 128 * MIB, 1 * GIB, 8 * GIB, 32 * GIB, 64 * GIB]
+    latency = pointer_chase_curve(machines, lat_sizes, operations=1 << 14)
+    rows = []
+    for i, size in enumerate(lat_sizes):
+        rows.append(
+            {
+                "array": size_label(size),
+                **{
+                    f"{mode} (ns)": round(r.mean_ns, 1) if r else None
+                    for mode, r in ((m, latency[m][i]) for m in machines)
+                },
+            }
+        )
+    print(format_table(rows, title="pointer chasing (Table 2a shape)"))
+
+    bw_sizes = [512 * MIB, 4 * GIB, 16 * GIB, 32 * GIB, 64 * GIB]
+    bandwidth = glups_curve(machines, bw_sizes)
+    rows = []
+    for i, size in enumerate(bw_sizes):
+        rows.append(
+            {
+                "array": size_label(size),
+                **{
+                    f"{mode} (MiB/s)": round(r.mib_per_s) if r else None
+                    for mode, r in ((m, bandwidth[m][i]) for m in machines)
+                },
+            }
+        )
+    print()
+    print(format_table(rows, title="GLUPS, 272 threads (Table 2b shape)"))
+
+    dram = latency["DRAM"][0].mean_ns
+    hbm = latency["HBM"][0].mean_ns
+    bw_ratio = bandwidth["HBM"][0].mib_per_s / bandwidth["DRAM"][0].mib_per_s
+    cliff = (
+        bandwidth["Cache"][3].mib_per_s / bandwidth["Cache"][2].mib_per_s
+    )
+    print(
+        f"\nProperty 1: HBM - DRAM latency = {hbm - dram:+.0f}ns (paper: +24ns)"
+        f"\nProperty 2: HBM/DRAM bandwidth = {bw_ratio:.1f}x (paper: 4.3-4.8x)"
+        f"\nProperty 4: cache-mode bandwidth at 32GiB is {cliff:.0%} of 16GiB"
+        " (paper: roughly halves, stays above DRAM)"
+    )
+    print()
+    curve = pointer_chase_curve(
+        machines, [2**i for i in range(10, 37)], operations=1 << 12
+    )
+    print(
+        line_plot(
+            {
+                mode: [
+                    (float(2 ** (10 + i)), r.mean_ns)
+                    for i, r in enumerate(curve[mode])
+                    if r is not None
+                ]
+                for mode in machines
+            },
+            title="Figure 6a: the full hierarchy",
+            xlabel="array bytes (log)",
+            ylabel="ns",
+            logx=True,
+            width=70,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: simulate FIFO vs Priority vs Dynamic Priority.
+
+Builds the paper's adversarial cyclic workload (Dataset 3), sizes HBM to
+a quarter of the total unique pages (the Figure 3 protocol), and runs
+the three headline far-channel arbitration policies. Expected outcome:
+FIFO never hits and its makespan blows up; static Priority fixes the
+makespan but starves low-priority threads (huge max response time);
+Dynamic Priority with a reshuffle every k ticks keeps the makespan
+while taming the starvation.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, Simulator, make_workload
+from repro.analysis import format_table
+from repro.traces import fifo_adversarial_hbm_slots
+
+THREADS = 16
+PAGES = 64
+REPEATS = 25
+
+
+def main() -> None:
+    workload = make_workload(
+        "adversarial_cycle", threads=THREADS, pages=PAGES, repeats=REPEATS
+    )
+    hbm_slots = fifo_adversarial_hbm_slots(THREADS, PAGES)  # 1/4 of pages
+    print(f"{workload}  (HBM = {hbm_slots} slots)\n")
+
+    policies = [
+        ("fifo", None),
+        ("priority", None),
+        ("dynamic_priority", hbm_slots),
+    ]
+    rows = []
+    for arbitration, remap_period in policies:
+        config = SimulationConfig(
+            hbm_slots=hbm_slots,
+            arbitration=arbitration,
+            remap_period=remap_period,
+            seed=0,
+        )
+        result = Simulator(workload.traces, config).run()
+        rows.append(
+            {
+                "policy": arbitration,
+                "makespan": result.makespan,
+                "hit_rate": round(result.hit_rate, 3),
+                "mean_response": round(result.mean_response, 2),
+                "inconsistency": round(result.inconsistency, 1),
+                "worst_stall": result.max_response,
+            }
+        )
+
+    print(format_table(rows, title="Far-channel arbitration on Dataset 3"))
+    fifo, priority, dynamic = (r["makespan"] for r in rows)
+    print(
+        f"\nFIFO is {fifo / priority:.1f}x slower than Priority; "
+        f"Dynamic Priority (T = k) keeps the makespan "
+        f"({dynamic / priority:.2f}x Priority's) while cutting the worst "
+        f"stall from {rows[1]['worst_stall']} to {rows[2]['worst_stall']} ticks "
+        f"and the inconsistency from {rows[1]['inconsistency']} to "
+        f"{rows[2]['inconsistency']}."
+    )
+
+
+if __name__ == "__main__":
+    main()

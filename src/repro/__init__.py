@@ -1,0 +1,48 @@
+"""repro — reproduction of "Automatic HBM Management: Models and Algorithms".
+
+A tick-level simulator of the HBM+DRAM model (Das et al. [24], extended
+to ``q`` far channels), the far-channel arbitration policies the paper
+studies (FIFO, Priority, Dynamic Priority, Cycle Priority, ...), trace
+generators from instrumented memory-bandwidth-bound kernels (GNU-sort
+style introsort, TACO-style SpGEMM), a synthetic KNL machine model for
+the section 5 validation experiments, and a harness that regenerates
+every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, run_simulation, make_workload
+>>> wl = make_workload("adversarial_cycle", threads=8, pages=64, repeats=4)
+>>> fifo = run_simulation(wl.traces, hbm_slots=128, arbitration="fifo")
+>>> prio = run_simulation(wl.traces, hbm_slots=128, arbitration="priority")
+>>> fifo.makespan >= prio.makespan
+True
+"""
+
+from .core import (
+    ARBITRATION_POLICIES,
+    REPLACEMENT_POLICIES,
+    SimulationConfig,
+    SimulationLimitError,
+    SimulationResult,
+    Simulator,
+    ThreadStats,
+    run_simulation,
+)
+from .traces import Trace, Workload, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ARBITRATION_POLICIES",
+    "REPLACEMENT_POLICIES",
+    "SimulationConfig",
+    "Simulator",
+    "SimulationLimitError",
+    "SimulationResult",
+    "ThreadStats",
+    "run_simulation",
+    "Trace",
+    "Workload",
+    "make_workload",
+]

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro`` / ``hbm-repro``.
+
+Subcommands
+-----------
+``list``
+    Show the experiment registry (id + description).
+``run <id> [...]``
+    Run one or more experiments (or ``all``) and print their reports;
+    optionally write CSV + text artifacts to an output directory.
+``simulate``
+    One-off simulation of a generated workload with chosen policies.
+``workloads``
+    List registered workload generators.
+``profile``
+    Locality characterization of a generated workload (reuse
+    distances, Mattson miss-ratio curve, working sets) — the tool used
+    to size HBM for the experiment regimes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import write_csv
+from .core import SimulationConfig, Simulator
+from .experiments import EXPERIMENTS, experiment_ids, run_experiment
+from .traces import make_workload, workload_kinds
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hbm-repro",
+        description=(
+            "Reproduction of 'Automatic HBM Management: Models and "
+            "Algorithms' (SPAA 2022)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("workloads", help="list workload generators")
+
+    run_p = sub.add_parser("run", help="run experiments by id")
+    run_p.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_p.add_argument(
+        "--scale", choices=("smoke", "paper"), default="smoke",
+        help="experiment size preset (default: smoke)",
+    )
+    run_p.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes for sweeps (default: cpu count)",
+    )
+    run_p.add_argument(
+        "--cache-dir", default=None, help="workload cache directory"
+    )
+    run_p.add_argument(
+        "--output-dir", default=None,
+        help="write <id>.csv and <id>.txt artifacts here",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--report", default=None, metavar="REPORT.md",
+        help="also write a combined Markdown report to this path",
+    )
+
+    sim_p = sub.add_parser("simulate", help="run one ad-hoc simulation")
+    sim_p.add_argument("workload", help="workload kind (see 'workloads')")
+    sim_p.add_argument("--threads", type=int, default=8)
+    sim_p.add_argument("--hbm-slots", type=int, required=True)
+    sim_p.add_argument("--channels", type=int, default=1)
+    sim_p.add_argument("--arbitration", default="fifo")
+    sim_p.add_argument("--replacement", default="lru")
+    sim_p.add_argument(
+        "--remap-period", type=int, default=None,
+        help="T in ticks for remapping schemes",
+    )
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload generator parameter (repeatable)",
+    )
+
+    prof_p = sub.add_parser(
+        "profile", help="locality characterization of a workload"
+    )
+    prof_p.add_argument("workload", help="workload kind (see 'workloads')")
+    prof_p.add_argument("--threads", type=int, default=1)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument(
+        "--capacities", default="64,256,1024",
+        help="comma-separated HBM sizes for the miss-ratio curve",
+    )
+    prof_p.add_argument("--window", type=int, default=512)
+    prof_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload generator parameter (repeatable)",
+    )
+    return parser
+
+
+def _parse_params(items: list[str]) -> dict:
+    params = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"--param expects KEY=VALUE, got {item!r}")
+        key, raw = item.split("=", 1)
+        for cast in (int, float):
+            try:
+                params[key] = cast(raw)
+                break
+            except ValueError:
+                continue
+        else:
+            if raw.lower() in ("true", "false"):
+                params[key] = raw.lower() == "true"
+            else:
+                params[key] = raw
+    return params
+
+
+def _cmd_list() -> int:
+    width = max(len(i) for i in experiment_ids())
+    for experiment_id, (_, description) in EXPERIMENTS.items():
+        print(f"{experiment_id.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_workloads() -> int:
+    for kind in workload_kinds():
+        print(kind)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = experiment_ids() if args.ids == ["all"] else args.ids
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {experiment_ids()}", file=sys.stderr)
+        return 2
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    if output_dir:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    failed: list[str] = []
+    outputs = []
+    for experiment_id in ids:
+        out = run_experiment(
+            experiment_id,
+            scale=args.scale,
+            processes=args.processes,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+        )
+        outputs.append(out)
+        print(out.render())
+        print()
+        if output_dir:
+            if out.rows:
+                write_csv(out.rows, output_dir / f"{experiment_id}.csv")
+            (output_dir / f"{experiment_id}.txt").write_text(
+                out.render() + "\n", encoding="utf-8"
+            )
+        failed.extend(f"{experiment_id}:{name}" for name in out.failed_checks())
+    if args.report:
+        from .analysis import write_report
+
+        write_report(
+            outputs,
+            args.report,
+            title=f"hbm-repro experiment report (scale={args.scale})",
+        )
+    if failed:
+        print(f"FAILED shape checks: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    workload = make_workload(
+        args.workload, threads=args.threads, seed=args.seed, **params
+    )
+    config = SimulationConfig(
+        hbm_slots=args.hbm_slots,
+        channels=args.channels,
+        arbitration=args.arbitration,
+        replacement=args.replacement,
+        remap_period=args.remap_period,
+        seed=args.seed,
+    )
+    print(workload)
+    result = Simulator(workload.traces, config).run()
+    print(result.summary())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .traces import characterize
+
+    params = _parse_params(args.param)
+    workload = make_workload(
+        args.workload, threads=args.threads, seed=args.seed, **params
+    )
+    capacities = [int(c) for c in args.capacities.split(",") if c]
+    print(workload)
+    for i, trace in enumerate(workload.traces):
+        profile = characterize(trace, capacities=capacities, window=args.window)
+        print(f"\n-- thread {i} --")
+        print(profile.summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

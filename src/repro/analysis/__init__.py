@@ -1,0 +1,26 @@
+"""Sweep harness, statistics, and terminal rendering."""
+
+from .asciiplot import line_plot, scatter_plot
+from .report import markdown_table, render_report, write_report
+from .stats import fairness_summary, group_records, ratio_series
+from .sweep import SweepJob, SweepRecord, SweepRunner, WorkloadSpec, run_sweep
+from .tables import format_table, to_csv, write_csv
+
+__all__ = [
+    "SweepJob",
+    "SweepRecord",
+    "SweepRunner",
+    "WorkloadSpec",
+    "run_sweep",
+    "format_table",
+    "to_csv",
+    "write_csv",
+    "line_plot",
+    "scatter_plot",
+    "ratio_series",
+    "group_records",
+    "fairness_summary",
+    "markdown_table",
+    "render_report",
+    "write_report",
+]

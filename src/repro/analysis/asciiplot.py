@@ -1,0 +1,121 @@
+"""Terminal line/scatter plots for figure-shaped results.
+
+Minimal, dependency-free renderings: each figure experiment prints one
+of these next to its CSV so the paper's curve shapes (crossovers, the
+linear FIFO blow-up, the inconsistency-makespan tradeoff cloud) are
+visible directly in the bench output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_plot", "scatter_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_num(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def _render_grid(
+    points_by_series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int,
+    height: int,
+    title: str | None,
+    xlabel: str,
+    ylabel: str,
+    logx: bool = False,
+) -> str:
+    all_points = [p for pts in points_by_series.values() for p in pts]
+    if not all_points:
+        return (title or "") + "\n(no data)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    xs = [tx(p[0]) for p in all_points]
+    ys = [p[1] for p in all_points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, pts) in enumerate(points_by_series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in pts:
+            col = round((tx(x) - xmin) / (xmax - xmin) * (width - 1))
+            row = round((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(points_by_series)
+    )
+    lines.append(legend)
+    ytop, ybot = _nice_num(ymax), _nice_num(ymin)
+    label_w = max(len(ytop), len(ybot), len(ylabel))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = ytop.rjust(label_w)
+        elif i == height - 1:
+            prefix = ybot.rjust(label_w)
+        elif i == height // 2:
+            prefix = ylabel.rjust(label_w)[:label_w]
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x0 = _nice_num(10**xmin if logx else xmin)
+    x1 = _nice_num(10**xmax if logx else xmax)
+    footer = f"{' ' * label_w}  {x0}{xlabel.center(width - len(x0) - len(x1))}{x1}"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Plot named (x, y) series as character markers on a shared grid."""
+    ordered = {
+        name: sorted(points) for name, points in series.items() if points
+    }
+    return _render_grid(ordered, width, height, title, xlabel, ylabel, logx=logx)
+
+
+def scatter_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Scatter rendering (same grid; points not assumed ordered)."""
+    return _render_grid(
+        {k: list(v) for k, v in series.items() if v},
+        width,
+        height,
+        title,
+        xlabel,
+        ylabel,
+        logx=logx,
+    )

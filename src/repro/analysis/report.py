@@ -1,0 +1,98 @@
+"""Markdown report generation from experiment outputs.
+
+``python -m repro run ... --output-dir results/`` writes per-experiment
+CSV and text artifacts; this module additionally renders a combined
+Markdown report (tables, check outcomes, and a run manifest) — the
+machine-generated half of EXPERIMENTS.md-style records.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # imported lazily to avoid an analysis<->experiments cycle
+    from ..experiments.base import ExperimentOutput
+
+__all__ = ["markdown_table", "render_report", "write_report"]
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value).replace("|", "\\|")
+
+
+def markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(c)) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def render_report(
+    outputs: "Sequence[ExperimentOutput]",
+    title: str = "Experiment report",
+    max_rows: int = 40,
+) -> str:
+    """One Markdown document covering a batch of experiment outputs."""
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    total_checks = sum(len(o.checks) for o in outputs)
+    passed = sum(sum(o.checks.values()) for o in outputs)
+    lines = [
+        f"# {title}",
+        "",
+        f"Generated {stamp} on {platform.platform()} "
+        f"(Python {platform.python_version()}).",
+        "",
+        f"**{passed}/{total_checks} shape checks passed** across "
+        f"{len(outputs)} experiments.",
+        "",
+        "| experiment | scale | checks | status |",
+        "|---|---|---|---|",
+    ]
+    for out in outputs:
+        ok = sum(out.checks.values())
+        status = "PASS" if out.all_checks_pass else (
+            "FAIL: " + ", ".join(out.failed_checks())
+        )
+        lines.append(
+            f"| {out.experiment_id} | {out.scale} | {ok}/{len(out.checks)} "
+            f"| {status} |"
+        )
+    for out in outputs:
+        lines += ["", f"## {out.experiment_id}: {out.title}", ""]
+        shown = out.rows[:max_rows]
+        lines.append(markdown_table(shown))
+        if len(out.rows) > max_rows:
+            lines.append(f"\n*… {len(out.rows) - max_rows} more rows in the CSV.*")
+        if out.checks:
+            lines.append("")
+            for name, value in out.checks.items():
+                lines.append(f"- {'✅' if value else '❌'} `{name}`")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(
+    outputs: "Sequence[ExperimentOutput]",
+    path: str | os.PathLike,
+    title: str = "Experiment report",
+) -> None:
+    """Write :func:`render_report`'s output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_report(outputs, title=title))

@@ -1,0 +1,89 @@
+"""Cross-run statistics used by the experiment modules.
+
+Helpers for the comparisons the paper reports: ratio curves between two
+policies over a swept axis (Figures 2-4), and fairness summaries across
+threads (the starvation analysis of section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core import SimulationResult
+from .sweep import SweepRecord
+
+__all__ = ["ratio_series", "group_records", "fairness_summary"]
+
+
+def group_records(
+    records: Sequence[SweepRecord],
+    key: Callable[[SweepRecord], Any],
+) -> dict[Any, list[SweepRecord]]:
+    """Group sweep records by an arbitrary key function."""
+    groups: dict[Any, list[SweepRecord]] = {}
+    for record in records:
+        groups.setdefault(key(record), []).append(record)
+    return groups
+
+
+def ratio_series(
+    records: Sequence[SweepRecord],
+    numerator: str,
+    denominator: str,
+    x_key: Callable[[SweepRecord], Any] = lambda r: r.job.workload.threads,
+    metric: Callable[[SweepRecord], float] = lambda r: r.makespan,
+) -> list[tuple[Any, float]]:
+    """(x, metric[numerator] / metric[denominator]) pairs over an axis.
+
+    ``numerator`` / ``denominator`` name arbitration policies; records
+    are matched on everything else via ``x_key`` (plus hbm_slots and
+    channels). The paper's Figure 2 is
+    ``ratio_series(records, "fifo", "priority")``: values > 1 mean
+    Priority wins.
+    """
+    def match_key(record: SweepRecord):
+        return (x_key(record), record.job.config.hbm_slots, record.job.config.channels)
+
+    num = {
+        match_key(r): metric(r)
+        for r in records
+        if r.job.config.arbitration == numerator
+    }
+    den = {
+        match_key(r): metric(r)
+        for r in records
+        if r.job.config.arbitration == denominator
+    }
+    series = []
+    for key in sorted(num.keys() & den.keys()):
+        if den[key] == 0:
+            continue
+        series.append((key[0], num[key] / den[key]))
+    return series
+
+
+def fairness_summary(result: SimulationResult) -> dict[str, float]:
+    """Per-thread spread statistics (the section 4 starvation lens)."""
+    completions = np.array([t.completion_tick for t in result.thread_stats], float)
+    max_waits = np.array([t.response.max for t in result.thread_stats], float)
+    mean_waits = np.array([t.response.mean for t in result.thread_stats], float)
+    active = completions > 0
+    return {
+        "makespan": float(result.makespan),
+        "inconsistency": result.inconsistency,
+        "mean_response": result.mean_response,
+        "completion_spread": float(
+            completions[active].max() - completions[active].min()
+        )
+        if active.any()
+        else 0.0,
+        "worst_thread_max_wait": float(max_waits.max(initial=0.0)),
+        "median_thread_max_wait": float(np.median(max_waits)) if len(max_waits) else 0.0,
+        "mean_wait_ratio_worst_to_best": float(
+            mean_waits[active].max() / max(mean_waits[active].min(), 1e-12)
+        )
+        if active.any()
+        else 0.0,
+    }

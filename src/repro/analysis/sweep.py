@@ -1,0 +1,172 @@
+"""Parameter-sweep harness (paper section 1.2's experimental grid).
+
+The paper varies: HBM size, trace source, core count, work
+distribution, permutation scheme, remap period, channel count, and
+queue policy. A sweep here is a list of :class:`SweepJob` s — each names
+a workload *by generator spec* (kind, threads, seed, params) plus a
+:class:`~repro.core.SimulationConfig` — executed across worker
+processes. Jobs carry specs rather than trace arrays so that workers
+regenerate (or cache-load) workloads locally instead of pickling
+multi-megabyte traces through the pool; the disk cache is warmed in the
+parent first so each expensive instrumented workload is generated
+exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core import SimulationConfig, SimulationResult, Simulator
+from ..traces import Workload, WorkloadCache, make_workload
+
+__all__ = ["WorkloadSpec", "SweepJob", "SweepRecord", "SweepRunner", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Pickle-friendly recipe for a workload."""
+
+    kind: str
+    threads: int
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, threads: int, seed: int = 0, **params: Any) -> "WorkloadSpec":
+        return cls(kind, threads, seed, tuple(sorted(params.items())))
+
+    def build(self, cache: WorkloadCache | None = None) -> Workload:
+        params = dict(self.params)
+        if cache is not None:
+            return cache.get(self.kind, self.threads, seed=self.seed, **params)
+        return make_workload(self.kind, self.threads, seed=self.seed, **params)
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}(threads={self.threads}, seed={self.seed}, {inner})"
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One simulation to run: a workload spec plus a config."""
+
+    workload: WorkloadSpec
+    config: SimulationConfig
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Flattened outcome of one job (CSV/table-friendly)."""
+
+    job: SweepJob
+    makespan: int
+    mean_response: float
+    inconsistency: float
+    max_response: int
+    hit_rate: float
+    total_requests: int
+    fetches: int
+    evictions: int
+    wall_time_s: float
+
+    @classmethod
+    def from_result(cls, job: SweepJob, result: SimulationResult) -> "SweepRecord":
+        return cls(
+            job=job,
+            makespan=result.makespan,
+            mean_response=result.mean_response,
+            inconsistency=result.inconsistency,
+            max_response=result.max_response,
+            hit_rate=result.hit_rate,
+            total_requests=result.total_requests,
+            fetches=result.fetches,
+            evictions=result.evictions,
+            wall_time_s=result.wall_time_s,
+        )
+
+    def row(self) -> dict[str, Any]:
+        """Flat dict for table rendering / CSV export."""
+        cfg = self.job.config
+        return {
+            "tag": self.job.tag,
+            "workload": self.job.workload.kind,
+            "threads": self.job.workload.threads,
+            "hbm_slots": cfg.hbm_slots,
+            "channels": cfg.channels,
+            "arbitration": cfg.arbitration,
+            "replacement": cfg.replacement,
+            "remap_period": cfg.remap_period,
+            "makespan": self.makespan,
+            "mean_response": round(self.mean_response, 3),
+            "inconsistency": round(self.inconsistency, 3),
+            "max_response": self.max_response,
+            "hit_rate": round(self.hit_rate, 4),
+            "requests": self.total_requests,
+        }
+
+
+# module-level worker so ProcessPoolExecutor can pickle it
+_WORKER_CACHE_DIR: str | None = None
+
+
+def _pool_init(cache_dir: str | None) -> None:
+    global _WORKER_CACHE_DIR
+    _WORKER_CACHE_DIR = cache_dir
+
+
+def _run_job(job: SweepJob) -> SweepRecord:
+    cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
+    workload = job.workload.build(cache)
+    result = Simulator(workload.traces, job.config).run()
+    return SweepRecord.from_result(job, result)
+
+
+class SweepRunner:
+    """Executes sweep jobs, optionally across a process pool.
+
+    ``processes=None`` picks ``os.cpu_count()``; ``processes<=1`` runs
+    sequentially in-process (useful under pytest and for debugging).
+    """
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self.processes = processes if processes is not None else (os.cpu_count() or 1)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    def prepare(self, jobs: Sequence[SweepJob]) -> None:
+        """Warm the workload cache: generate each distinct spec once."""
+        if self.cache_dir is None:
+            return
+        cache = WorkloadCache(self.cache_dir)
+        for spec in dict.fromkeys(job.workload for job in jobs):
+            spec.build(cache)
+
+    def run(self, jobs: Sequence[SweepJob]) -> list[SweepRecord]:
+        if not jobs:
+            return []
+        if self.processes <= 1 or len(jobs) == 1:
+            _pool_init(self.cache_dir)
+            return [_run_job(job) for job in jobs]
+        self.prepare(jobs)
+        with ProcessPoolExecutor(
+            max_workers=min(self.processes, len(jobs)),
+            initializer=_pool_init,
+            initargs=(self.cache_dir,),
+        ) as pool:
+            return list(pool.map(_run_job, jobs, chunksize=1))
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    processes: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> list[SweepRecord]:
+    """One-call sweep execution."""
+    return SweepRunner(processes=processes, cache_dir=cache_dir).run(jobs)

@@ -1,0 +1,77 @@
+"""ASCII table rendering and CSV export for experiment output.
+
+No plotting dependencies are available in this environment, so every
+paper table/figure is emitted as an aligned text table (for the
+terminal) plus CSV (for downstream plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "to_csv", "write_csv"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Serialize dict rows to CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col) for col in columns})
+    return buffer.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, Any]],
+    path: str | os.PathLike,
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write dict rows to a CSV file."""
+    text = to_csv(rows, columns)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(text)

@@ -1,0 +1,450 @@
+"""Far-channel arbitration policies (DRAM request-queue disciplines).
+
+This is the paper's central object of study. Each core has at most one
+outstanding DRAM request (it blocks until its current page is served),
+so the request queue holds at most ``p`` entries and arbitration means:
+*each tick, grant up to* ``q`` *of the waiting cores a far channel*.
+
+Policies:
+
+* :class:`FIFOArbitration` — First-Come-First-Served, the FCFS baseline
+  used by real DRAM controllers (and provably Omega(p)-bad, Theorem 2).
+* :class:`PriorityArbitration` — static strict priority order
+  (O(1)-competitive for q=1, Theorem 1; O(q) for q channels, Theorem 3).
+* :class:`DynamicPriorityArbitration` — the paper's proposal: re-draw a
+  uniformly random priority permutation every ``T`` ticks.
+* :class:`CyclePriorityArbitration` — deterministic variant:
+  ``pi'(i) = (pi(i) + 1) mod p`` every ``T`` ticks (Definition 1).
+* :class:`CycleReversePriorityArbitration` — cycles the other way
+  (``pi'(i) = (pi(i) - 1) mod p``); listed in the paper's sweep.
+* :class:`InterleavePriorityArbitration` — deterministic riffle of the
+  priority order every ``T`` ticks; listed in the paper's sweep. The
+  paper does not spell out the permutation; we use the perfect
+  out-riffle (top half interleaved with bottom half), which moves
+  every thread far from its previous rank without randomness.
+* :class:`RandomArbitration` — grants channels to uniformly random
+  waiting cores; the ``T -> 1`` limit of Dynamic Priority (section 4).
+* :class:`RoundRobinArbitration` — cyclic scan over core ids, a common
+  fair hardware arbiter, included as an extra baseline.
+* :class:`FRFCFSArbitration` — first-ready FCFS [49], the discipline of
+  real DRAM controllers (section 1.3): open-row ("ready") requests are
+  served before older row-missing ones, using the bank/row geometry of
+  :mod:`repro.core.dram`.
+
+Priorities follow the paper's Definition 1: ``pi`` maps thread ids to
+priority ranks, and *smaller rank = higher priority* (static Priority is
+the identity, so thread 0 is served first).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "ArbitrationPolicy",
+    "FIFOArbitration",
+    "PriorityArbitration",
+    "DynamicPriorityArbitration",
+    "CyclePriorityArbitration",
+    "CycleReversePriorityArbitration",
+    "InterleavePriorityArbitration",
+    "RandomArbitration",
+    "RoundRobinArbitration",
+    "FRFCFSArbitration",
+    "make_arbitration_policy",
+    "register_arbitration_policy",
+    "arbitration_policy_names",
+    "riffle_permutation",
+]
+
+
+def riffle_permutation(ranks: np.ndarray) -> np.ndarray:
+    """Perfect out-riffle of a rank array.
+
+    Threads ranked ``0..ceil(p/2)-1`` go to even ranks ``0,2,4,...`` and
+    the rest to odd ranks ``1,3,5,...``, i.e. the top and bottom halves
+    of the priority order are interleaved.
+    """
+    p = len(ranks)
+    half = (p + 1) // 2
+    new_ranks = np.where(ranks < half, 2 * ranks, 2 * (ranks - half) + 1)
+    return new_ranks.astype(ranks.dtype, copy=False)
+
+
+class ArbitrationPolicy(ABC):
+    """Interface shared by all far-channel arbitration policies."""
+
+    name: str = ""
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of waiting requests."""
+
+    @abstractmethod
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        """Add ``thread``'s (single) outstanding request to the queue.
+
+        ``page`` is the requested page; only address-aware policies
+        (FR-FCFS) use it, the rest ignore it.
+        """
+
+    @abstractmethod
+    def select(self, limit: int) -> list[int]:
+        """Remove and return up to ``limit`` threads to be granted channels."""
+
+    def begin_tick(self, tick: int) -> None:
+        """Step 1 of the simulation tick; remapping policies override."""
+
+    def priorities(self) -> np.ndarray | None:
+        """Current thread-id -> rank map, or ``None`` for rankless policies."""
+        return None
+
+
+class FIFOArbitration(ArbitrationPolicy):
+    """First-Come-First-Served: grant channels in arrival order.
+
+    Ties within a tick are broken by thread id (the engine enqueues
+    same-tick misses in id order).
+    """
+
+    name = "fifo"
+
+    def __init__(self, num_threads: int) -> None:
+        super().__init__(num_threads)
+        self._queue: deque[int] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        self._queue.append(thread)
+
+    def select(self, limit: int) -> list[int]:
+        queue = self._queue
+        n = min(limit, len(queue))
+        return [queue.popleft() for _ in range(n)]
+
+
+class PriorityArbitration(ArbitrationPolicy):
+    """Static strict-priority arbitration (identity permutation).
+
+    Base class for every priority-family policy: holds the current rank
+    array and a lazily rebuilt min-heap of waiting ``(rank, thread)``
+    pairs. Subclasses permute ranks in :meth:`remap`.
+    """
+
+    name = "priority"
+
+    def __init__(
+        self,
+        num_threads: int,
+        remap_period: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(num_threads)
+        self.remap_period = remap_period
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._ranks = np.arange(num_threads, dtype=np.int64)
+        self._waiting: set[int] = set()
+        self._heap: list[tuple[int, int]] = []
+        self.remap_count = 0
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def priorities(self) -> np.ndarray:
+        return self._ranks.copy()
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        self._waiting.add(thread)
+        heapq.heappush(self._heap, (int(self._ranks[thread]), thread))
+
+    def select(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        heap, waiting = self._heap, self._waiting
+        while heap and len(granted) < limit:
+            _, thread = heapq.heappop(heap)
+            if thread in waiting:
+                waiting.discard(thread)
+                granted.append(thread)
+        return granted
+
+    def begin_tick(self, tick: int) -> None:
+        period = self.remap_period
+        if period is not None and tick % period == 0:
+            self.remap()
+
+    def remap(self) -> None:
+        """Permute ranks and rebuild the waiting heap.
+
+        Static Priority keeps the identity permutation; subclasses
+        override :meth:`_permute`.
+        """
+        self._permute()
+        self.remap_count += 1
+        ranks = self._ranks
+        self._heap = [(int(ranks[t]), t) for t in self._waiting]
+        heapq.heapify(self._heap)
+
+    def _permute(self) -> None:
+        pass  # static priority: ranks never change
+
+
+class DynamicPriorityArbitration(PriorityArbitration):
+    """Dynamic Priority: a fresh uniformly random permutation every T ticks."""
+
+    name = "dynamic_priority"
+
+    def _permute(self) -> None:
+        self._ranks = self._rng.permutation(self.num_threads).astype(np.int64)
+
+
+class CyclePriorityArbitration(PriorityArbitration):
+    """Cycle Priority (Definition 1): ``pi'(i) = (pi(i) + 1) mod p``."""
+
+    name = "cycle_priority"
+
+    def _permute(self) -> None:
+        np.add(self._ranks, 1, out=self._ranks)
+        np.mod(self._ranks, self.num_threads, out=self._ranks)
+
+
+class CycleReversePriorityArbitration(PriorityArbitration):
+    """Reverse cycling: ``pi'(i) = (pi(i) - 1) mod p`` (paper's sweep)."""
+
+    name = "cycle_reverse_priority"
+
+    def _permute(self) -> None:
+        np.add(self._ranks, self.num_threads - 1, out=self._ranks)
+        np.mod(self._ranks, self.num_threads, out=self._ranks)
+
+
+class InterleavePriorityArbitration(PriorityArbitration):
+    """Interleave scheme: perfect out-riffle of the rank order every T ticks."""
+
+    name = "interleave_priority"
+
+    def _permute(self) -> None:
+        self._ranks = riffle_permutation(self._ranks)
+
+
+class RandomArbitration(ArbitrationPolicy):
+    """Grant channels to uniformly random waiting cores each tick.
+
+    Section 4: the ``T -> 1`` limit of Dynamic Priority "approaches
+    purely random selection, which has the same expected waiting time
+    in the DRAM queue for each thread as FIFO".
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        num_threads: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(num_threads)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._threads: list[int] = []
+        self._index: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._threads)
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        self._index[thread] = len(self._threads)
+        self._threads.append(thread)
+
+    def select(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        threads, index = self._threads, self._index
+        rng = self._rng
+        for _ in range(min(limit, len(threads))):
+            pos = int(rng.integers(len(threads)))
+            thread = threads[pos]
+            last = threads.pop()
+            if last != thread:
+                threads[pos] = last
+                index[last] = pos
+            del index[thread]
+            granted.append(thread)
+        return granted
+
+
+class RoundRobinArbitration(ArbitrationPolicy):
+    """Grant channels in cyclic thread-id order after the last grant."""
+
+    name = "round_robin"
+
+    def __init__(self, num_threads: int) -> None:
+        super().__init__(num_threads)
+        self._waiting = np.zeros(num_threads, dtype=bool)
+        self._count = 0
+        self._next = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        if not self._waiting[thread]:
+            self._waiting[thread] = True
+            self._count += 1
+
+    def select(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        waiting = self._waiting
+        p = self.num_threads
+        pos = self._next
+        scanned = 0
+        target = min(limit, self._count)
+        while len(granted) < target and scanned < p:
+            if waiting[pos]:
+                waiting[pos] = False
+                granted.append(pos)
+            pos = (pos + 1) % p
+            scanned += 1
+        self._count -= len(granted)
+        self._next = pos
+        return granted
+
+
+class FRFCFSArbitration(ArbitrationPolicy):
+    """First-Ready FCFS: the discipline of real DRAM controllers [49].
+
+    Among waiting requests, those hitting a bank's open row ("ready")
+    are granted first, oldest ready first; when nothing is ready, plain
+    FCFS order applies. In the HBM+DRAM model every transfer still
+    costs one tick — FR-FCFS matters here purely as a *reordering* of
+    the queue, letting the row-locality heuristic real hardware uses be
+    compared against FIFO and the priority schemes (section 1.3).
+    """
+
+    name = "fr_fcfs"
+
+    def __init__(
+        self,
+        num_threads: int,
+        geometry: "DramGeometry | None" = None,
+    ) -> None:
+        super().__init__(num_threads)
+        from .dram import BankState, DramGeometry
+
+        self.geometry = geometry if geometry is not None else DramGeometry()
+        self._banks = BankState(self.geometry)
+        self._queue: deque[tuple[int, int]] = deque()  # (thread, page)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        if page is None:
+            raise ValueError("fr_fcfs requires the requested page on enqueue")
+        self._queue.append((thread, page))
+
+    def select(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        queue, banks = self._queue, self._banks
+        is_row_hit = banks.is_row_hit
+        while queue and len(granted) < limit:
+            chosen = None
+            for idx, (_, page) in enumerate(queue):
+                if is_row_hit(page):
+                    chosen = idx
+                    break
+            if chosen is None:
+                chosen = 0  # no ready request: oldest wins
+            thread, page = queue[chosen]
+            del queue[chosen]
+            banks.access(page)
+            granted.append(thread)
+        return granted
+
+
+_ARBITRATION_CLASSES: dict[str, type[ArbitrationPolicy]] = {
+    cls.name: cls
+    for cls in (
+        FIFOArbitration,
+        PriorityArbitration,
+        DynamicPriorityArbitration,
+        CyclePriorityArbitration,
+        CycleReversePriorityArbitration,
+        InterleavePriorityArbitration,
+        RandomArbitration,
+        RoundRobinArbitration,
+        FRFCFSArbitration,
+    )
+}
+
+#: policies whose constructor takes (num_threads, remap_period, rng)
+_REMAPPING_NAMES = {
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+}
+
+
+def register_arbitration_policy(cls: type[ArbitrationPolicy]) -> type[ArbitrationPolicy]:
+    """Register a custom arbitration policy under ``cls.name``.
+
+    Usable as a class decorator; the policy becomes constructible by
+    name via :func:`make_arbitration_policy` and therefore usable in
+    :class:`~repro.core.config.SimulationConfig`. The constructor must
+    accept ``(num_threads)``; keyword parameters named ``remap_period``,
+    ``rng``, or ``geometry`` are forwarded when present.
+    """
+    if not cls.name:
+        raise ValueError("policy class must set a non-empty `name`")
+    if cls.name in _ARBITRATION_CLASSES and _ARBITRATION_CLASSES[cls.name] is not cls:
+        raise ValueError(f"arbitration policy {cls.name!r} already registered")
+    _ARBITRATION_CLASSES[cls.name] = cls
+    return cls
+
+
+def arbitration_policy_names() -> tuple[str, ...]:
+    """Registered arbitration policy names (built-in + custom)."""
+    return tuple(sorted(_ARBITRATION_CLASSES))
+
+
+def make_arbitration_policy(
+    name: str,
+    num_threads: int,
+    remap_period: int | None = None,
+    rng: np.random.Generator | None = None,
+    dram_geometry=None,
+) -> ArbitrationPolicy:
+    """Instantiate an arbitration policy by registry name.
+
+    ``remap_period`` applies to the remapping priority schemes; ``rng``
+    to the stochastic ones; ``dram_geometry`` to FR-FCFS. Parameters a
+    policy's constructor does not declare are omitted.
+    """
+    try:
+        cls = _ARBITRATION_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arbitration policy {name!r}; expected one of "
+            f"{arbitration_policy_names()}"
+        ) from None
+    if name in _REMAPPING_NAMES and remap_period is None:
+        raise ValueError(f"{name} requires remap_period (the paper's T)")
+    import inspect
+
+    params = inspect.signature(cls).parameters
+    kwargs = {}
+    if "remap_period" in params:
+        kwargs["remap_period"] = remap_period
+    if "rng" in params:
+        kwargs["rng"] = rng
+    if "geometry" in params:
+        kwargs["geometry"] = dram_geometry
+    return cls(num_threads, **kwargs)

@@ -1,0 +1,163 @@
+"""Simulation configuration for the HBM+DRAM model.
+
+The model (paper section 2) is parameterized by:
+
+* ``p`` — number of cores, implied by the workload (one request stream per core);
+* ``k`` — HBM capacity in blocks ("slots"), :attr:`SimulationConfig.hbm_slots`;
+* ``q`` — number of far channels between HBM and DRAM,
+  :attr:`SimulationConfig.channels`;
+* the block-replacement policy for HBM;
+* the far-channel arbitration policy for the DRAM request queue.
+
+All policy knobs are given by name so that configurations stay picklable and
+hashable, which the sweep harness (:mod:`repro.analysis.sweep`) relies on to
+run configurations in worker processes and cache results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["SimulationConfig", "REPLACEMENT_POLICIES", "ARBITRATION_POLICIES"]
+
+#: Built-in block-replacement policy names (see :mod:`repro.core.replacement`).
+#: Custom policies added via ``register_replacement_policy`` are also
+#: accepted by :class:`SimulationConfig`; this tuple lists the ones the
+#: paper's experiments use.
+REPLACEMENT_POLICIES = (
+    "lru",
+    "fifo",
+    "clock",
+    "random",
+    "mru",
+    "belady",
+)
+
+#: Built-in far-channel arbitration policy names
+#: (see :mod:`repro.core.arbitration`); custom registrations are also
+#: accepted by :class:`SimulationConfig`.
+ARBITRATION_POLICIES = (
+    "fifo",
+    "priority",
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+    "random",
+    "round_robin",
+    "fr_fcfs",
+)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Frozen, hashable description of one simulator run.
+
+    Parameters
+    ----------
+    hbm_slots:
+        HBM capacity ``k`` in blocks. Each slot holds one page.
+    channels:
+        Number of far channels ``q`` between HBM and DRAM. At most ``q``
+        pages cross the channel per tick, and at most ``q`` pages are
+        evicted per tick (paper section 3.1, steps 3 and 5).
+    replacement:
+        Name of the HBM block-replacement policy. One of
+        :data:`REPLACEMENT_POLICIES`.
+    arbitration:
+        Name of the far-channel arbitration policy. One of
+        :data:`ARBITRATION_POLICIES`.
+    remap_period:
+        Priority re-permutation interval ``T`` in ticks, used by the
+        Dynamic/Cycle/Interleave priority schemes. The paper expresses
+        ``T`` as a multiple of ``k``; callers usually pass
+        ``multiplier * hbm_slots``. Ignored by FIFO and static Priority.
+    seed:
+        Seed for every stochastic component (Dynamic Priority shuffles,
+        Random arbitration, Random replacement). Identical seeds give
+        bit-identical simulations.
+    protect_pending:
+        If True (default), a page that is the *current* request of some
+        core may not be chosen as an eviction victim. This prevents the
+        degenerate livelock where a freshly fetched page is evicted at
+        step 3 of the next tick before it can be served at step 4. The
+        paper's pseudo-code does not discuss the case; disabling this
+        reproduces the paper's literal step ordering.
+    record_responses:
+        If True, keep every individual response time (memory-heavy; meant
+        for tests and small runs). Streaming statistics are always kept.
+    collect_timeline:
+        If True, record per-tick aggregate occupancy/queue-length samples
+        every ``timeline_stride`` ticks.
+    timeline_stride:
+        Sampling stride for the timeline (ticks between samples).
+    max_ticks:
+        Safety valve: abort with :class:`~repro.core.engine.SimulationLimitError`
+        if the simulation exceeds this many ticks. ``None`` means unbounded.
+    dram_banks / dram_row_pages:
+        DRAM geometry for the FR-FCFS arbitration policy (pages
+        interleave across ``dram_banks``; ``dram_row_pages`` consecutive
+        same-bank pages share a row). Ignored by every other policy.
+    """
+
+    hbm_slots: int
+    channels: int = 1
+    replacement: str = "lru"
+    arbitration: str = "fifo"
+    remap_period: int | None = None
+    seed: int = 0
+    protect_pending: bool = True
+    record_responses: bool = False
+    collect_timeline: bool = False
+    timeline_stride: int = 1024
+    max_ticks: int | None = None
+    dram_banks: int = 16
+    dram_row_pages: int = 8
+
+    def __post_init__(self) -> None:
+        if self.hbm_slots < 1:
+            raise ValueError(f"hbm_slots must be >= 1, got {self.hbm_slots}")
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        from .arbitration import arbitration_policy_names
+        from .replacement import replacement_policy_names
+
+        if self.replacement not in replacement_policy_names():
+            raise ValueError(
+                f"unknown replacement policy {self.replacement!r}; "
+                f"expected one of {replacement_policy_names()}"
+            )
+        if self.arbitration not in arbitration_policy_names():
+            raise ValueError(
+                f"unknown arbitration policy {self.arbitration!r}; "
+                f"expected one of {arbitration_policy_names()}"
+            )
+        if self.remap_period is not None and self.remap_period < 1:
+            raise ValueError(f"remap_period must be >= 1, got {self.remap_period}")
+        if self.timeline_stride < 1:
+            raise ValueError(
+                f"timeline_stride must be >= 1, got {self.timeline_stride}"
+            )
+        if self.max_ticks is not None and self.max_ticks < 1:
+            raise ValueError(f"max_ticks must be >= 1, got {self.max_ticks}")
+        if self.dram_banks < 1 or self.dram_row_pages < 1:
+            raise ValueError(
+                f"dram_banks and dram_row_pages must be >= 1, got "
+                f"{self.dram_banks}, {self.dram_row_pages}"
+            )
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy with ``changes`` applied (dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, e.g. for CSV/JSON result rows."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})

@@ -1,0 +1,394 @@
+"""Direct-mapped HBM and the Lemma 1 transformation (paper section 2).
+
+Practical HBM implementations are direct mapped (KNL, Sapphire Rapids),
+while the theory assumes full associativity. Lemma 1 shows how to
+simulate a size-k fully-associative HBM with LRU (or FIFO) replacement
+on a direct-mapped cache of size Theta(k), using two data structures
+kept *in simulated memory* (so their accesses themselves go through the
+direct-mapped cache):
+
+* a size-k hash table with chaining under a 2-universal hash family
+  [45], mapping user DRAM addresses to "Cache DRAM addresses" (the
+  fixed bijection partners of the direct-mapped slots); and
+* a doubly-linked list ordered by eviction priority (front = victim).
+
+This module implements that machinery concretely and counts the induced
+direct-mapped hits and misses, letting the Lemma's O(1) expected
+overhead be checked empirically (see ``benchmarks/test_bench_directmapped.py``).
+
+It also implements the Theorem 4 concurrent-front-insert primitive: x
+processors move x items to the list front in O(log x) PRAM steps via a
+prefix-sums rank assignment, with an explicit step counter so tests can
+assert the logarithmic bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .replacement import LRUPolicy, FIFOReplacementPolicy
+
+__all__ = [
+    "DirectMappedCache",
+    "TwoUniversalHash",
+    "TransformedCacheSimulator",
+    "TransformReport",
+    "simulate_fully_associative",
+    "transform_overhead",
+    "concurrent_front_insert",
+]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class TwoUniversalHash:
+    """Carter-Wegman 2-universal hash: ``((a*x + b) mod p) mod m``."""
+
+    def __init__(self, buckets: int, rng: np.random.Generator) -> None:
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.buckets = buckets
+        self.a = int(rng.integers(1, _MERSENNE_PRIME))
+        self.b = int(rng.integers(0, _MERSENNE_PRIME))
+
+    def __call__(self, key: int) -> int:
+        return ((self.a * key + self.b) % _MERSENNE_PRIME) % self.buckets
+
+
+class DirectMappedCache:
+    """A direct-mapped cache of ``slots`` page frames.
+
+    Each page maps to exactly one frame (``hash(page) % slots`` with a
+    2-universal hash so adversarial address patterns cannot force
+    systematic conflicts, mirroring how hardware scrambles index bits).
+    """
+
+    def __init__(self, slots: int, rng: np.random.Generator | None = None) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = slots
+        self._hash = TwoUniversalHash(
+            slots, rng if rng is not None else np.random.default_rng()
+        )
+        self._tags: list[int | None] = [None] * slots
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Touch ``page``; return True on hit. Misses install the page."""
+        slot = self._hash(page)
+        if self._tags[slot] == page:
+            self.hits += 1
+            return True
+        self._tags[slot] = page
+        self.misses += 1
+        return False
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+def simulate_fully_associative(
+    trace: Sequence[int] | np.ndarray,
+    capacity: int,
+    replacement: str = "lru",
+) -> tuple[int, int]:
+    """(hits, misses) of a fully-associative cache over ``trace``."""
+    if replacement == "lru":
+        policy = LRUPolicy(capacity)
+    elif replacement == "fifo":
+        policy = FIFOReplacementPolicy(capacity)
+    else:
+        raise ValueError("replacement must be 'lru' or 'fifo'")
+    hits = misses = 0
+    residency = policy.residency
+    for page in np.asarray(trace, dtype=np.int64).tolist():
+        if page in residency:
+            policy.touch(page)
+            hits += 1
+        else:
+            misses += 1
+            if len(residency) >= capacity:
+                policy.evict()
+            policy.insert(page)
+    return hits, misses
+
+
+@dataclass(frozen=True)
+class TransformReport:
+    """Accounting for one transformed-program replay (Lemma 1)."""
+
+    original_hits: int
+    original_misses: int
+    transformed_accesses: int
+    transformed_hits: int
+    transformed_misses: int
+    max_chain_length: int
+
+    @property
+    def miss_overhead(self) -> float:
+        """Transformed misses per original miss (Lemma 1 claims O(1))."""
+        if self.original_misses == 0:
+            return 0.0
+        return self.transformed_misses / self.original_misses
+
+    @property
+    def access_overhead(self) -> float:
+        """Transformed accesses per original reference (Lemma 1: O(1))."""
+        total = self.original_hits + self.original_misses
+        return self.transformed_accesses / total if total else 0.0
+
+
+class TransformedCacheSimulator:
+    """Replay of the Lemma 1 transformed program on a direct-mapped cache.
+
+    Layout of the simulated address space (all page-granular):
+
+    * **metadata region** — hash-bucket heads and linked-list nodes,
+      packed ``node_per_page`` to a page; every pointer chase is an
+      access to the owning metadata page, which goes through the
+      direct-mapped cache.
+    * **program-data region** — k "Cache DRAM" pages in bijection with
+      the logical cache slots; the user's data access lands on the slot
+      page currently assigned to its user page.
+
+    The direct-mapped cache is sized ``slack * k`` pages (the Theta(k)
+    of the lemma; ``slack >= 2`` covers metadata + data).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        replacement: str = "lru",
+        slack: int = 4,
+        nodes_per_page: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if replacement not in ("lru", "fifo"):
+            raise ValueError("replacement must be 'lru' or 'fifo'")
+        if slack < 2:
+            raise ValueError(f"slack must be >= 2, got {slack}")
+        self.capacity = capacity
+        self.replacement = replacement
+        self.nodes_per_page = nodes_per_page
+        rng = np.random.default_rng(seed)
+        self.cache = DirectMappedCache(slack * capacity, rng=rng)
+        self.hash = TwoUniversalHash(capacity, rng=rng)
+
+        # hash table: bucket -> chain of nodes. Nodes double as the
+        # linked-list entries (key, slot, chain-next, list-prev/next).
+        self._buckets: list[int | None] = [None] * capacity
+        self._node_key: dict[int, int] = {}
+        self._node_slot: dict[int, int] = {}
+        self._node_cnext: dict[int, int | None] = {}
+        self._list_prev: dict[int, int | None] = {}
+        self._list_next: dict[int, int | None] = {}
+        self._list_front: int | None = None  # victim end
+        self._list_back: int | None = None  # most-recent end
+        self._free_slots = list(range(capacity - 1, -1, -1))
+        self._next_node_id = 0
+        self.max_chain = 0
+
+        # address map: bucket-head pages first, then node pages, then
+        # the k program-data pages (see _touch_data).
+        self._node_page_base = -(-capacity // nodes_per_page)
+
+    # -- simulated-memory touches ------------------------------------------
+    def _touch_bucket(self, bucket: int) -> None:
+        self.cache.access(bucket // self.nodes_per_page)
+
+    def _touch_node(self, node: int) -> None:
+        self.cache.access(self._node_page_base + node // self.nodes_per_page)
+
+    def _touch_data(self, slot: int) -> None:
+        # Program-data pages live after a metadata region generously
+        # sized for capacity nodes.
+        node_pages = -(-self.capacity // self.nodes_per_page) + 1
+        self.cache.access(self._node_page_base + node_pages + slot)
+
+    # -- hash table / list operations ---------------------------------------
+    def _find(self, page: int) -> int | None:
+        """Chain walk; returns node id or None. Touches every node read."""
+        bucket = self.hash(page)
+        self._touch_bucket(bucket)
+        node = self._buckets[bucket]
+        chain = 0
+        while node is not None:
+            chain += 1
+            self._touch_node(node)
+            if self._node_key[node] == page:
+                break
+            node = self._node_cnext[node]
+        self.max_chain = max(self.max_chain, chain)
+        return node
+
+    def _list_unlink(self, node: int) -> None:
+        prev, nxt = self._list_prev[node], self._list_next[node]
+        self._touch_node(node)
+        if prev is not None:
+            self._touch_node(prev)
+            self._list_next[prev] = nxt
+        else:
+            self._list_front = nxt
+        if nxt is not None:
+            self._touch_node(nxt)
+            self._list_prev[nxt] = prev
+        else:
+            self._list_back = prev
+
+    def _list_push_back(self, node: int) -> None:
+        self._touch_node(node)
+        self._list_prev[node] = self._list_back
+        self._list_next[node] = None
+        if self._list_back is not None:
+            self._touch_node(self._list_back)
+            self._list_next[self._list_back] = node
+        else:
+            self._list_front = node
+        self._list_back = node
+
+    def _chain_remove(self, page: int, node: int) -> None:
+        bucket = self.hash(page)
+        self._touch_bucket(bucket)
+        cur = self._buckets[bucket]
+        if cur == node:
+            self._buckets[bucket] = self._node_cnext[node]
+            return
+        while cur is not None:
+            self._touch_node(cur)
+            nxt = self._node_cnext[cur]
+            if nxt == node:
+                self._node_cnext[cur] = self._node_cnext[node]
+                return
+            cur = nxt
+        raise AssertionError("node missing from its chain")
+
+    def _evict_front(self) -> int:
+        """Evict the victim-end node; return the freed slot."""
+        node = self._list_front
+        assert node is not None, "evict on empty cache"
+        self._touch_node(node)
+        page, slot = self._node_key[node], self._node_slot[node]
+        self._list_unlink(node)
+        self._chain_remove(page, node)
+        # copy data back from Cache DRAM address to user DRAM address
+        self._touch_data(slot)
+        del self._node_key[node], self._node_slot[node], self._node_cnext[node]
+        del self._list_prev[node], self._list_next[node]
+        return slot
+
+    # -- public API ----------------------------------------------------------
+    def access(self, page: int) -> bool:
+        """One user reference; returns True if it was a simulated hit."""
+        node = self._find(page)
+        if node is not None:
+            if self.replacement == "lru":
+                self._list_unlink(node)
+                self._list_push_back(node)
+            self._touch_data(self._node_slot[node])
+            return True
+        # miss: make room, assign a slot, insert into table and list
+        if not self._free_slots:
+            slot = self._evict_front()
+        else:
+            slot = self._free_slots.pop()
+        node = self._next_node_id
+        self._next_node_id += 1
+        # reuse node ids modulo capacity so the metadata region stays Theta(k)
+        node %= self.capacity
+        while node in self._node_key:
+            node = (node + 1) % self.capacity
+        bucket = self.hash(page)
+        self._touch_bucket(bucket)
+        self._touch_node(node)
+        self._node_key[node] = page
+        self._node_slot[node] = slot
+        self._node_cnext[node] = self._buckets[bucket]
+        self._buckets[bucket] = node
+        self._list_prev[node] = None
+        self._list_next[node] = None
+        self._list_push_back(node)
+        # copy user DRAM -> Cache DRAM, then the access itself
+        self._touch_data(slot)
+        return False
+
+    def replay(self, trace: Sequence[int] | np.ndarray) -> TransformReport:
+        """Replay a trace and compare against the untransformed program."""
+        orig_hits, orig_misses = simulate_fully_associative(
+            trace, self.capacity, self.replacement
+        )
+        self.cache.reset_counters()
+        sim_hits = sim_misses = 0
+        for page in np.asarray(trace, dtype=np.int64).tolist():
+            if self.access(page):
+                sim_hits += 1
+            else:
+                sim_misses += 1
+        if (sim_hits, sim_misses) != (orig_hits, orig_misses):
+            raise AssertionError(
+                "transformed program's logical hit/miss sequence diverged "
+                f"from the fully-associative original: {(sim_hits, sim_misses)} "
+                f"vs {(orig_hits, orig_misses)}"
+            )
+        return TransformReport(
+            original_hits=orig_hits,
+            original_misses=orig_misses,
+            transformed_accesses=self.cache.hits + self.cache.misses,
+            transformed_hits=self.cache.hits,
+            transformed_misses=self.cache.misses,
+            max_chain_length=self.max_chain,
+        )
+
+
+def transform_overhead(
+    trace: Sequence[int] | np.ndarray,
+    capacity: int,
+    replacement: str = "lru",
+    slack: int = 4,
+    seed: int = 0,
+) -> TransformReport:
+    """Convenience wrapper: replay ``trace`` through the transformation."""
+    sim = TransformedCacheSimulator(
+        capacity, replacement=replacement, slack=slack, seed=seed
+    )
+    return sim.replay(trace)
+
+
+def concurrent_front_insert(
+    items: list[int],
+    new_items: Sequence[int],
+) -> tuple[list[int], int]:
+    """Theorem 4's primitive: insert x items at the list front concurrently.
+
+    Simulates the PRAM algorithm: each of the x processors obtains a
+    unique rank via a binary prefix-sums tree (O(log x) steps), writes
+    its item into the auxiliary array, links to its neighbours in O(1),
+    and the mini-list is spliced onto the front in O(1).
+
+    Returns the new list and the number of *parallel steps* consumed,
+    which tests check is O(log x) + O(1).
+    """
+    x = len(new_items)
+    if x == 0:
+        return list(items), 0
+    steps = 0
+    # prefix-sums rank assignment: log2(x) rounds of pairwise combines
+    width = 1
+    ranks = list(range(x))  # the result the tree computes
+    while width < x:
+        width *= 2
+        steps += 1  # one PRAM round per tree level
+    aux = [None] * x
+    for rank, item in zip(ranks, new_items):
+        aux[rank] = item
+    steps += 1  # concurrent writes into the auxiliary array
+    steps += 1  # concurrent neighbour linking builds the mini-list
+    steps += 1  # splice mini-list onto the master list front
+    assert all(v is not None for v in aux), "rank assignment must be unique"
+    return list(new_items) + list(items), steps

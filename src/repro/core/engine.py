@@ -1,0 +1,307 @@
+"""The HBM+DRAM model simulator (paper sections 2 and 3.1).
+
+The simulator executes the paper's five-step tick verbatim:
+
+1. If ``t`` is a multiple of the remap period ``T``, remap priorities.
+2. For each current request ``r*_i`` not resident in HBM, add it to the
+   DRAM request queue (each core has at most one outstanding request).
+3. If there are more queued requests than empty HBM slots, evict up to
+   ``q`` pages by the replacement policy.
+4. For each current request resident in HBM, serve it to its core.
+5. Retrieve up to ``q`` queued pages from DRAM into HBM (the far
+   channels), removing them from the queue.
+
+A core that is served its request at tick ``t`` issues its next request
+at tick ``t + 1``; a core whose request is queued does nothing until the
+page arrives. Response time of a serve at tick ``t`` for a request
+issued at tick ``t0`` is ``t - t0 + 1``, so hits cost exactly 1 tick and
+misses at least 2 (section 4).
+
+Implementation notes
+--------------------
+* Steps 2 and 4 are split into a *classify* pass and a *serve* pass with
+  eviction in between, exactly preserving the paper's ordering: an
+  eviction at step 3 can remove a page that step 2 saw resident, in
+  which case step 4 does not serve it and the core retries next tick.
+* Only unblocked cores do per-tick work. Cores waiting on DRAM wake
+  when their page is fetched, so total work is proportional to the
+  total number of page references plus fetches — the floor for a
+  faithful tick-level simulator (see the profiling-first guidance in
+  the project's performance notes).
+* The engine is tolerant of non-disjoint traces (pages shared between
+  cores) even though the model's Property 1 assumes disjointness: a
+  fetch of an already-resident page becomes a no-op and the waiting
+  core is woken. With shared pages the ``protect_pending`` bookkeeping
+  is best-effort (a set, not a refcount).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from .arbitration import make_arbitration_policy
+from .config import SimulationConfig
+from .dram import DramGeometry
+from .metrics import MetricsCollector, SimulationResult
+from .replacement import BeladyPolicy, make_replacement_policy
+
+__all__ = ["Simulator", "SimulationLimitError", "run_simulation"]
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when a run exceeds ``SimulationConfig.max_ticks``."""
+
+
+def _next_use_indices(trace: np.ndarray) -> np.ndarray:
+    """For each position j, the next position j' > j with the same page.
+
+    Positions with no later occurrence get ``-1``. Used only by the
+    Belady replacement baseline.
+    """
+    n = len(trace)
+    nxt = np.full(n, -1, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for j in range(n - 1, -1, -1):
+        page = int(trace[j])
+        nxt[j] = last_seen.get(page, -1)
+        last_seen[page] = j
+    return nxt
+
+
+class Simulator:
+    """One-shot simulator for a workload under a :class:`SimulationConfig`.
+
+    Parameters
+    ----------
+    traces:
+        One page-reference sequence per core (anything accepted by
+        ``np.asarray`` with an integer dtype). Pages are opaque ids;
+        use :class:`repro.traces.Workload` to namespace per-core pages
+        disjointly as the model requires.
+    config:
+        Model and policy parameters.
+    """
+
+    def __init__(
+        self,
+        traces: Sequence[np.ndarray | Sequence[int]],
+        config: SimulationConfig,
+    ) -> None:
+        if len(traces) == 0:
+            raise ValueError("workload must contain at least one trace")
+        self.config = config
+        self.traces = [
+            np.ascontiguousarray(np.asarray(t, dtype=np.int64)) for t in traces
+        ]
+        self.num_threads = len(self.traces)
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return its metrics."""
+        start = time.perf_counter()
+        cfg = self.config
+        p = self.num_threads
+        q = cfg.channels
+        rng = np.random.default_rng(cfg.seed)
+
+        policy = make_replacement_policy(cfg.replacement, cfg.hbm_slots, rng=rng)
+        arb = make_arbitration_policy(
+            cfg.arbitration,
+            p,
+            remap_period=cfg.remap_period,
+            rng=rng,
+            dram_geometry=DramGeometry(cfg.dram_banks, cfg.dram_row_pages),
+        )
+        metrics = MetricsCollector(p, record_responses=cfg.record_responses)
+
+        # Residency membership is the hottest check in the loop; policies
+        # expose their page -> * mapping so the engine can use a raw
+        # ``in dict`` test instead of a Python-level __contains__ call.
+        residency = policy.residency
+
+        belady = policy if isinstance(policy, BeladyPolicy) else None
+        next_use = (
+            [_next_use_indices(t) for t in self.traces] if belady is not None else None
+        )
+
+        # Python-int trace copies: iterating numpy scalars costs a boxing
+        # per element; tolist() pays it once up front.
+        traces = [t.tolist() for t in self.traces]
+        lengths = [len(t) for t in traces]
+
+        track_protected = cfg.protect_pending
+        protected: set[int] | frozenset[int] = set() if track_protected else _EMPTY
+
+        current: list[int | None] = [None] * p
+        request_tick = [0] * p
+        pos = [0] * p
+        ready: list[int] = []
+        done_count = 0
+        for i in range(p):
+            if lengths[i] == 0:
+                metrics.record_completion(i, 0)
+                done_count += 1
+            else:
+                current[i] = traces[i][0]
+                ready.append(i)
+                if track_protected:
+                    protected.add(traces[i][0])  # type: ignore[union-attr]
+
+        timeline: list[tuple[int, int, int, int]] | None = (
+            [] if cfg.collect_timeline else None
+        )
+        timeline_stride = cfg.timeline_stride
+        max_ticks = cfg.max_ticks
+
+        # Hot-loop bindings: every name below is read once per tick (or
+        # once per served request), so local variables and C-level bound
+        # methods replace attribute chains and Python-level dispatch.
+        arb_begin_tick = arb.begin_tick
+        arb_enqueue = arb.enqueue
+        arb_select = arb.select
+        policy_touch = policy.touch_fast  # None when touches are no-ops
+        policy_evict = policy.evict
+        policy_insert = policy.insert
+        histograms = metrics.histograms
+        response_logs = metrics.response_logs
+        capacity = policy.capacity
+
+        # The engine tracks the queue length itself (each core has at
+        # most one outstanding request), saving a len() call per tick.
+        queue_len = 0
+
+        t = 0
+        makespan = 0
+        evictions = 0
+        fetches = 0
+        while done_count < p:
+            # -- step 1: remap hook -------------------------------------
+            arb_begin_tick(t)
+
+            # -- step 2 (classify + enqueue misses) ----------------------
+            # ``ready`` is kept sorted by core id, so classification,
+            # same-tick FIFO arrivals, LRU touches, and serves all follow
+            # the paper's "for each r*_i" core order deterministically.
+            hits: list[int] = []
+            misses: list[int] = []
+            for i in ready:
+                if current[i] in residency:
+                    hits.append(i)
+                else:
+                    misses.append(i)
+            if misses:
+                for i in misses:
+                    arb_enqueue(i, current[i])
+                queue_len += len(misses)
+
+            # -- step 3: evict to make room for this tick's fetches ------
+            will_fetch = queue_len if queue_len < q else q
+            if will_fetch:
+                deficit = will_fetch - (capacity - len(residency))
+                while deficit > 0:
+                    victim = policy_evict(protected)
+                    if victim is None:
+                        break  # everything protected; fetch less this tick
+                    evictions += 1
+                    deficit -= 1
+                if deficit > 0:
+                    will_fetch -= deficit
+
+            # -- step 4: serve resident requests -------------------------
+            new_ready: list[int] = []
+            for i in hits:
+                page = current[i]
+                if page not in residency:
+                    # Evicted at step 3 between classify and serve; the
+                    # core retries (and will enqueue) next tick.
+                    new_ready.append(i)
+                    continue
+                if policy_touch is not None:
+                    policy_touch(page)
+                w = t - request_tick[i] + 1
+                hist = histograms[i]
+                hist[w] = hist.get(w, 0) + 1
+                if response_logs is not None:
+                    response_logs[i].append(w)
+                j = pos[i] + 1
+                if belady is not None:
+                    nxt = next_use[i][pos[i]]  # type: ignore[index]
+                    belady.set_future(page, None if nxt < 0 else int(nxt) - pos[i])
+                if j >= lengths[i]:
+                    metrics.record_completion(i, t + 1)
+                    done_count += 1
+                    makespan = t + 1
+                    current[i] = None
+                    if track_protected:
+                        protected.discard(page)  # type: ignore[union-attr]
+                else:
+                    pos[i] = j
+                    nxt_page = traces[i][j]
+                    current[i] = nxt_page
+                    request_tick[i] = t + 1
+                    if track_protected and nxt_page != page:
+                        protected.discard(page)  # type: ignore[union-attr]
+                        protected.add(nxt_page)  # type: ignore[union-attr]
+                    new_ready.append(i)
+
+            # -- step 5: fetch up to q queued pages over the far channels
+            if will_fetch:
+                granted = arb_select(will_fetch)
+                queue_len -= len(granted)
+                for i in granted:
+                    page = current[i]
+                    if page not in residency:  # no-op for shared pages
+                        policy_insert(page)
+                        fetches += 1
+                    new_ready.append(i)
+
+            # Restore core-id order: new_ready is a sorted subsequence of
+            # the previous ready list plus up to q granted cores, so this
+            # near-sorted Timsort pass is effectively linear.
+            new_ready.sort()
+            ready = new_ready
+            if timeline is not None and t % timeline_stride == 0:
+                occupancy = len(residency)
+                timeline.append((t, queue_len, occupancy, len(ready)))
+            t += 1
+            if max_ticks is not None and t > max_ticks:
+                raise SimulationLimitError(
+                    f"simulation exceeded max_ticks={max_ticks} "
+                    f"({done_count}/{p} threads complete)"
+                )
+        metrics.evictions = evictions
+        metrics.fetches = fetches
+
+        remap_count = getattr(arb, "remap_count", 0)
+        wall = time.perf_counter() - start
+        return metrics.finalize(
+            makespan=makespan,
+            ticks=t,
+            remap_count=remap_count,
+            config=cfg,
+            wall_time_s=wall,
+            timeline=(
+                np.asarray(timeline, dtype=np.int64) if timeline is not None else None
+            ),
+        )
+
+
+def run_simulation(
+    traces: Sequence[np.ndarray | Sequence[int]],
+    config: SimulationConfig | None = None,
+    **config_kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a config (or use the given one) and run.
+
+    >>> run_simulation([[0, 1, 0, 1]], hbm_slots=2).makespan
+    6
+    """
+    if config is None:
+        config = SimulationConfig(**config_kwargs)
+    elif config_kwargs:
+        config = config.replace(**config_kwargs)
+    return Simulator(traces, config).run()

@@ -1,0 +1,266 @@
+"""Metrics for HBM simulations: makespan, response time, inconsistency.
+
+Definitions (paper section 4, "Quantifying thread starvation"):
+
+* The **response time** ``w`` of a page reference is the number of
+  simulation ticks between the request and the serve. An HBM hit has
+  ``w = 1``; a miss has ``w >= 2``.
+* **Inconsistency** is the standard deviation of ``w`` over *all*
+  references of all threads.
+* **Makespan** is the tick count at which the last thread completes.
+
+The collector keeps one exact response-time histogram per thread
+(``dict[w] -> count``). This is the cheapest faithful scheme for the
+serve hot path — one dict increment per served request — and it makes
+every downstream statistic (mean, variance, max, percentiles, hit
+counts) exact integer arithmetic rather than floating accumulation.
+The global histogram is the merge of the per-thread ones, so a hit
+count is simply ``histogram[1]`` (hits are exactly the ``w == 1``
+references).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "HistogramStats",
+    "histogram_stats",
+    "merge_histograms",
+    "ThreadStats",
+    "SimulationResult",
+    "MetricsCollector",
+]
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Moments of an integer-keyed histogram."""
+
+    count: int
+    mean: float
+    std: float
+    min: int
+    max: int
+
+    @property
+    def variance(self) -> float:
+        return self.std * self.std
+
+
+def histogram_stats(hist: Mapping[int, int]) -> HistogramStats:
+    """Exact count/mean/population-std/min/max of a ``value -> count`` map.
+
+    Iterates values in sorted order so the floating-point variance sum
+    is independent of dict insertion order — engines that build the
+    same histogram differently must report bit-identical statistics.
+    """
+    if not hist:
+        return HistogramStats(0, 0.0, 0.0, 0, 0)
+    items = sorted(hist.items())
+    count = sum(c for _, c in items)
+    total = sum(v * c for v, c in items)
+    mean = total / count
+    var = sum(c * (v - mean) ** 2 for v, c in items) / count
+    return HistogramStats(count, mean, math.sqrt(max(var, 0.0)), items[0][0], items[-1][0])
+
+
+def merge_histograms(hists: list[dict[int, int]]) -> dict[int, int]:
+    """Merge ``value -> count`` maps by summing counts."""
+    merged: dict[int, int] = {}
+    for hist in hists:
+        for value, count in hist.items():
+            merged[value] = merged.get(value, 0) + count
+    return merged
+
+
+def histogram_percentile(hist: Mapping[int, int], fraction: float) -> int:
+    """Smallest value v such that at least ``fraction`` of mass is <= v."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not hist:
+        raise ValueError("empty histogram has no percentiles")
+    total = sum(hist.values())
+    threshold = fraction * total
+    running = 0
+    last = 0
+    for value in sorted(hist):
+        running += hist[value]
+        last = value
+        if running >= threshold:
+            return value
+    return last
+
+
+@dataclass(frozen=True)
+class ThreadStats:
+    """Per-thread summary: the unit of the paper's fairness analysis."""
+
+    thread: int
+    requests: int
+    hits: int
+    completion_tick: int
+    response: HistogramStats
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def starvation(self) -> int:
+        """Worst response time the thread experienced (its longest stall)."""
+        return self.response.max
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Complete outcome of one simulator run.
+
+    Attributes mirror the paper's reported quantities: ``makespan``,
+    ``mean_response`` ("Response Time" columns of Table 1),
+    ``inconsistency`` (std of response time, Table 1 / Figure 5), plus
+    hit/miss/eviction accounting and per-thread breakdowns.
+    """
+
+    makespan: int
+    ticks: int
+    num_threads: int
+    total_requests: int
+    hits: int
+    fetches: int
+    evictions: int
+    mean_response: float
+    inconsistency: float
+    max_response: int
+    thread_stats: tuple[ThreadStats, ...]
+    response_histogram: dict[int, int]
+    remap_count: int = 0
+    config: Any = None
+    wall_time_s: float = 0.0
+    response_log: tuple[np.ndarray, ...] | None = None
+    timeline: np.ndarray | None = None
+
+    @property
+    def misses(self) -> int:
+        return self.total_requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def completion_ticks(self) -> np.ndarray:
+        return np.array([t.completion_tick for t in self.thread_stats])
+
+    @property
+    def starvation(self) -> int:
+        """Worst response time across all threads."""
+        return self.max_response
+
+    def response_percentile(self, fraction: float) -> int:
+        return histogram_percentile(self.response_histogram, fraction)
+
+    def summary(self) -> str:
+        """Human-readable one-screen digest."""
+        lines = [
+            f"makespan        : {self.makespan}",
+            f"threads         : {self.num_threads}",
+            f"requests        : {self.total_requests}"
+            f" (hits {self.hits}, misses {self.misses},"
+            f" hit rate {self.hit_rate:.3f})",
+            f"fetches/evicts  : {self.fetches} / {self.evictions}",
+            f"mean response   : {self.mean_response:.3f}",
+            f"inconsistency   : {self.inconsistency:.3f}",
+            f"max response    : {self.max_response}",
+            f"remaps          : {self.remap_count}",
+        ]
+        if self.config is not None:
+            lines.insert(0, f"config          : {self.config}")
+        return "\n".join(lines)
+
+
+class MetricsCollector:
+    """Streaming metrics sink for the engine's serve hot path."""
+
+    def __init__(self, num_threads: int, record_responses: bool = False) -> None:
+        self.num_threads = num_threads
+        self.histograms: list[dict[int, int]] = [{} for _ in range(num_threads)]
+        self.completion_ticks = [0] * num_threads
+        self.fetches = 0
+        self.evictions = 0
+        #: per-thread raw response logs when record_responses is on; the
+        #: engine appends to these directly in its hot loop.
+        self.response_logs: list[list[int]] | None = (
+            [[] for _ in range(num_threads)] if record_responses else None
+        )
+
+    def record_serve(self, thread: int, response: int) -> None:
+        """Record one served request; called once per page reference.
+
+        The engine inlines this logic in its hot loop; the method exists
+        for tests and alternative engines.
+        """
+        hist = self.histograms[thread]
+        hist[response] = hist.get(response, 0) + 1
+        if self.response_logs is not None:
+            self.response_logs[thread].append(response)
+
+    def record_completion(self, thread: int, tick: int) -> None:
+        self.completion_ticks[thread] = tick
+
+    def finalize(
+        self,
+        makespan: int,
+        ticks: int,
+        remap_count: int = 0,
+        config: Any = None,
+        wall_time_s: float = 0.0,
+        timeline: np.ndarray | None = None,
+    ) -> SimulationResult:
+        """Freeze the accumulated counters into a :class:`SimulationResult`."""
+        thread_stats = []
+        for i, hist in enumerate(self.histograms):
+            stats = histogram_stats(hist)
+            thread_stats.append(
+                ThreadStats(
+                    thread=i,
+                    requests=stats.count,
+                    hits=hist.get(1, 0),
+                    completion_tick=self.completion_ticks[i],
+                    response=stats,
+                )
+            )
+        merged = merge_histograms(self.histograms)
+        overall = histogram_stats(merged)
+        logs = None
+        if self.response_logs is not None:
+            logs = tuple(
+                np.asarray(log, dtype=np.int64) for log in self.response_logs
+            )
+        return SimulationResult(
+            makespan=makespan,
+            ticks=ticks,
+            num_threads=self.num_threads,
+            total_requests=overall.count,
+            hits=merged.get(1, 0),
+            fetches=self.fetches,
+            evictions=self.evictions,
+            mean_response=overall.mean,
+            inconsistency=overall.std,
+            max_response=overall.max,
+            thread_stats=tuple(thread_stats),
+            response_histogram=merged,
+            remap_count=remap_count,
+            config=config,
+            wall_time_s=wall_time_s,
+            response_log=logs,
+            timeline=timeline,
+        )

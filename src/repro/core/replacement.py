@@ -1,0 +1,470 @@
+"""HBM block-replacement policies.
+
+The paper's theory (and experiments) use LRU; section 1.1 argues that
+"HBM replacement is not the problem" — LRU and variants retain their
+classical guarantees in the HBM setting. We implement the policies the
+caching literature the paper cites discusses (LRU, FIFO, CLOCK [36]),
+plus Random and MRU baselines and an approximate offline Belady policy
+used by the "minimizing misses is not minimizing makespan" ablation
+(paper sections 1 and 2, citing Lopez-Ortiz & Salinger [43]).
+
+A policy owns the *residency set* of the HBM: membership, insertion,
+touch-on-hit, and victim selection. All operations are O(1) amortized
+except CLOCK's hand sweep and protected-victim scans, which are bounded
+by the number of protected pages (at most one per core).
+
+Victim selection takes a ``protected`` container: pages that are the
+current request of some core and therefore may not be evicted when
+``SimulationConfig.protect_pending`` is set (see :mod:`repro.core.config`).
+``evict`` returns ``None`` when every resident page is protected; the
+engine then simply fetches fewer pages on that tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any, Container, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOReplacementPolicy",
+    "ClockPolicy",
+    "RandomPolicy",
+    "MRUPolicy",
+    "BeladyPolicy",
+    "make_replacement_policy",
+    "register_replacement_policy",
+    "replacement_policy_names",
+]
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class ReplacementPolicy(ABC):
+    """Interface shared by all HBM replacement policies."""
+
+    #: registry name, set by subclasses
+    name: str = ""
+
+    #: read-only view whose keys are the resident pages. Residency checks
+    #: dominate the engine's hot loop; exposing the underlying mapping
+    #: lets the engine use a raw ``page in dict`` test instead of a
+    #: Python-level ``__contains__`` dispatch. Subclasses bind this once
+    #: in ``__init__`` and never rebind the mapping afterwards.
+    residency: Mapping[int, Any]
+
+    #: optional C-level bound callable equivalent to :meth:`touch`, or
+    #: ``None`` when a touch is a no-op. The engine calls this once per
+    #: hit, so avoiding a Python-level method frame matters; policies
+    #: whose touch needs Python logic bind their own ``touch`` here.
+    touch_fast: Any = None
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+
+    # -- residency ---------------------------------------------------------
+    @abstractmethod
+    def __contains__(self, page: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def pages(self) -> Iterator[int]:
+        """Iterate over resident pages (order unspecified)."""
+
+    # -- mutation ----------------------------------------------------------
+    @abstractmethod
+    def insert(self, page: int) -> None:
+        """Make ``page`` resident. Requires free space and non-residency."""
+
+    @abstractmethod
+    def touch(self, page: int) -> None:
+        """Record a use (serve) of resident ``page``."""
+
+    @abstractmethod
+    def evict(self, protected: Container[int] = _EMPTY) -> int | None:
+        """Remove and return a victim page, or ``None`` if all protected."""
+
+    @abstractmethod
+    def remove(self, page: int) -> None:
+        """Forcibly remove resident ``page`` (used by flush/invalidate)."""
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self)
+
+    def clear(self) -> None:
+        """Remove every resident page."""
+        for page in list(self.pages()):
+            self.remove(page)
+
+
+class _OrderedDictPolicy(ReplacementPolicy):
+    """Shared machinery for policies backed by an :class:`OrderedDict`.
+
+    The dict order encodes the eviction order: the *front* of the dict is
+    the next victim. Subclasses choose whether a touch reorders
+    (LRU / MRU) or not (FIFO), and which end is the victim end.
+    """
+
+    #: evict from the front (oldest) when True, from the back when False
+    _victim_front: bool = True
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+        self.residency = self._order
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def pages(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def insert(self, page: int) -> None:
+        if page in self._order:
+            raise ValueError(f"page {page} already resident")
+        if len(self._order) >= self.capacity:
+            raise ValueError("HBM full; evict before insert")
+        self._order[page] = None
+
+    def remove(self, page: int) -> None:
+        del self._order[page]
+
+    def evict(self, protected: Container[int] = _EMPTY) -> int | None:
+        order = self._order
+        last = not self._victim_front
+        stash: list[int] = []
+        victim: int | None = None
+        while order:
+            page, _ = order.popitem(last=last)
+            if page in protected:
+                stash.append(page)
+            else:
+                victim = page
+                break
+        # Reinsert protected pages at the victim end, preserving their
+        # relative order (the last page stashed was the closest to the
+        # middle, so it goes back innermost).
+        for page in reversed(stash):
+            order[page] = None
+            order.move_to_end(page, last=last)
+        return victim
+
+
+class LRUPolicy(_OrderedDictPolicy):
+    """Least Recently Used: evict the page whose last use is oldest."""
+
+    name = "lru"
+    _victim_front = True
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self.touch_fast = self._order.move_to_end
+
+    def touch(self, page: int) -> None:
+        self._order.move_to_end(page)  # back of the dict = most recent
+
+
+class FIFOReplacementPolicy(_OrderedDictPolicy):
+    """First-In First-Out: evict in insertion order; hits do not reorder."""
+
+    name = "fifo"
+    _victim_front = True
+
+    def touch(self, page: int) -> None:  # noqa: D102 - interface no-op
+        pass
+
+
+class MRUPolicy(_OrderedDictPolicy):
+    """Most Recently Used: evict the page used most recently.
+
+    A known-good baseline for cyclic scans (the regime of the paper's
+    Dataset 3), included for the replacement-policy ablation.
+    """
+
+    name = "mru"
+    _victim_front = False
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self.touch_fast = self._order.move_to_end
+
+    def touch(self, page: int) -> None:
+        self._order.move_to_end(page)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """CLOCK (second-chance) replacement [36].
+
+    Pages sit in a circular buffer of ``capacity`` slots with a reference
+    bit. A touch sets the bit; the eviction hand sweeps, clearing bits,
+    and evicts the first unreferenced, unprotected page.
+    """
+
+    name = "clock"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._slots: list[int | None] = [None] * capacity
+        self._ref: list[bool] = [False] * capacity
+        self._index: dict[int, int] = {}
+        self.residency = self._index
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._hand = 0
+        self.touch_fast = self.touch
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def pages(self) -> Iterator[int]:
+        return iter(self._index)
+
+    def insert(self, page: int) -> None:
+        if page in self._index:
+            raise ValueError(f"page {page} already resident")
+        if not self._free:
+            raise ValueError("HBM full; evict before insert")
+        slot = self._free.pop()
+        self._slots[slot] = page
+        self._ref[slot] = True  # second chance for fresh arrivals
+        self._index[page] = slot
+
+    def touch(self, page: int) -> None:
+        self._ref[self._index[page]] = True
+
+    def remove(self, page: int) -> None:
+        slot = self._index.pop(page)
+        self._slots[slot] = None
+        self._ref[slot] = False
+        self._free.append(slot)
+
+    def evict(self, protected: Container[int] = _EMPTY) -> int | None:
+        if not self._index:
+            return None
+        capacity = self.capacity
+        slots, ref = self._slots, self._ref
+        hand = self._hand
+        # Two full sweeps suffice: the first may only clear reference
+        # bits, the second must then find an unreferenced page — unless
+        # every resident page is protected.
+        for _ in range(2 * capacity):
+            page = slots[hand]
+            if page is not None and page not in protected:
+                if ref[hand]:
+                    ref[hand] = False
+                else:
+                    self._hand = (hand + 1) % capacity
+                    self.remove(page)
+                    return page
+            hand = (hand + 1) % capacity
+        # Two sweeps visit every unprotected page twice (clear, then
+        # evict), so reaching this point means everything is protected.
+        self._hand = hand
+        return None
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection (memoryless baseline)."""
+
+    name = "random"
+
+    def __init__(self, capacity: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__(capacity)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._pages: list[int] = []
+        self._index: dict[int, int] = {}
+        self.residency = self._index
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._index
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def pages(self) -> Iterator[int]:
+        return iter(self._pages)
+
+    def insert(self, page: int) -> None:
+        if page in self._index:
+            raise ValueError(f"page {page} already resident")
+        if len(self._pages) >= self.capacity:
+            raise ValueError("HBM full; evict before insert")
+        self._index[page] = len(self._pages)
+        self._pages.append(page)
+
+    def touch(self, page: int) -> None:  # noqa: D102 - interface no-op
+        pass
+
+    def remove(self, page: int) -> None:
+        idx = self._index.pop(page)
+        last = self._pages.pop()
+        if last != page:
+            self._pages[idx] = last
+            self._index[last] = idx
+
+    def evict(self, protected: Container[int] = _EMPTY) -> int | None:
+        n = len(self._pages)
+        if n == 0:
+            return None
+        # A few random draws cover the common case cheaply; fall back to
+        # a linear scan when the protected set dominates.
+        for _ in range(8):
+            page = self._pages[int(self._rng.integers(n))]
+            if page not in protected:
+                self.remove(page)
+                return page
+        for page in self._pages:
+            if page not in protected:
+                self.remove(page)
+                return page
+        return None
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Approximate offline Belady (furthest-in-future) replacement.
+
+    Evicts the resident page whose next use is furthest away, where the
+    engine supplies each page's next-use key via :meth:`set_future`
+    (pages never used again get ``None`` = infinity). Because the model
+    interleaves per-core streams at simulation time, the *global* next
+    use time of a page is not known in advance; we use the owning core's
+    stream position as the key, which makes this the per-stream MIN
+    (Belady) rule — an upper-bound baseline on achievable hit rate used
+    in the "misses are not makespan" ablation, not a true offline OPT
+    for makespan (no such policy is computable online; see paper
+    section 2).
+    """
+
+    name = "belady"
+    _INF = float("inf")
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._resident: dict[int, float] = {}  # page -> next-use key
+        self.residency = self._resident
+        self._heap: list[tuple[float, int]] = []  # (-key, page), lazy
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def pages(self) -> Iterator[int]:
+        return iter(self._resident)
+
+    def set_future(self, page: int, next_use: float | None) -> None:
+        """Update ``page``'s next-use key (``None`` = never used again)."""
+        key = self._INF if next_use is None else float(next_use)
+        if page in self._resident:
+            self._resident[page] = key
+            heapq.heappush(self._heap, (-key, page))
+
+    def insert(self, page: int) -> None:
+        if page in self._resident:
+            raise ValueError(f"page {page} already resident")
+        if len(self._resident) >= self.capacity:
+            raise ValueError("HBM full; evict before insert")
+        self._resident[page] = self._INF
+        heapq.heappush(self._heap, (-self._INF, page))
+
+    def touch(self, page: int) -> None:  # noqa: D102 - future set by engine
+        pass
+
+    def remove(self, page: int) -> None:
+        del self._resident[page]  # stale heap entries skipped lazily
+
+    def evict(self, protected: Container[int] = _EMPTY) -> int | None:
+        heap, resident = self._heap, self._resident
+        skipped: list[tuple[float, int]] = []
+        victim: int | None = None
+        while heap:
+            negkey, page = heapq.heappop(heap)
+            key = resident.get(page)
+            if key is None or -negkey != key:
+                continue  # stale entry
+            if page in protected:
+                skipped.append((negkey, page))
+                continue
+            victim = page
+            break
+        for entry in skipped:
+            heapq.heappush(heap, entry)
+        if victim is not None:
+            del resident[victim]
+        return victim
+
+
+_POLICY_CLASSES: dict[str, type[ReplacementPolicy]] = {
+    cls.name: cls
+    for cls in (
+        LRUPolicy,
+        FIFOReplacementPolicy,
+        ClockPolicy,
+        RandomPolicy,
+        MRUPolicy,
+        BeladyPolicy,
+    )
+}
+
+
+def register_replacement_policy(cls: type[ReplacementPolicy]) -> type[ReplacementPolicy]:
+    """Register a custom replacement policy under ``cls.name``.
+
+    Usable as a class decorator. The policy becomes constructible by
+    name through :func:`make_replacement_policy` and therefore usable
+    in :class:`~repro.core.config.SimulationConfig` (whose name check
+    consults this registry). Custom constructors must accept
+    ``(capacity)`` and may accept an ``rng`` keyword.
+    """
+    if not cls.name:
+        raise ValueError("policy class must set a non-empty `name`")
+    if cls.name in _POLICY_CLASSES and _POLICY_CLASSES[cls.name] is not cls:
+        raise ValueError(f"replacement policy {cls.name!r} already registered")
+    _POLICY_CLASSES[cls.name] = cls
+    return cls
+
+
+def replacement_policy_names() -> tuple[str, ...]:
+    """Registered replacement policy names (built-in + custom)."""
+    return tuple(sorted(_POLICY_CLASSES))
+
+
+def make_replacement_policy(
+    name: str,
+    capacity: int,
+    rng: np.random.Generator | None = None,
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by registry name.
+
+    ``rng`` is forwarded to policies whose constructor accepts it and
+    omitted for the rest.
+    """
+    try:
+        cls = _POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"expected one of {sorted(_POLICY_CLASSES)}"
+        ) from None
+    import inspect
+
+    if "rng" in inspect.signature(cls).parameters:
+        return cls(capacity, rng=rng)
+    return cls(capacity)

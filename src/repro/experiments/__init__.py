@@ -1,0 +1,6 @@
+"""Experiment suite: one runnable per paper table/figure/theorem."""
+
+from .base import ExperimentOutput
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["ExperimentOutput", "EXPERIMENTS", "experiment_ids", "run_experiment"]

@@ -1,0 +1,67 @@
+"""Experiment infrastructure: uniform output type and scale presets.
+
+Every paper table/figure is an :class:`Experiment`: a callable
+producing an :class:`ExperimentOutput` with
+
+* ``rows`` — the regenerated table/series data (dict rows),
+* ``text`` — terminal rendering (ASCII table + plot),
+* ``checks`` — named boolean *shape assertions*: does the paper's
+  qualitative claim hold in this run (who wins, where the crossover
+  falls, orderings)? Benchmarks assert these; EXPERIMENTS.md reports
+  them.
+
+Each experiment supports two scales:
+
+* ``"smoke"`` — small instances for benchmarks and CI (seconds);
+* ``"paper"`` — the largest configuration practical in pure Python,
+  with the same structure as the paper's setup (minutes; used to
+  produce the numbers recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentOutput", "Scale", "require_scale"]
+
+Scale = str  # "smoke" | "paper"
+
+_VALID_SCALES = ("smoke", "paper")
+
+
+def require_scale(scale: str) -> str:
+    if scale not in _VALID_SCALES:
+        raise ValueError(f"scale must be one of {_VALID_SCALES}, got {scale!r}")
+    return scale
+
+
+@dataclass
+class ExperimentOutput:
+    """Uniform result bundle for one experiment run."""
+
+    experiment_id: str
+    title: str
+    scale: str
+    rows: list[dict[str, Any]]
+    text: str
+    checks: dict[str, bool] = field(default_factory=dict)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """Full text report including check outcomes."""
+        lines = [f"== {self.experiment_id}: {self.title} (scale={self.scale}) =="]
+        lines.append(self.text)
+        if self.checks:
+            lines.append("")
+            lines.append("shape checks:")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Registry mapping experiment ids to runnables.
+
+``python -m repro run <id>`` and the benchmark suite both dispatch
+through this table; EXPERIMENTS.md's per-experiment index uses the same
+ids.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .ablations import (
+    asymmetric_work_ablation,
+    channels_ablation,
+    frfcfs_ablation,
+    permutation_scheme_ablation,
+    replacement_ablation,
+    shared_pages_ablation,
+)
+from .base import ExperimentOutput
+from .figure2 import figure2, figure2a, figure2b
+from .figure3 import figure3
+from .figure4 import figure4, figure4a, figure4b
+from .figure5 import figure5, figure5a, figure5b, table1
+from .sapphire import sapphire_projection
+from .table2 import figure6, table2, table2a, table2b
+from .theory_checks import lemma1, response_bound, theorem1_3, theorem2, theorem4
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+#: id -> (callable, one-line description)
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentOutput], str]] = {
+    "fig2": (figure2, "Figure 2: FIFO vs Priority makespan ratios (both panels)"),
+    "fig2a": (figure2a, "Figure 2a: FIFO vs Priority, SpGEMM"),
+    "fig2b": (figure2b, "Figure 2b: FIFO vs Priority, GNU sort"),
+    "fig3": (figure3, "Figure 3: FIFO catastrophe on the cyclic adversary"),
+    "fig4": (figure4, "Figure 4: Dynamic Priority vs FIFO (both panels)"),
+    "fig4a": (figure4a, "Figure 4a: Dynamic Priority vs FIFO, SpGEMM"),
+    "fig4b": (figure4b, "Figure 4b: Dynamic Priority vs FIFO, GNU sort"),
+    "fig5": (figure5, "Figure 5: inconsistency vs makespan tradeoff (both panels)"),
+    "fig5a": (figure5a, "Figure 5a: tradeoff, SpGEMM"),
+    "fig5b": (figure5b, "Figure 5b: tradeoff, GNU sort"),
+    "tab1": (table1, "Table 1: inconsistency and mean response time per policy"),
+    "tab2": (table2, "Table 2: KNL microbenchmarks (both halves)"),
+    "tab2a": (table2a, "Table 2a: pointer-chase latency"),
+    "tab2b": (table2b, "Table 2b: GLUPS bandwidth"),
+    "fig6": (figure6, "Figure 6: pointer chasing across the hierarchy"),
+    "thm1_3": (theorem1_3, "Theorems 1 & 3: Priority competitiveness"),
+    "thm2": (theorem2, "Theorem 2: FCFS adversary family"),
+    "lemma1": (lemma1, "Lemma 1: direct-mapped transformation overhead"),
+    "thm4": (theorem4, "Theorem 4: concurrent front-insert steps"),
+    "response_bound": (response_bound, "Section 4: Cycle Priority p*T bound"),
+    "ablation_channels": (channels_ablation, "Ablation: q in 1..10"),
+    "ablation_schemes": (
+        permutation_scheme_ablation,
+        "Ablation: permutation schemes",
+    ),
+    "ablation_asymmetric": (
+        asymmetric_work_ablation,
+        "Ablation: asymmetric work distribution",
+    ),
+    "ablation_replacement": (
+        replacement_ablation,
+        "Ablation: replacement policies / misses vs makespan",
+    ),
+    "ablation_shared": (
+        shared_pages_ablation,
+        "Ablation: non-disjoint access sequences (future work 6.1)",
+    ),
+    "ablation_fr_fcfs": (
+        frfcfs_ablation,
+        "Ablation: FR-FCFS, the real-controller FCFS variant",
+    ),
+    "sapphire": (
+        sapphire_projection,
+        "Extension: section 5 microbenchmarks projected on Sapphire Rapids",
+    ),
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in registry order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: str = "smoke",
+    processes: int | None = None,
+    cache_dir=None,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Run one experiment by id."""
+    try:
+        fn, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        ) from None
+    return fn(scale=scale, processes=processes, cache_dir=cache_dir, seed=seed)

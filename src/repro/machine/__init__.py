@@ -1,0 +1,71 @@
+"""Synthetic machine models and the section 5 microbenchmarks."""
+
+from .glups import (
+    GLUPS_BLOCK_BYTES,
+    GlupsResult,
+    default_bandwidth_sizes,
+    glups_curve,
+    measure_glups,
+)
+from .hierarchy import GIB, KIB, MIB, CacheLevel, MachineModel, TLBModel
+from .hybrid import HybridMachine, make_hybrid
+from .knl import (
+    KNL_HBM_BYTES,
+    KNL_THREADS,
+    knl_cache_mode,
+    knl_flat_dram,
+    knl_flat_hbm,
+    knl_machines,
+)
+from .sapphire import (
+    SPR_HBM_BYTES,
+    SPR_PER_THREAD_MIB_S,
+    SPR_THREADS,
+    spr_cache_mode,
+    spr_flat_dram,
+    spr_flat_hbm,
+    spr_hbm_only,
+    spr_hybrid_mode,
+    spr_machines,
+)
+from .pointer_chase import (
+    PointerChaseResult,
+    default_latency_sizes,
+    measure_pointer_chase,
+    pointer_chase_curve,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "CacheLevel",
+    "TLBModel",
+    "MachineModel",
+    "KNL_THREADS",
+    "KNL_HBM_BYTES",
+    "knl_flat_dram",
+    "knl_flat_hbm",
+    "knl_cache_mode",
+    "knl_machines",
+    "HybridMachine",
+    "make_hybrid",
+    "SPR_THREADS",
+    "SPR_HBM_BYTES",
+    "SPR_PER_THREAD_MIB_S",
+    "spr_flat_dram",
+    "spr_flat_hbm",
+    "spr_cache_mode",
+    "spr_hbm_only",
+    "spr_hybrid_mode",
+    "spr_machines",
+    "PointerChaseResult",
+    "measure_pointer_chase",
+    "pointer_chase_curve",
+    "default_latency_sizes",
+    "GLUPS_BLOCK_BYTES",
+    "GlupsResult",
+    "measure_glups",
+    "glups_curve",
+    "default_bandwidth_sizes",
+]

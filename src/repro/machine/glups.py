@@ -1,0 +1,139 @@
+"""GLUPS bandwidth microbenchmark (paper section 5.1).
+
+GLUPS — Giga-Large-Updates-per-Second — is the paper's variant of the
+HPC Challenge GUPS/RandomAccess benchmark [44]: pick a random position,
+then read, xor, and write the next 1024 bytes (128 doubles = 16 cache
+lines), repeating until one full array's worth of data has been
+updated. The 1024-byte blocks (rather than GUPS's single words) keep
+all HBM channels busy, so the measurement reflects bandwidth rather
+than latency.
+
+We run the measurement against a
+:class:`~repro.machine.hierarchy.MachineModel`: a Monte-Carlo draw of
+which level serves each sampled block gives empirical traffic
+fractions, and the machine's bottleneck composition converts them to an
+achieved MiB/s figure — the same estimator a real timed run implements
+physically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .hierarchy import GIB, MIB, MachineModel
+
+__all__ = [
+    "GLUPS_BLOCK_BYTES",
+    "GlupsResult",
+    "measure_glups",
+    "glups_curve",
+    "default_bandwidth_sizes",
+]
+
+#: 128 doubles, 16 cache lines of 64 bytes
+GLUPS_BLOCK_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class GlupsResult:
+    """Achieved bandwidth at one array size."""
+
+    machine: str
+    array_bytes: int
+    threads: int
+    blocks_updated: int
+    mib_per_s: float
+    model_mib_per_s: float  # analytic value, for cross-checking
+
+    @property
+    def glups(self) -> float:
+        """Giga large updates per second."""
+        return self.mib_per_s * MIB / GLUPS_BLOCK_BYTES / 1e9
+
+
+def default_bandwidth_sizes(
+    min_bytes: int = 512 * MIB,
+    max_bytes: int = 64 * GIB,
+) -> list[int]:
+    """Powers of two from 512MiB to 64GiB (Table 2b's sweep)."""
+    sizes = []
+    size = min_bytes
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def measure_glups(
+    machine: MachineModel,
+    array_bytes: int,
+    threads: int = 272,
+    sample_blocks: int = 1 << 14,
+    seed: int = 0,
+    per_thread_mib_s: float = 1600.0,
+) -> GlupsResult | None:
+    """Update one array's worth of random 1024-byte blocks.
+
+    Samples ``sample_blocks`` block placements to estimate the traffic
+    split across levels (real runs update ``array_bytes / 1024`` blocks;
+    sampling keeps the simulated measurement cheap while preserving the
+    estimator's variance structure). Returns ``None`` when the machine
+    cannot bind the allocation.
+    """
+    try:
+        machine.check_allocation(array_bytes)
+    except MemoryError:
+        return None
+    rng = np.random.default_rng(seed)
+    fractions = machine.served_fractions(array_bytes)
+    counts = rng.multinomial(sample_blocks, fractions)
+    empirical = counts / sample_blocks
+    # Bottleneck composition over the *observed* traffic split: level i
+    # carries every block served at its depth or deeper.
+    bottleneck = math.inf
+    reaching = 1.0
+    for f, lvl in zip(empirical, machine.levels):
+        if reaching <= 1e-12:
+            break
+        bottleneck = min(bottleneck, lvl.bandwidth_mib_s / reaching)
+        reaching -= f
+    achieved = min(bottleneck, threads * per_thread_mib_s)
+    return GlupsResult(
+        machine=machine.name,
+        array_bytes=array_bytes,
+        threads=threads,
+        blocks_updated=array_bytes // GLUPS_BLOCK_BYTES,
+        mib_per_s=achieved,
+        model_mib_per_s=machine.streaming_bandwidth_mib_s(
+            array_bytes, threads, per_thread_mib_s=per_thread_mib_s
+        ),
+    )
+
+
+def glups_curve(
+    machines: Mapping[str, MachineModel],
+    sizes: Sequence[int] | None = None,
+    threads: int = 272,
+    seed: int = 0,
+    per_thread_mib_s: float = 1600.0,
+) -> dict[str, list[GlupsResult | None]]:
+    """Bandwidth curves per mode (Table 2b)."""
+    if sizes is None:
+        sizes = default_bandwidth_sizes()
+    curves: dict[str, list[GlupsResult | None]] = {}
+    for name, machine in machines.items():
+        curves[name] = [
+            measure_glups(
+                machine,
+                s,
+                threads=threads,
+                seed=seed,
+                per_thread_mib_s=per_thread_mib_s,
+            )
+            for s in sizes
+        ]
+    return curves

@@ -1,0 +1,228 @@
+"""Parametric memory-hierarchy model (the section 5 hardware substitute).
+
+The paper validates the HBM+DRAM model on real Knights Landing silicon
+with two microbenchmarks: pointer chasing (latency) and GLUPS
+(bandwidth). Lacking KNL hardware, we run the same microbenchmarks
+against a *synthetic machine*: a stack of cache levels with capacities,
+service latencies, and bandwidths, plus a TLB/page-walk term. The
+machine mechanics — not hard-coded tables — produce the four section 5
+properties:
+
+1. HBM and DRAM have similar direct-access latency (their level
+   latencies differ by a small constant);
+2. HBM has much higher bandwidth (its level bandwidth is ~4.8x DRAM's);
+3. cache-mode misses pay the HBM probe *and* the DRAM access (modelled
+   as an extra serial latency on the DRAM fraction of accesses);
+4. past HBM capacity, cache-mode bandwidth collapses toward the far
+   channel's (the DRAM fraction of traffic is capped by DRAM bandwidth
+   in the bottleneck throughput composition).
+
+Residency model: for a uniformly random working set of ``S`` bytes over
+inclusive caches of capacities ``c_1 < c_2 < ...``, the fraction of
+accesses served at level i is ``(min(c_i, S) - min(c_{i-1}, S)) / S``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CacheLevel", "TLBModel", "MachineModel", "KIB", "MIB", "GIB"]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the hierarchy.
+
+    ``latency_ns`` is the *total* core-to-level access latency when a
+    reference is served at this level (not an increment); ``None``
+    capacity marks the backing store. ``miss_penalty_ns`` is an extra
+    serial charge applied when a reference reaches any level *below*
+    this one — this is how HBM-as-cache charges its probe to accesses
+    that continue to DRAM (section 5 Property 3).
+    """
+
+    name: str
+    capacity_bytes: int | None
+    latency_ns: float
+    bandwidth_mib_s: float
+    miss_penalty_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive or None")
+        if self.latency_ns < 0 or self.bandwidth_mib_s <= 0:
+            raise ValueError(f"{self.name}: bad latency/bandwidth")
+
+
+@dataclass(frozen=True)
+class TLBModel:
+    """Piecewise-logarithmic page-walk cost beyond TLB coverage.
+
+    Real pointer-chase latency keeps rising with array size even deep
+    inside one memory level (paper Table 2a: flat DRAM rises from 169ns
+    at 16MiB to 365ns at 64GiB) because page walks touch progressively
+    colder page-table levels. We model the average extra cost as a sum
+    of segments, each charging ``ns_per_doubling`` per doubling of the
+    working set beyond its ``coverage`` — two segments reproduce the
+    paper's slow-then-fast rise (L2 TLB reach, then page-table caches).
+    """
+
+    segments: tuple[tuple[int, float], ...] = (
+        (8 * MIB, 3.0),
+        (64 * MIB, 15.0),
+    )
+
+    def walk_ns(self, working_set: int) -> float:
+        cost = 0.0
+        for coverage, ns_per_doubling in self.segments:
+            if working_set > coverage:
+                cost += ns_per_doubling * math.log2(working_set / coverage)
+        return cost
+
+
+class MachineModel:
+    """A fastest-to-slowest stack of :class:`CacheLevel` s plus a TLB.
+
+    The last level must be the backing store (``capacity_bytes=None``);
+    allocations larger than ``allocatable_bytes`` (e.g. an 8GiB cap for
+    arrays bound to 16GiB flat-mode HBM) raise ``MemoryError`` like a
+    real ``numactl --membind`` allocation would.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        levels: Sequence[CacheLevel],
+        tlb: TLBModel | None = None,
+        allocatable_bytes: int | None = None,
+    ) -> None:
+        if not levels:
+            raise ValueError("need at least one level")
+        if levels[-1].capacity_bytes is not None:
+            raise ValueError("last level must be the backing store (None capacity)")
+        caps = [lvl.capacity_bytes for lvl in levels[:-1]]
+        if any(c is None for c in caps):
+            raise ValueError("only the last level may have unbounded capacity")
+        if any(caps[i] >= caps[i + 1] for i in range(len(caps) - 1)):
+            raise ValueError("capacities must strictly increase")
+        self.name = name
+        self.levels = tuple(levels)
+        self.tlb = tlb if tlb is not None else TLBModel()
+        self.allocatable_bytes = allocatable_bytes
+
+    # -- allocation ----------------------------------------------------------
+    def check_allocation(self, nbytes: int) -> None:
+        """Raise MemoryError if an array of ``nbytes`` cannot be bound."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive, got {nbytes}")
+        if self.allocatable_bytes is not None and nbytes > self.allocatable_bytes:
+            raise MemoryError(
+                f"{self.name}: cannot allocate {nbytes} bytes "
+                f"(limit {self.allocatable_bytes})"
+            )
+
+    # -- residency -----------------------------------------------------------
+    def served_fractions(self, working_set: int) -> np.ndarray:
+        """Fraction of uniform random accesses served at each level."""
+        if working_set <= 0:
+            raise ValueError("working_set must be positive")
+        fractions = np.zeros(len(self.levels))
+        below = 0.0
+        for i, lvl in enumerate(self.levels):
+            covered = (
+                1.0
+                if lvl.capacity_bytes is None
+                else min(lvl.capacity_bytes, working_set) / working_set
+            )
+            fractions[i] = covered - below
+            below = covered
+            if covered >= 1.0:
+                break
+        return fractions
+
+    # -- latency --------------------------------------------------------------
+    def expected_latency_ns(self, working_set: int) -> float:
+        """Mean pointer-chase latency for a ``working_set``-byte array."""
+        self.check_allocation(working_set)
+        fractions = self.served_fractions(working_set)
+        latency = 0.0
+        for i, (f, lvl) in enumerate(zip(fractions, self.levels)):
+            if f <= 0.0:
+                continue
+            penalty = sum(up.miss_penalty_ns for up in self.levels[:i])
+            latency += f * (lvl.latency_ns + penalty)
+        return latency + self.tlb.walk_ns(working_set)
+
+    def sample_latencies_ns(
+        self,
+        working_set: int,
+        operations: int,
+        rng: np.random.Generator,
+        jitter: float = 0.02,
+    ) -> np.ndarray:
+        """Monte-Carlo per-access latencies (the simulated microbenchmark).
+
+        Each access is served by a level drawn from the residency
+        distribution; ``jitter`` adds multiplicative Gaussian noise like
+        real measurements carry.
+        """
+        self.check_allocation(working_set)
+        fractions = self.served_fractions(working_set)
+        base = np.empty(len(self.levels))
+        for i, lvl in enumerate(self.levels):
+            base[i] = lvl.latency_ns + sum(
+                up.miss_penalty_ns for up in self.levels[:i]
+            )
+        choices = rng.choice(len(self.levels), size=operations, p=fractions)
+        lat = base[choices] + self.tlb.walk_ns(working_set)
+        if jitter > 0:
+            lat = lat * rng.normal(1.0, jitter, size=operations)
+        return np.maximum(lat, 0.0)
+
+    # -- bandwidth --------------------------------------------------------------
+    def streaming_bandwidth_mib_s(
+        self,
+        working_set: int,
+        threads: int = 272,
+        per_thread_mib_s: float = 1600.0,
+    ) -> float:
+        """Achieved GLUPS-style bandwidth for a ``working_set`` array.
+
+        With many threads streaming concurrently, levels operate as a
+        pipeline: level i must carry every byte served at its depth or
+        deeper (misses pass through on their way down and fills on the
+        way back up), so it caps throughput at
+        ``bandwidth_i / traffic_i`` where ``traffic_i`` is the fraction
+        of references reaching level i. Achieved bandwidth is the
+        minimum of these caps — the far-channel bottleneck of section 5
+        Property 4 falls out of the DRAM term: in cache mode with miss
+        fraction f, throughput <= DRAM_bw / f. The result is further
+        capped by what the requesting cores can issue
+        (``threads * per_thread_mib_s``), which is why single-threaded
+        runs cannot saturate HBM.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.check_allocation(working_set)
+        fractions = self.served_fractions(working_set)
+        bottleneck = math.inf
+        reaching = 1.0
+        for f, lvl in zip(fractions, self.levels):
+            if reaching <= 0.0:
+                break
+            bottleneck = min(bottleneck, lvl.bandwidth_mib_s / reaching)
+            reaching -= f
+        issue_bw = threads * per_thread_mib_s
+        return min(bottleneck, issue_bw)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(lvl.name for lvl in self.levels)
+        return f"MachineModel({self.name!r}: {inner})"

@@ -1,0 +1,168 @@
+"""Hybrid boot mode: HBM split into a flat slice and a cache slice.
+
+KNL's third mode (paper section 1): "in hybrid mode the HBM is split
+into a 'flat' piece and a 'cache' piece". We model an allocation of
+``S`` bytes the way the mode is used in practice: the hottest data is
+bound to the flat slice (up to its capacity ``F``), and the remainder
+lives in DRAM behind the HBM-cache slice of capacity ``C``.
+
+Latency and bandwidth compose from the two underlying machines:
+
+* the flat fraction ``min(F, S) / S`` is served by the flat-HBM stack;
+* the rest goes through a cache-mode stack whose HBM-cache level is
+  shrunk to ``C`` — so the miss fraction (and with it Property 3's
+  latency penalty and Property 4's bandwidth cliff) depends on how the
+  split is chosen, which is exactly the tuning question hybrid mode
+  exposes to operators.
+"""
+
+from __future__ import annotations
+
+from .hierarchy import CacheLevel, MachineModel
+
+__all__ = ["HybridMachine", "make_hybrid"]
+
+
+class HybridMachine:
+    """Composite flat + cache machine over a split HBM.
+
+    Parameters
+    ----------
+    flat:
+        Flat-mode machine whose backing level is HBM (its
+        ``allocatable_bytes`` should equal the flat-slice size).
+    cached:
+        Cache-mode machine whose HBM-cache level capacity equals the
+        cache-slice size.
+    flat_bytes:
+        Size of the flat slice ``F``.
+    """
+
+    def __init__(
+        self,
+        flat: MachineModel,
+        cached: MachineModel,
+        flat_bytes: int,
+    ) -> None:
+        if flat_bytes < 0:
+            raise ValueError(f"flat_bytes must be >= 0, got {flat_bytes}")
+        self.flat = flat
+        self.cached = cached
+        self.flat_bytes = flat_bytes
+        self.name = f"hybrid(flat={flat_bytes >> 30}GiB)"
+
+    def split(self, working_set: int) -> tuple[int, int]:
+        """(bytes in the flat slice, bytes behind the cache slice)."""
+        if working_set <= 0:
+            raise ValueError("working_set must be positive")
+        in_flat = min(self.flat_bytes, working_set)
+        return in_flat, working_set - in_flat
+
+    def expected_latency_ns(self, working_set: int) -> float:
+        """Mean random-access latency across both slices."""
+        in_flat, in_cached = self.split(working_set)
+        latency = 0.0
+        if in_flat:
+            latency += (in_flat / working_set) * self.flat.expected_latency_ns(
+                in_flat
+            )
+        if in_cached:
+            latency += (
+                in_cached / working_set
+            ) * self.cached.expected_latency_ns(in_cached)
+        return latency
+
+    def streaming_bandwidth_mib_s(
+        self, working_set: int, threads: int = 272,
+        per_thread_mib_s: float = 1600.0,
+    ) -> float:
+        """Bottleneck bandwidth with traffic split across the slices.
+
+        Each slice's hierarchy bottleneck is scaled by the fraction of
+        traffic it carries (a slice only needs to sustain its own
+        share), and two global caps apply once: the shared physical HBM
+        (both slices live in the same stacks) and the cores' aggregate
+        issue bandwidth.
+        """
+        in_flat, in_cached = self.split(working_set)
+        caps = [
+            self.flat.levels[-1].bandwidth_mib_s,  # shared physical HBM
+            threads * per_thread_mib_s,
+        ]
+        if in_flat:
+            f = in_flat / working_set
+            caps.append(
+                self.flat.streaming_bandwidth_mib_s(
+                    in_flat, threads, per_thread_mib_s=per_thread_mib_s
+                )
+                / f
+            )
+        if in_cached:
+            f = in_cached / working_set
+            caps.append(
+                self.cached.streaming_bandwidth_mib_s(
+                    in_cached, threads, per_thread_mib_s=per_thread_mib_s
+                )
+                / f
+            )
+        return min(caps)
+
+    def __repr__(self) -> str:
+        return f"HybridMachine({self.name})"
+
+
+def make_hybrid(
+    base_levels_flat: MachineModel,
+    base_levels_cache: MachineModel,
+    hbm_bytes: int,
+    flat_fraction: float,
+) -> HybridMachine:
+    """Split ``hbm_bytes`` of a machine's HBM into flat + cache slices.
+
+    ``base_levels_flat`` must be a flat-HBM machine and
+    ``base_levels_cache`` a cache-mode machine whose HBM-cache level is
+    identifiable by having a ``miss_penalty_ns`` or a bounded capacity
+    directly above the backing store; its capacity is rescaled to the
+    cache slice.
+    """
+    if not 0.0 <= flat_fraction <= 1.0:
+        raise ValueError(f"flat_fraction must be in [0, 1], got {flat_fraction}")
+    flat_bytes = int(hbm_bytes * flat_fraction)
+    cache_bytes = hbm_bytes - flat_bytes
+
+    flat = MachineModel(
+        f"{base_levels_flat.name}-hybridslice",
+        base_levels_flat.levels,
+        tlb=base_levels_flat.tlb,
+        allocatable_bytes=flat_bytes if flat_bytes else None,
+    )
+
+    # shrink the cache-mode machine's HBM-cache level to the cache slice
+    levels = list(base_levels_cache.levels)
+    hbm_index = len(levels) - 2  # level directly above the backing store
+    hbm_level = levels[hbm_index]
+    if cache_bytes <= 0:
+        raise ValueError(
+            "hybrid mode needs a non-empty cache slice; use the flat "
+            "machine directly for flat_fraction=1.0"
+        )
+    new_capacity = min(cache_bytes, hbm_level.capacity_bytes or cache_bytes)
+    # keep capacities strictly increasing below the cache level
+    floor = max(
+        (lvl.capacity_bytes or 0) for lvl in levels[:hbm_index]
+    )
+    new_capacity = max(new_capacity, floor + 1)
+    levels[hbm_index] = CacheLevel(
+        hbm_level.name,
+        new_capacity,
+        hbm_level.latency_ns,
+        hbm_level.bandwidth_mib_s,
+        miss_penalty_ns=hbm_level.miss_penalty_ns,
+    )
+    cached = MachineModel(
+        f"{base_levels_cache.name}-hybridslice",
+        levels,
+        tlb=base_levels_cache.tlb,
+        allocatable_bytes=base_levels_cache.allocatable_bytes,
+    )
+    return HybridMachine(flat, cached, flat_bytes)

@@ -1,0 +1,120 @@
+"""Synthetic Knights Landing machine (section 5 validation substrate).
+
+Constants are fitted once to the paper's own KNL measurements (Table 2)
+so that our regenerated tables come from the *mechanics* of
+:class:`~repro.machine.hierarchy.MachineModel` with realistic numbers,
+not from copying output cells:
+
+* direct DRAM service latency ~180ns, HBM ~24ns slower (Table 2a shows
+  flat-HBM consistently ~24ns above flat-DRAM — Property 1's "similar
+  latency", and the reason HBM cannot simply extend the cache pyramid);
+* HBM bandwidth ~4.8x DRAM (Table 2b: ~320 GB/s vs ~67 GB/s);
+* cache-mode HBM misses pay the HBM probe before going to DRAM
+  (Property 3's ~2x latency penalty), modelled as ``miss_penalty_ns``;
+* a two-segment page-walk term (3ns per doubling beyond 8MiB, a
+  further 15ns per doubling beyond 64MiB) reproduces the slow-then-fast
+  within-level latency rise of Table 2a;
+* flat-mode HBM can bind at most 8GiB of user arrays (the paper "stops
+  the experiment early for HBM, which can only allocate an array of
+  size 8GiB").
+
+The machine has 272 hardware threads (68 cores x 4 SMT), 16GiB MCDRAM,
+6 DDR channels, 8 HBM connections — the paper's testbed configuration.
+"""
+
+from __future__ import annotations
+
+from .hierarchy import GIB, KIB, MIB, CacheLevel, MachineModel, TLBModel
+
+__all__ = [
+    "KNL_THREADS",
+    "KNL_HBM_BYTES",
+    "knl_flat_dram",
+    "knl_flat_hbm",
+    "knl_cache_mode",
+    "knl_machines",
+]
+
+#: 68 cores x 4 hyperthreads
+KNL_THREADS = 272
+
+#: 16 GiB of on-package MCDRAM
+KNL_HBM_BYTES = 16 * GIB
+
+# -- fitted level parameters --------------------------------------------------
+
+_L1 = CacheLevel("L1", 32 * KIB, latency_ns=2.0, bandwidth_mib_s=4_000_000)
+_L2 = CacheLevel("L2", 1 * MIB, latency_ns=12.0, bandwidth_mib_s=1_500_000)
+#: other tiles' L2 slices reached over the mesh ("shared L2")
+_MESH_L2 = CacheLevel("mesh-L2", 4 * MIB, latency_ns=150.0, bandwidth_mib_s=800_000)
+
+_DRAM_LAT = 180.0
+_HBM_LAT = _DRAM_LAT + 24.0  # Property 1: similar, HBM slightly slower
+_DRAM_BW = 68_000.0  # MiB/s, ~67 GB/s over 6 DDR4 channels
+_HBM_BW = 330_000.0  # MiB/s, ~4.8x DRAM over 8 MCDRAM connections
+
+_TLB = TLBModel()  # two-segment walk: 3ns/doubling past 8MiB, +15 past 64MiB
+
+
+def knl_flat_dram() -> MachineModel:
+    """Flat mode, ``numactl --membind`` to DDR4."""
+    return MachineModel(
+        "knl-flat-dram",
+        [
+            _L1,
+            _L2,
+            _MESH_L2,
+            CacheLevel("DRAM", None, _DRAM_LAT, _DRAM_BW),
+        ],
+        tlb=_TLB,
+    )
+
+
+def knl_flat_hbm() -> MachineModel:
+    """Flat mode, ``numactl --membind`` to MCDRAM (max 8GiB user arrays)."""
+    return MachineModel(
+        "knl-flat-hbm",
+        [
+            _L1,
+            _L2,
+            _MESH_L2,
+            CacheLevel("HBM", None, _HBM_LAT, _HBM_BW),
+        ],
+        tlb=_TLB,
+        allocatable_bytes=8 * GIB,
+    )
+
+
+def knl_cache_mode() -> MachineModel:
+    """Cache mode: MCDRAM as a memory-side cache in front of DDR4.
+
+    An access that misses HBM pays the HBM probe (its ``miss_penalty``)
+    on top of the DRAM service — the third mesh crossing of section 1.2
+    that makes cache-mode DRAM latency roughly double the HBM latency.
+    """
+    return MachineModel(
+        "knl-cache",
+        [
+            _L1,
+            _L2,
+            _MESH_L2,
+            CacheLevel(
+                "HBM-cache",
+                KNL_HBM_BYTES,
+                _HBM_LAT + 12.0,  # tag-check overhead of memory-side caching
+                _HBM_BW,
+                miss_penalty_ns=160.0,  # the extra mesh crossing + HBM probe
+            ),
+            CacheLevel("DRAM", None, _DRAM_LAT, _DRAM_BW),
+        ],
+        tlb=_TLB,
+    )
+
+
+def knl_machines() -> dict[str, MachineModel]:
+    """The three boot modes measured in section 5."""
+    return {
+        "DRAM": knl_flat_dram(),
+        "HBM": knl_flat_hbm(),
+        "Cache": knl_cache_mode(),
+    }

@@ -1,0 +1,101 @@
+"""Pointer-chasing latency microbenchmark (paper section 5.1).
+
+``x := a[x]`` over arrays of power-of-two sizes maps the latency of
+each level of the hierarchy: every chase is a dependent random access,
+so the mean time per operation is the mean access latency for that
+working-set size. The paper runs 2^27 operations per size on KNL; we
+run a (configurable) number of Monte-Carlo accesses against a
+:class:`~repro.machine.hierarchy.MachineModel`.
+
+Sizes the mode cannot allocate (flat-mode HBM beyond 8GiB) yield
+``None``, matching the '-' cells of Table 2a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .hierarchy import GIB, KIB, MachineModel
+
+__all__ = [
+    "PointerChaseResult",
+    "measure_pointer_chase",
+    "pointer_chase_curve",
+    "default_latency_sizes",
+]
+
+
+@dataclass(frozen=True)
+class PointerChaseResult:
+    """Mean (and spread) of per-access latency at one array size."""
+
+    machine: str
+    array_bytes: int
+    operations: int
+    mean_ns: float
+    std_ns: float
+    expected_ns: float  # analytic model value, for cross-checking
+
+
+def default_latency_sizes(
+    min_bytes: int = 1 * KIB,
+    max_bytes: int = 64 * GIB,
+) -> list[int]:
+    """Powers of two from 1KiB to 64GiB (the paper's sweep)."""
+    sizes = []
+    size = min_bytes
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def measure_pointer_chase(
+    machine: MachineModel,
+    array_bytes: int,
+    operations: int = 1 << 16,
+    seed: int = 0,
+    jitter: float = 0.02,
+) -> PointerChaseResult | None:
+    """Chase ``operations`` pointers through an ``array_bytes`` array.
+
+    Returns ``None`` when the machine cannot bind the allocation
+    (flat-mode HBM past its 8GiB limit).
+    """
+    try:
+        machine.check_allocation(array_bytes)
+    except MemoryError:
+        return None
+    rng = np.random.default_rng(seed)
+    samples = machine.sample_latencies_ns(
+        array_bytes, operations, rng, jitter=jitter
+    )
+    return PointerChaseResult(
+        machine=machine.name,
+        array_bytes=array_bytes,
+        operations=operations,
+        mean_ns=float(samples.mean()),
+        std_ns=float(samples.std()),
+        expected_ns=machine.expected_latency_ns(array_bytes),
+    )
+
+
+def pointer_chase_curve(
+    machines: Mapping[str, MachineModel],
+    sizes: Sequence[int] | None = None,
+    operations: int = 1 << 16,
+    seed: int = 0,
+) -> dict[str, list[PointerChaseResult | None]]:
+    """Latency curves per mode (Figure 6a/6b, Table 2a)."""
+    if sizes is None:
+        sizes = default_latency_sizes()
+    curves: dict[str, list[PointerChaseResult | None]] = {}
+    for name, machine in machines.items():
+        curves[name] = [
+            measure_pointer_chase(machine, s, operations=operations, seed=seed)
+            for s in sizes
+        ]
+    return curves

@@ -1,0 +1,130 @@
+"""Projected Sapphire Rapids + HBM machine (paper sections 1 and 1.3).
+
+The paper motivates its algorithms with Intel's then-upcoming Sapphire
+Rapids Xeon: HBM-equipped, adding an **HBM-only mode** for systems
+without DRAM, and "under certain expected configurations ... 3.68 TB/s
+of peak memory bandwidth with 128GB of HBM" [52]. This module projects
+the KNL-style machine model onto those public figures so the section 5
+microbenchmarks can be replayed on the architecture the paper says the
+results matter for:
+
+* 64 HBM2e-backed cores x 2 SMT (112 threads in the HBM SKUs);
+* 128 GiB HBM2e at ~3.3 TiB/s aggregate (the 3.68 TB/s of [52]);
+* 8 DDR5-4800 channels at ~280 GiB/s;
+* HBM2e latency a bit above DDR5's, as on KNL (Property 1 persists).
+
+Modes: flat DRAM, flat HBM, cache (HBM as memory-side cache), and the
+new **HBM-only** (no DRAM level at all: allocations past 128 GiB simply
+fail, which is the mode's defining operational constraint).
+"""
+
+from __future__ import annotations
+
+from .hierarchy import GIB, KIB, MIB, CacheLevel, MachineModel, TLBModel
+from .hybrid import HybridMachine, make_hybrid
+
+__all__ = [
+    "SPR_THREADS",
+    "SPR_HBM_BYTES",
+    "SPR_PER_THREAD_MIB_S",
+    "spr_flat_dram",
+    "spr_flat_hbm",
+    "spr_cache_mode",
+    "spr_hbm_only",
+    "spr_hybrid_mode",
+    "spr_machines",
+]
+
+#: 56-64 cores x 2 SMT in the HBM SKUs; use the Xeon Max 9480 shape
+SPR_THREADS = 112
+
+#: 4 stacks x 32 GiB HBM2e
+SPR_HBM_BYTES = 128 * GIB
+
+#: per-SMT-thread streaming issue bandwidth (MiB/s). SPR cores stream an
+#: order of magnitude faster than KNL's; 112 threads x ~31 GiB/s
+#: saturates the 3.68 TB/s HBM2e aggregate.
+SPR_PER_THREAD_MIB_S = 32_000.0
+
+_L1 = CacheLevel("L1", 48 * KIB, latency_ns=1.5, bandwidth_mib_s=40_000_000)
+_L2 = CacheLevel("L2", 2 * MIB, latency_ns=8.0, bandwidth_mib_s=16_000_000)
+_L3 = CacheLevel("L3", 112 * MIB, latency_ns=33.0, bandwidth_mib_s=6_000_000)
+
+_DDR5_LAT = 110.0
+_HBM2E_LAT = _DDR5_LAT + 20.0  # similar latency, slightly worse (Property 1)
+_DDR5_BW = 280_000.0  # MiB/s over 8 channels DDR5-4800
+_HBM2E_BW = 3_460_000.0  # MiB/s, ~3.68 TB/s peak [52]
+
+_TLB = TLBModel(segments=((32 * MIB, 2.0), (256 * MIB, 10.0)))
+
+
+def spr_flat_dram() -> MachineModel:
+    """Flat mode bound to DDR5."""
+    return MachineModel(
+        "spr-flat-dram",
+        [_L1, _L2, _L3, CacheLevel("DDR5", None, _DDR5_LAT, _DDR5_BW)],
+        tlb=_TLB,
+    )
+
+
+def spr_flat_hbm() -> MachineModel:
+    """Flat mode bound to HBM2e (128 GiB of it)."""
+    return MachineModel(
+        "spr-flat-hbm",
+        [_L1, _L2, _L3, CacheLevel("HBM2e", None, _HBM2E_LAT, _HBM2E_BW)],
+        tlb=_TLB,
+        allocatable_bytes=SPR_HBM_BYTES,
+    )
+
+
+def spr_cache_mode() -> MachineModel:
+    """Cache mode: the 128 GiB of HBM2e as a memory-side cache."""
+    return MachineModel(
+        "spr-cache",
+        [
+            _L1,
+            _L2,
+            _L3,
+            CacheLevel(
+                "HBM2e-cache",
+                SPR_HBM_BYTES,
+                _HBM2E_LAT + 8.0,
+                _HBM2E_BW,
+                miss_penalty_ns=100.0,
+            ),
+            CacheLevel("DDR5", None, _DDR5_LAT, _DDR5_BW),
+        ],
+        tlb=_TLB,
+    )
+
+
+def spr_hbm_only() -> MachineModel:
+    """HBM-only mode: no DRAM installed (new on Sapphire Rapids).
+
+    Identical hierarchy to flat HBM; the operational difference is that
+    *everything* must fit — there is no spill target, so the 128 GiB
+    allocation cap is a hard system limit rather than a binding choice.
+    """
+    return MachineModel(
+        "spr-hbm-only",
+        [_L1, _L2, _L3, CacheLevel("HBM2e", None, _HBM2E_LAT, _HBM2E_BW)],
+        tlb=_TLB,
+        allocatable_bytes=SPR_HBM_BYTES,
+    )
+
+
+def spr_hybrid_mode(flat_fraction: float = 0.5) -> HybridMachine:
+    """Hybrid mode: HBM split into a flat slice and a cache slice."""
+    return make_hybrid(
+        spr_flat_hbm(), spr_cache_mode(), SPR_HBM_BYTES, flat_fraction
+    )
+
+
+def spr_machines() -> dict[str, MachineModel]:
+    """The level-stack modes (hybrid is composite; build it separately)."""
+    return {
+        "DRAM": spr_flat_dram(),
+        "HBM": spr_flat_hbm(),
+        "Cache": spr_cache_mode(),
+        "HBM-only": spr_hbm_only(),
+    }

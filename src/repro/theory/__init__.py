@@ -1,0 +1,31 @@
+"""Theory toolbox: lower bounds, adversaries, and guarantee validation."""
+
+from .adversary import GapPoint, fcfs_gap_experiment, fit_linear
+from .bounds import (
+    LowerBoundReport,
+    belady_misses,
+    competitive_ratio,
+    makespan_lower_bound,
+    min_fetches_lower_bound,
+)
+from .validation import (
+    CompetitivenessRow,
+    check_cycle_response_bound,
+    check_priority_competitiveness,
+    cycle_response_time_bound,
+)
+
+__all__ = [
+    "LowerBoundReport",
+    "makespan_lower_bound",
+    "min_fetches_lower_bound",
+    "belady_misses",
+    "competitive_ratio",
+    "GapPoint",
+    "fcfs_gap_experiment",
+    "fit_linear",
+    "CompetitivenessRow",
+    "check_priority_competitiveness",
+    "cycle_response_time_bound",
+    "check_cycle_response_bound",
+]

@@ -1,0 +1,105 @@
+"""The FCFS lower-bound family (paper Theorem 2 / Dataset 3).
+
+Theorem 2 (Das et al. [24]): there exist p request sequences on which
+FCFS+LRU is a Theta(p/ds) factor from optimal even with d memory
+augmentation and s bandwidth augmentation. The construction: disjoint
+cyclic streams whose joint working set exceeds HBM. FCFS round-robins
+the far channel, spreading HBM "like butter scraped over too much
+bread" — by the time a thread revisits a page it has been evicted, so
+*every* reference misses and the makespan is the full reference count
+serialized over q channels. Priority instead parks low threads and lets
+high threads run from HBM.
+
+:func:`fcfs_gap_experiment` sweeps thread count holding per-thread
+memory constant (the paper's Figure 3 protocol: k = fraction * total
+unique pages) and reports both policies' makespans; :func:`fit_linear`
+quantifies the paper's "linearly worse" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core import SimulationConfig, Simulator
+from ..traces.adversarial import fifo_adversarial_hbm_slots, theorem2_workload
+from .bounds import competitive_ratio, makespan_lower_bound
+
+__all__ = ["GapPoint", "fcfs_gap_experiment", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class GapPoint:
+    """One thread-count sample of the FIFO-vs-Priority gap."""
+
+    threads: int
+    hbm_slots: int
+    fifo_makespan: int
+    priority_makespan: int
+    fifo_hit_rate: float
+    priority_hit_rate: float
+    fifo_ratio_to_bound: float
+    priority_ratio_to_bound: float
+
+    @property
+    def gap(self) -> float:
+        return self.fifo_makespan / self.priority_makespan
+
+
+def fcfs_gap_experiment(
+    thread_counts: Sequence[int],
+    pages_per_thread: int = 256,
+    repeats: int = 100,
+    hbm_fraction: float = 0.25,
+    channels: int = 1,
+    seed: int = 0,
+) -> list[GapPoint]:
+    """Run the Theorem 2 / Figure 3 protocol over ``thread_counts``.
+
+    Per-thread memory is held constant: HBM holds ``hbm_fraction`` of
+    the total unique pages, so doubling p doubles both demand and k.
+    """
+    points: list[GapPoint] = []
+    for p in thread_counts:
+        workload = theorem2_workload(p, pages_per_thread, repeats)
+        k = fifo_adversarial_hbm_slots(p, pages_per_thread, hbm_fraction)
+        bound = makespan_lower_bound(workload.traces, k, channels)
+        results = {}
+        for arb in ("fifo", "priority"):
+            cfg = SimulationConfig(
+                hbm_slots=k, channels=channels, arbitration=arb, seed=seed
+            )
+            results[arb] = Simulator(workload.traces, cfg).run()
+        points.append(
+            GapPoint(
+                threads=p,
+                hbm_slots=k,
+                fifo_makespan=results["fifo"].makespan,
+                priority_makespan=results["priority"].makespan,
+                fifo_hit_rate=results["fifo"].hit_rate,
+                priority_hit_rate=results["priority"].hit_rate,
+                fifo_ratio_to_bound=competitive_ratio(
+                    results["fifo"].makespan, bound
+                ),
+                priority_ratio_to_bound=competitive_ratio(
+                    results["priority"].makespan, bound
+                ),
+            )
+        )
+    return points
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Least-squares line fit; returns (slope, intercept, r_squared)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2

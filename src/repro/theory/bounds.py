@@ -1,0 +1,174 @@
+"""Makespan lower bounds for the HBM+DRAM model.
+
+Competitive-ratio statements (Theorems 1 and 3) compare a policy's
+makespan to the offline optimum. The optimum is intractable to compute
+exactly, so the validation harness uses *certified lower bounds*: any
+policy's ratio to a lower bound upper-bounds its ratio to OPT, making
+"Priority stays within a small constant of the lower bound" a sound
+empirical check of O(1)-competitiveness (and the FIFO adversary's ratio
+to the same bound a sound demonstration of Omega(p)).
+
+Bounds implemented:
+
+* **serial bound** — a core serves at most one reference per tick, so
+  ``makespan >= max_i L_i``; with a cold HBM the first reference of the
+  longest trace also pays a miss, giving ``max_i L_i + 1``.
+* **channel bound** — every distinct page must cross a far channel at
+  least once (cold HBM), at most ``q`` per tick, and the last page
+  fetched still needs one more tick to be served:
+  ``makespan >= ceil(D / q) + 1`` for D total distinct pages.
+* **capacity bound** — pages beyond HBM capacity must be fetched again.
+  For disjoint workloads (model Property 1) we charge each thread its
+  per-stream Belady (MIN) miss count at full HBM capacity: no policy
+  can fetch thread i's pages fewer times than the offline-optimal
+  replacement does when the thread has the *whole* HBM to itself, so
+  ``sum_i belady_misses(R_i, k)`` lower-bounds total far-channel
+  transfers, and dividing by ``q`` lower-bounds makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LowerBoundReport",
+    "makespan_lower_bound",
+    "min_fetches_lower_bound",
+    "belady_misses",
+    "competitive_ratio",
+]
+
+
+@dataclass(frozen=True)
+class LowerBoundReport:
+    """All computed bounds plus their maximum (the certified bound)."""
+
+    serial: int
+    channel: int
+    capacity: int
+
+    @property
+    def value(self) -> int:
+        return max(self.serial, self.channel, self.capacity)
+
+
+def _distinct_pages(traces: Sequence[np.ndarray]) -> int:
+    if not traces:
+        return 0
+    non_empty = [np.asarray(t) for t in traces if len(t)]
+    if not non_empty:
+        return 0
+    return len(np.unique(np.concatenate(non_empty)))
+
+
+def belady_misses(trace: Sequence[int] | np.ndarray, capacity: int) -> int:
+    """Miss count of Belady's MIN on a single stream with ``capacity``.
+
+    MIN (evict the page whose next use is furthest in the future) is
+    the offline optimum for a single reference stream, so this is the
+    fewest fetches *any* policy can spend on this stream even given the
+    whole HBM.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    trace = np.asarray(trace, dtype=np.int64)
+    n = len(trace)
+    if n == 0:
+        return 0
+    # next_use[j] = next position referencing trace[j], or n (infinity)
+    next_use = np.full(n, n, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for j in range(n - 1, -1, -1):
+        page = int(trace[j])
+        next_use[j] = last_seen.get(page, n)
+        last_seen[page] = j
+    resident: dict[int, int] = {}  # page -> its current next-use position
+    heap: list[tuple[int, int]] = []  # (-next_use, page), lazily stale
+    misses = 0
+    pages = trace.tolist()
+    nxt = next_use.tolist()
+    for j, page in enumerate(pages):
+        if page in resident:
+            resident[page] = nxt[j]
+            heapq.heappush(heap, (-nxt[j], page))
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            while True:
+                neg, victim = heapq.heappop(heap)
+                if resident.get(victim) == -neg:
+                    del resident[victim]
+                    break
+        resident[page] = nxt[j]
+        heapq.heappush(heap, (-nxt[j], page))
+    return misses
+
+
+def min_fetches_lower_bound(
+    traces: Sequence[np.ndarray],
+    hbm_slots: int,
+) -> int:
+    """Minimum far-channel transfers any policy must perform.
+
+    For disjoint workloads: the sum over threads of each stream's
+    Belady (MIN) miss count at the *full* HBM capacity — a thread can
+    never hold more than all of HBM, and MIN is per-stream optimal, so
+    no arbitration/replacement pair beats this. The per-thread sums
+    would double-count shared fetches, so non-disjoint workloads fall
+    back to the compulsory bound (one fetch per distinct page).
+    """
+    total = _distinct_pages(traces)
+    per_thread_unique = sum(
+        len(np.unique(t)) for t in traces if len(np.asarray(t))
+    )
+    if per_thread_unique != total:
+        return total
+    fetches = 0
+    for trace in traces:
+        trace = np.asarray(trace)
+        if len(trace) == 0:
+            continue
+        if len(np.unique(trace)) <= hbm_slots:
+            fetches += len(np.unique(trace))  # compulsory only
+        else:
+            fetches += belady_misses(trace, hbm_slots)
+    return fetches
+
+
+def makespan_lower_bound(
+    traces: Sequence[np.ndarray],
+    hbm_slots: int,
+    channels: int = 1,
+) -> LowerBoundReport:
+    """Certified makespan lower bound for a workload.
+
+    All three bounds hold for any arbitration and replacement policy,
+    including the offline optimum.
+    """
+    if channels < 1:
+        raise ValueError(f"channels must be >= 1, got {channels}")
+    if hbm_slots < 1:
+        raise ValueError(f"hbm_slots must be >= 1, got {hbm_slots}")
+    lengths = [len(t) for t in traces]
+    longest = max(lengths, default=0)
+    serial = longest + 1 if longest else 0
+
+    distinct = _distinct_pages(traces)
+    channel = -(-distinct // channels) + 1 if distinct else 0
+
+    fetches = min_fetches_lower_bound(traces, hbm_slots)
+    capacity = -(-fetches // channels) + 1 if fetches else 0
+
+    return LowerBoundReport(serial=serial, channel=channel, capacity=capacity)
+
+
+def competitive_ratio(makespan: int, bound: LowerBoundReport | int) -> float:
+    """Makespan over the certified lower bound (an OPT-ratio upper bound)."""
+    value = bound.value if isinstance(bound, LowerBoundReport) else int(bound)
+    if value <= 0:
+        raise ValueError("lower bound must be positive")
+    return makespan / value

@@ -1,0 +1,112 @@
+"""Empirical validation of the paper's theoretical guarantees.
+
+* Theorem 1: Priority is O(1)-competitive for q = 1.
+* Theorem 3: Priority is O(q)-competitive for q channels.
+* Section 4: cycling schemes bound response time by ``p * T`` (a thread
+  reaches the top priority within p permutations), plus the two ticks a
+  top-priority request needs to be fetched and served.
+
+Because OPT is intractable, competitiveness is checked against the
+certified lower bounds of :mod:`repro.theory.bounds` — ratios to a lower
+bound upper-bound ratios to OPT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import SimulationConfig, SimulationResult, Simulator
+from ..traces.base import Workload
+from .bounds import LowerBoundReport, competitive_ratio, makespan_lower_bound
+
+__all__ = [
+    "CompetitivenessRow",
+    "check_priority_competitiveness",
+    "cycle_response_time_bound",
+    "check_cycle_response_bound",
+]
+
+
+@dataclass(frozen=True)
+class CompetitivenessRow:
+    """Ratio of one policy's makespan to the certified lower bound."""
+
+    workload: str
+    threads: int
+    hbm_slots: int
+    channels: int
+    arbitration: str
+    makespan: int
+    lower_bound: int
+    ratio: float
+
+
+def check_priority_competitiveness(
+    workloads: Sequence[Workload],
+    hbm_slots: Sequence[int],
+    channels: Sequence[int] = (1,),
+    arbitration: str = "priority",
+    remap_period: int | None = None,
+    seed: int = 0,
+) -> list[CompetitivenessRow]:
+    """Measure makespan / lower-bound across a workload x k x q grid.
+
+    Theorems 1 and 3 predict the ratios stay bounded by a constant
+    (times q) for Priority; callers assert a concrete envelope.
+    """
+    rows: list[CompetitivenessRow] = []
+    for workload in workloads:
+        for k in hbm_slots:
+            bound_cache: dict[int, LowerBoundReport] = {}
+            for q in channels:
+                bound = bound_cache.get(q)
+                if bound is None:
+                    bound = makespan_lower_bound(workload.traces, k, q)
+                    bound_cache[q] = bound
+                cfg = SimulationConfig(
+                    hbm_slots=k,
+                    channels=q,
+                    arbitration=arbitration,
+                    remap_period=remap_period,
+                    seed=seed,
+                )
+                result = Simulator(workload.traces, cfg).run()
+                rows.append(
+                    CompetitivenessRow(
+                        workload=workload.name,
+                        threads=workload.num_threads,
+                        hbm_slots=k,
+                        channels=q,
+                        arbitration=arbitration,
+                        makespan=result.makespan,
+                        lower_bound=bound.value,
+                        ratio=competitive_ratio(result.makespan, bound),
+                    )
+                )
+    return rows
+
+
+def cycle_response_time_bound(threads: int, remap_period: int, channels: int = 1) -> int:
+    """Paper section 4's trivial response-time bound for Cycle Priority.
+
+    A thread becomes top priority within p permutations, i.e. within
+    ``p * T`` ticks of entering the queue; once on top it is granted a
+    channel on the next selection and served one tick later. With q
+    channels the top q ranks are all served, so the bound only improves.
+    """
+    if threads < 1 or remap_period < 1 or channels < 1:
+        raise ValueError("threads, remap_period, channels must be >= 1")
+    return threads * remap_period + 2
+
+
+def check_cycle_response_bound(
+    result: SimulationResult,
+    threads: int,
+    remap_period: int,
+    channels: int = 1,
+) -> bool:
+    """True iff the observed worst response time obeys the p*T+2 bound."""
+    return result.max_response <= cycle_response_time_bound(
+        threads, remap_period, channels
+    )

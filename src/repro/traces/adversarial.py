@@ -1,0 +1,83 @@
+"""Adversarial traces: workloads designed to be bad for FIFO.
+
+Paper Dataset 3 (section 3.2): "FIFO performs asymptotically poorly when
+run on a long sequence of unique pages, repeated many times. We generate
+the sequence 1, 2, 3 ... 256 and repeat it 100 times", with HBM sized to
+hold only a quarter of the unique pages across all threads (Figure 3).
+
+This is also the engine of the Theorem 2 lower bound (Das et al. [24]):
+with p cores cycling over disjoint page sets that jointly exceed HBM,
+FCFS shares the far channel round-robin so *every* reference misses,
+while Priority lets the top threads keep their working sets resident
+and finish; the makespan gap grows linearly with p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload
+
+__all__ = [
+    "cyclic_trace",
+    "adversarial_cycle_workload",
+    "fifo_adversarial_hbm_slots",
+    "theorem2_workload",
+]
+
+
+def cyclic_trace(pages: int, repeats: int, offset: int = 0) -> Trace:
+    """The sequence ``offset .. offset+pages-1`` repeated ``repeats`` times."""
+    if pages < 1 or repeats < 1:
+        raise ValueError(f"pages and repeats must be >= 1, got {pages}, {repeats}")
+    one_pass = np.arange(offset, offset + pages, dtype=np.int64)
+    return Trace(
+        np.tile(one_pass, repeats),
+        source="adversarial_cycle",
+        params={"pages": pages, "repeats": repeats},
+    )
+
+
+@register_workload("adversarial_cycle")
+def adversarial_cycle_workload(
+    threads: int,
+    seed: int = 0,  # noqa: ARG001 - deterministic workload, kept for API symmetry
+    pages: int = 256,
+    repeats: int = 100,
+) -> Workload:
+    """Dataset 3: every thread cycles over its own ``pages`` unique pages.
+
+    Page-disjointness across threads comes from :class:`Workload`'s
+    renumbering, so all threads can use the same local sequence.
+    """
+    traces = [cyclic_trace(pages, repeats) for _ in range(threads)]
+    return Workload(traces, name=f"cycle-{pages}x{repeats}")
+
+
+def fifo_adversarial_hbm_slots(
+    threads: int, pages: int = 256, fraction: float = 0.25
+) -> int:
+    """HBM size for the Figure 3 setup: ``fraction`` of all unique pages.
+
+    The paper sets k "to have enough memory to fit only 1/4 of all the
+    unique pages across all the threads".
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return max(1, int(threads * pages * fraction))
+
+
+def theorem2_workload(
+    threads: int,
+    pages_per_thread: int,
+    repeats: int,
+) -> Workload:
+    """The Theorem 2 family: p disjoint cyclic streams.
+
+    Identical in structure to Dataset 3 but parameterized for the
+    theory-validation harness (:mod:`repro.theory.adversary`), which
+    scales ``p`` while holding per-thread memory constant and checks
+    that FCFS's makespan ratio to Priority grows linearly.
+    """
+    traces = [cyclic_trace(pages_per_thread, repeats) for _ in range(threads)]
+    return Workload(traces, name=f"thm2-p{threads}-m{pages_per_thread}")

@@ -1,0 +1,262 @@
+"""Trace and workload containers (paper section 3.2).
+
+A **trace** is one core's page-reference sequence, produced either by
+instrumenting a real kernel (sorting, SpGEMM, dense MM — see
+:mod:`repro.traces.instrument`) or synthetically. A **workload** is one
+trace per core. The model's Property 1 requires the per-core page sets
+to be mutually exclusive; :class:`Workload` enforces this by compactly
+renumbering each trace's pages into a disjoint global id range.
+
+The paper generates workloads by running *p* independent instances of
+the same program with different randomness (section 3.2); the
+:func:`make_workload` factory follows that recipe: one generator, *p*
+seeds spawned from a root seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Trace",
+    "Workload",
+    "coalesce_consecutive",
+    "make_workload",
+    "register_workload",
+    "workload_kinds",
+    "spawn_thread_seeds",
+]
+
+
+def coalesce_consecutive(pages: np.ndarray) -> np.ndarray:
+    """Collapse runs of identical consecutive page references to one.
+
+    A sequential scan touches the same page once per element; after the
+    address -> page mapping that becomes a run of identical references.
+    Coalescing keeps exactly the page-*transition* sequence, which
+    preserves miss behaviour exactly (a rerefenced resident page can
+    never miss) while shrinking hit counts — the paper's qualitative
+    FIFO-vs-Priority comparisons are unaffected, and the experiment
+    configs document where coalescing is applied.
+    """
+    pages = np.asarray(pages)
+    if len(pages) == 0:
+        return pages.copy()
+    keep = np.empty(len(pages), dtype=bool)
+    keep[0] = True
+    np.not_equal(pages[1:], pages[:-1], out=keep[1:])
+    return pages[keep]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One core's page-reference sequence plus provenance metadata."""
+
+    pages: np.ndarray
+    source: str = "unknown"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        pages = np.ascontiguousarray(np.asarray(self.pages, dtype=np.int64))
+        object.__setattr__(self, "pages", pages)
+        if pages.ndim != 1:
+            raise ValueError(f"trace must be 1-D, got shape {pages.shape}")
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    @property
+    def unique_pages(self) -> int:
+        """Working-set size in pages."""
+        return len(np.unique(self.pages)) if len(self.pages) else 0
+
+    def coalesced(self) -> "Trace":
+        """Copy with consecutive duplicate references collapsed."""
+        return Trace(
+            coalesce_consecutive(self.pages),
+            source=self.source,
+            params={**self.params, "coalesced": True},
+        )
+
+    def renumbered(self, offset: int = 0) -> tuple["Trace", int]:
+        """Compactly renumber pages to ``offset .. offset + u - 1``.
+
+        Returns the new trace and the number of distinct pages ``u``.
+        """
+        if len(self.pages) == 0:
+            return self, 0
+        _, inverse = np.unique(self.pages, return_inverse=True)
+        u = int(inverse.max()) + 1
+        return (
+            Trace(inverse.astype(np.int64) + offset, self.source, self.params),
+            u,
+        )
+
+
+class Workload:
+    """One renumbered trace per core, with disjoint page namespaces.
+
+    Parameters
+    ----------
+    traces:
+        Per-core traces (``Trace`` objects or raw arrays). Each trace's
+        pages are renumbered into a contiguous block so that no page id
+        appears in two traces (model Property 1), and so page ids stay
+        small and dict-friendly for the simulator.
+    name:
+        Workload label used in experiment output.
+    coalesce:
+        If True, collapse consecutive duplicate references per trace
+        before renumbering.
+    namespace:
+        If True (default), renumber each trace into a disjoint page-id
+        block, enforcing the model's Property 1. Pass False for
+        *deliberately* non-disjoint workloads (the paper's section 6.1
+        future-work setting), in which page ids are taken as-is and
+        pages with equal ids are genuinely shared between cores.
+    """
+
+    def __init__(
+        self,
+        traces: Sequence[Trace | np.ndarray | Sequence[int]],
+        name: str = "workload",
+        coalesce: bool = False,
+        namespace: bool = True,
+    ) -> None:
+        if len(traces) == 0:
+            raise ValueError("workload needs at least one trace")
+        self.name = name
+        self.namespaced = namespace
+        normalized: list[Trace] = []
+        for t in traces:
+            trace = t if isinstance(t, Trace) else Trace(np.asarray(t))
+            if coalesce:
+                trace = trace.coalesced()
+            normalized.append(trace)
+        self.source_traces: tuple[Trace, ...] = tuple(normalized)
+        if namespace:
+            renumbered: list[Trace] = []
+            offsets: list[int] = []
+            offset = 0
+            for trace in normalized:
+                offsets.append(offset)
+                new_trace, u = trace.renumbered(offset)
+                renumbered.append(new_trace)
+                offset += u
+            self._renumbered: tuple[Trace, ...] = tuple(renumbered)
+            self.page_offsets: tuple[int, ...] = tuple(offsets)
+            self.total_unique_pages: int = offset
+        else:
+            self._renumbered = tuple(normalized)
+            self.page_offsets = tuple(0 for _ in normalized)
+            non_empty = [t.pages for t in normalized if len(t)]
+            self.total_unique_pages = (
+                len(np.unique(np.concatenate(non_empty))) if non_empty else 0
+            )
+
+    # -- simulator-facing view ---------------------------------------------
+    @property
+    def traces(self) -> list[np.ndarray]:
+        """Disjoint page-id arrays, ready for :class:`repro.core.Simulator`."""
+        return [t.pages for t in self._renumbered]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._renumbered)
+
+    @property
+    def lengths(self) -> tuple[int, ...]:
+        return tuple(len(t) for t in self._renumbered)
+
+    @property
+    def total_references(self) -> int:
+        return sum(self.lengths)
+
+    @property
+    def max_length(self) -> int:
+        return max(self.lengths)
+
+    def unique_pages_per_thread(self) -> tuple[int, ...]:
+        offs = list(self.page_offsets) + [self.total_unique_pages]
+        return tuple(offs[i + 1] - offs[i] for i in range(self.num_threads))
+
+    def subset(self, threads: int) -> "Workload":
+        """Workload restricted to the first ``threads`` cores."""
+        if not 1 <= threads <= self.num_threads:
+            raise ValueError(
+                f"threads must be in [1, {self.num_threads}], got {threads}"
+            )
+        return Workload(
+            self.source_traces[:threads],
+            name=self.name,
+            namespace=self.namespaced,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload(name={self.name!r}, threads={self.num_threads}, "
+            f"refs={self.total_references}, unique={self.total_unique_pages})"
+        )
+
+
+# -- workload factory --------------------------------------------------------
+
+#: kind -> generator(threads, seed, **params) -> Workload
+_WORKLOAD_REGISTRY: dict[str, Callable[..., Workload]] = {}
+
+
+def register_workload(kind: str) -> Callable[[Callable[..., Workload]], Callable[..., Workload]]:
+    """Decorator registering a workload generator under ``kind``."""
+
+    def decorate(fn: Callable[..., Workload]) -> Callable[..., Workload]:
+        if kind in _WORKLOAD_REGISTRY:
+            raise ValueError(f"workload kind {kind!r} already registered")
+        _WORKLOAD_REGISTRY[kind] = fn
+        return fn
+
+    return decorate
+
+
+def workload_kinds() -> tuple[str, ...]:
+    """Registered workload kinds, sorted."""
+    return tuple(sorted(_WORKLOAD_REGISTRY))
+
+
+def make_workload(kind: str, threads: int, seed: int = 0, **params: Any) -> Workload:
+    """Build a workload of ``threads`` independent traces of ``kind``.
+
+    Every generator derives per-thread randomness from ``seed`` via
+    ``numpy.random.SeedSequence.spawn``, so the same (kind, threads,
+    seed, params) triple always yields the identical workload and
+    prefixes agree: ``make_workload(k, 8, s).subset(4)`` equals
+    ``make_workload(k, 4, s)``.
+    """
+    # Imports registered lazily to avoid import cycles at package load.
+    from . import (  # noqa: F401
+        adversarial,
+        densemm,
+        graph,
+        shared,
+        sorting,
+        spgemm,
+        stencil,
+        synthetic,
+    )
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    try:
+        generator = _WORKLOAD_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; expected one of {workload_kinds()}"
+        ) from None
+    return generator(threads=threads, seed=seed, **params)
+
+
+def spawn_thread_seeds(seed: int, threads: int) -> list[np.random.Generator]:
+    """One independent generator per thread, derived from a root seed."""
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(threads)]

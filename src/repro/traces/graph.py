@@ -1,0 +1,174 @@
+"""Instrumented graph traversal (BFS) trace generator.
+
+The paper's related work (section 1.3) highlights graph algorithms as a
+prime HBM workload: Slota and Rajamanickam [55] report 2-5x speedups
+for graph instances *larger than HBM* — exactly the capacity-pressure
+regime where far-channel arbitration matters. BFS is the canonical
+irregular-access kernel: frontier expansion reads the CSR adjacency
+arrays in data-dependent order, producing long reuse distances that
+neither FIFO nor LRU can exploit.
+
+The kernel runs over :class:`~repro.traces.instrument.LoggingArray`
+structures (CSR ``indptr``/``indices``, a ``visited`` bitmap, and the
+frontier queue) and is verified against ``networkx`` reachability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload, spawn_thread_seeds
+from .instrument import DEFAULT_ITEMSIZE, DEFAULT_PAGE_BYTES, AccessLogger
+
+__all__ = ["random_graph_csr", "bfs_instrumented", "bfs_trace", "bfs_workload"]
+
+
+def random_graph_csr(
+    vertices: int,
+    avg_degree: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random directed graph in CSR form (``indptr``, ``indices``).
+
+    Each vertex gets a Poisson(avg_degree) number of uniform random
+    out-neighbours (self-loops allowed, duplicates removed).
+    """
+    if vertices < 1:
+        raise ValueError(f"vertices must be >= 1, got {vertices}")
+    if avg_degree < 0:
+        raise ValueError(f"avg_degree must be >= 0, got {avg_degree}")
+    out_lists = []
+    for _ in range(vertices):
+        degree = rng.poisson(avg_degree)
+        if degree:
+            neighbours = np.unique(rng.integers(0, vertices, size=degree))
+        else:
+            neighbours = np.empty(0, dtype=np.int64)
+        out_lists.append(neighbours)
+    indptr = np.zeros(vertices + 1, dtype=np.int64)
+    np.cumsum([len(lst) for lst in out_lists], out=indptr[1:])
+    indices = (
+        np.concatenate(out_lists).astype(np.int64)
+        if indptr[-1]
+        else np.empty(0, dtype=np.int64)
+    )
+    return indptr, indices
+
+
+def bfs_instrumented(
+    logger: AccessLogger,
+    indptr_np: np.ndarray,
+    indices_np: np.ndarray,
+    itemsize: int = DEFAULT_ITEMSIZE,
+) -> list[int]:
+    """Multi-source BFS over logging arrays; returns discovery order.
+
+    Restarts from the smallest unvisited vertex until every vertex is
+    reached, so the trace covers the whole structure even when the
+    random graph is disconnected.
+    """
+    n = len(indptr_np) - 1
+    indptr = logger.array(indptr_np, itemsize=itemsize, name="G.indptr")
+    indices = logger.array(indices_np, itemsize=itemsize, name="G.indices")
+    visited = logger.array([0] * n, itemsize=itemsize, name="visited")
+    queue = logger.array(n, itemsize=itemsize, name="frontier")
+    order: list[int] = []
+    for source in range(n):
+        if visited[source]:
+            continue
+        visited[source] = 1
+        head, tail = 0, 0
+        queue[tail] = source
+        tail += 1
+        while head < tail:
+            vertex = queue[head]
+            head += 1
+            order.append(vertex)
+            lo, hi = indptr[vertex], indptr[vertex + 1]
+            for e in range(lo, hi):
+                neighbour = indices[e]
+                if not visited[neighbour]:
+                    visited[neighbour] = 1
+                    queue[tail] = neighbour
+                    tail += 1
+    return order
+
+
+def _verify_with_networkx(
+    indptr: np.ndarray, indices: np.ndarray, order: list[int]
+) -> None:
+    import networkx as nx
+
+    n = len(indptr) - 1
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for v in range(n):
+        for e in range(indptr[v], indptr[v + 1]):
+            graph.add_edge(v, int(indices[e]))
+    # multi-source BFS visits every vertex exactly once
+    if sorted(order) != list(range(n)):
+        raise AssertionError("instrumented BFS did not visit every vertex once")
+    # each BFS tree's vertices must be reachable from its source
+    seen: set[int] = set()
+    source = None
+    for vertex in order:
+        if vertex not in seen and (source is None or vertex not in reachable):
+            source = vertex
+            reachable = set(nx.descendants(graph, source)) | {source}
+        if vertex not in reachable:
+            raise AssertionError(
+                f"BFS visited {vertex} outside the component of {source}"
+            )
+        seen.add(vertex)
+
+
+def bfs_trace(
+    vertices: int = 600,
+    avg_degree: float = 8.0,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    verify: bool = True,
+) -> Trace:
+    """Page trace of one multi-source BFS over a random graph."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    logger = AccessLogger(page_bytes=page_bytes)
+    indptr, indices = random_graph_csr(vertices, avg_degree, rng)
+    order = bfs_instrumented(logger, indptr, indices, itemsize=itemsize)
+    logger.pause()
+    if verify:
+        _verify_with_networkx(indptr, indices, order)
+    return logger.to_trace(
+        source="bfs",
+        vertices=vertices,
+        avg_degree=avg_degree,
+        edges=int(indptr[-1]),
+        itemsize=itemsize,
+    )
+
+
+@register_workload("bfs")
+def bfs_workload(
+    threads: int,
+    seed: int = 0,
+    vertices: int = 600,
+    avg_degree: float = 8.0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    verify: bool = False,
+) -> Workload:
+    """BFS workload: ``threads`` independent random graph traversals."""
+    rngs = spawn_thread_seeds(seed, threads)
+    traces = [
+        bfs_trace(
+            vertices=vertices,
+            avg_degree=avg_degree,
+            seed=rngs[i],
+            page_bytes=page_bytes,
+            itemsize=itemsize,
+            verify=verify,
+        )
+        for i in range(threads)
+    ]
+    return Workload(traces, name=f"bfs-v{vertices}-d{avg_degree}", coalesce=coalesce)

@@ -1,0 +1,196 @@
+"""Memory-access instrumentation (paper section 3.1/3.2).
+
+The paper obtains traces by "overloading C++ operators ... to log memory
+accesses": a logging iterator handed to GNU sort, and logging array-like
+objects substituted into the TACO SpGEMM kernel. This module is the
+Python equivalent: kernels are written against :class:`LoggingArray`
+objects allocated from an :class:`AccessLogger`, which records the byte
+address of every element dereference. The paper's preprocessing step —
+"each array dereference in the annotated code is mapped to its page
+reference" — is :meth:`AccessLogger.to_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .base import Trace
+
+__all__ = [
+    "AccessLogger",
+    "LoggingArray",
+    "DEFAULT_PAGE_BYTES",
+    "DEFAULT_ITEMSIZE",
+]
+
+#: 4 KiB pages, the conventional OS page size (the granularity at which
+#: KNL's cache-mode MCDRAM is direct-mapped is a hardware detail the
+#: model abstracts away; any fixed block size B fits the model).
+DEFAULT_PAGE_BYTES = 4096
+
+#: 8-byte elements (int64 / double), so 512 elements per page.
+DEFAULT_ITEMSIZE = 8
+
+
+class AccessLogger:
+    """Bump allocator plus append-only address log.
+
+    Allocations are page-aligned so that distinct structures never share
+    a page (matching how large allocations behave under a real
+    allocator, and keeping traces interpretable).
+    """
+
+    def __init__(self, page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
+        if page_bytes < 1:
+            raise ValueError(f"page_bytes must be >= 1, got {page_bytes}")
+        self.page_bytes = page_bytes
+        self.addresses: list[int] = []
+        self._brk = 0
+        self.enabled = True
+
+    # -- allocation ----------------------------------------------------------
+    def allocate_bytes(self, n_bytes: int) -> int:
+        """Reserve ``n_bytes`` page-aligned; return the base address."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        base = self._brk
+        pages = -(-max(n_bytes, 1) // self.page_bytes)  # ceil, min one page
+        self._brk += pages * self.page_bytes
+        return base
+
+    def array(
+        self,
+        data: Sequence[int | float] | np.ndarray | int,
+        itemsize: int = DEFAULT_ITEMSIZE,
+        name: str = "",
+        capacity: int | None = None,
+    ) -> "LoggingArray":
+        """Allocate a :class:`LoggingArray` over ``data``.
+
+        ``data`` may be an int (zero-initialized length) or any sequence.
+        ``capacity`` reserves room (in elements) for :meth:`LoggingArray.append`.
+        """
+        if isinstance(data, int):
+            values = [0] * data
+        elif isinstance(data, np.ndarray):
+            values = data.tolist()
+        else:
+            values = list(data)
+        n_reserve = max(len(values), capacity or 0)
+        base = self.allocate_bytes(n_reserve * itemsize)
+        pages = -(-max(n_reserve * itemsize, 1) // self.page_bytes)
+        return LoggingArray(
+            self, base, values, itemsize, name=name,
+            reserved_bytes=pages * self.page_bytes,
+        )
+
+    # -- logging ---------------------------------------------------------
+    def record(self, address: int) -> None:
+        """Log one byte-address dereference."""
+        if self.enabled:
+            self.addresses.append(address)
+
+    def pause(self) -> None:
+        """Stop logging (e.g. around verification code)."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        self.enabled = True
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    # -- preprocessing -----------------------------------------------------
+    def to_trace(self, source: str = "instrumented", **params) -> Trace:
+        """Map the address log to a page-reference trace."""
+        addresses = np.asarray(self.addresses, dtype=np.int64)
+        pages = addresses // self.page_bytes
+        return Trace(
+            pages,
+            source=source,
+            params={"page_bytes": self.page_bytes, "raw_accesses": len(self), **params},
+        )
+
+
+class LoggingArray:
+    """Array-like object that logs the address of every dereference.
+
+    The Python analogue of the paper's overloaded-operator C++ arrays:
+    ``a[i]`` and ``a[i] = x`` both log ``base + i * itemsize``. Slicing
+    is intentionally unsupported — kernels must express element accesses
+    explicitly so that every dereference is observed.
+    """
+
+    __slots__ = ("_logger", "base", "_data", "itemsize", "name", "reserved_bytes")
+
+    def __init__(
+        self,
+        logger: AccessLogger,
+        base: int,
+        data: list,
+        itemsize: int = DEFAULT_ITEMSIZE,
+        name: str = "",
+        reserved_bytes: int | None = None,
+    ) -> None:
+        self._logger = logger
+        self.base = base
+        self._data = data
+        self.itemsize = itemsize
+        self.name = name
+        if reserved_bytes is None:
+            page = logger.page_bytes
+            reserved_bytes = (-(-max(len(data) * itemsize, 1) // page)) * page
+        self.reserved_bytes = reserved_bytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += len(self._data)
+        value = self._data[index]  # raises IndexError before logging junk
+        self._logger.record(self.base + index * self.itemsize)
+        return value
+
+    def __setitem__(self, index: int, value) -> None:
+        if index < 0:
+            index += len(self._data)
+        self._data[index] = value
+        self._logger.record(self.base + index * self.itemsize)
+
+    def __iter__(self) -> Iterator:
+        for i in range(len(self._data)):
+            yield self[i]
+
+    def append(self, value) -> None:
+        """Append within the allocation's page headroom.
+
+        Growth must stay within the bytes reserved at allocation time
+        (``capacity`` plus page-rounding); exceeding it is an error —
+        kernels should size arrays up front, as the C++ originals do.
+        """
+        index = len(self._data)
+        if (index + 1) * self.itemsize > self.reserved_bytes:
+            raise ValueError(
+                f"append would overflow the reserved allocation of {self.name or 'array'}; "
+                "pass capacity= when allocating"
+            )
+        self._data.append(value)
+        self._logger.record(self.base + index * self.itemsize)
+
+    def swap(self, i: int, j: int) -> None:
+        """Exchange two elements (logs two reads and two writes)."""
+        ti, tj = self[i], self[j]
+        self[i], self[j] = tj, ti
+
+    def peek(self) -> list:
+        """Uninstrumented snapshot of the contents (for verification)."""
+        return list(self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"LoggingArray(name={self.name!r}, len={len(self._data)}, "
+            f"base={self.base:#x})"
+        )

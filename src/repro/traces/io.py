@@ -1,0 +1,155 @@
+"""Workload persistence and caching.
+
+Two formats:
+
+* **NPZ** — compact binary for cached workloads (one array per thread
+  plus a JSON metadata blob);
+* **text** — one page id per line with ``# thread`` separators, for
+  interop with external simulators (the paper's C++ simulator ingests
+  address traces of this shape).
+
+:class:`WorkloadCache` memoizes expensive instrumented-trace generation
+(a full sort/SpGEMM workload takes seconds to minutes to regenerate) by
+hashing the generator kind and parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .base import Trace, Workload, make_workload
+
+__all__ = [
+    "save_workload_npz",
+    "load_workload_npz",
+    "save_workload_text",
+    "load_workload_text",
+    "WorkloadCache",
+    "default_cache_dir",
+]
+
+
+def save_workload_npz(workload: Workload, path: str | os.PathLike) -> None:
+    """Write a workload (source traces + metadata) to an ``.npz`` file."""
+    arrays = {
+        f"trace_{i}": t.pages for i, t in enumerate(workload.source_traces)
+    }
+    meta = {
+        "name": workload.name,
+        "threads": workload.num_threads,
+        "sources": [t.source for t in workload.source_traces],
+        "params": [dict(t.params) for t in workload.source_traces],
+    }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_workload_npz(path: str | os.PathLike) -> Workload:
+    """Read a workload written by :func:`save_workload_npz`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        traces = [
+            Trace(
+                data[f"trace_{i}"],
+                source=meta["sources"][i],
+                params=meta["params"][i],
+            )
+            for i in range(meta["threads"])
+        ]
+    return Workload(traces, name=meta["name"])
+
+
+def save_workload_text(workload: Workload, path: str | os.PathLike) -> None:
+    """Write a workload as newline-separated page ids per thread."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# workload {workload.name}\n")
+        for i, trace in enumerate(workload.source_traces):
+            fh.write(f"# thread {i} source={trace.source}\n")
+            fh.write("\n".join(str(p) for p in trace.pages.tolist()))
+            fh.write("\n")
+
+
+def load_workload_text(path: str | os.PathLike) -> Workload:
+    """Read a workload written by :func:`save_workload_text`."""
+    name = Path(path).stem
+    traces: list[list[int]] = []
+    current: list[int] | None = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line[1:].strip().startswith("workload"):
+                    name = line.split("workload", 1)[1].strip() or name
+                elif line[1:].strip().startswith("thread"):
+                    current = []
+                    traces.append(current)
+                continue
+            if current is None:  # headerless file: single thread
+                current = []
+                traces.append(current)
+            current.append(int(line))
+    if not traces:
+        raise ValueError(f"no traces found in {path}")
+    return Workload([np.asarray(t, dtype=np.int64) for t in traces], name=name)
+
+
+def default_cache_dir() -> Path:
+    """``$HBM_REPRO_CACHE`` or ``~/.cache/hbm-repro``."""
+    env = os.environ.get("HBM_REPRO_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "hbm-repro"
+
+
+class WorkloadCache:
+    """Disk cache for generated workloads, keyed by generator parameters.
+
+    >>> cache = WorkloadCache()                         # doctest: +SKIP
+    >>> wl = cache.get("sort", threads=16, n=2000)      # doctest: +SKIP
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def _key(self, kind: str, threads: int, seed: int, params: dict[str, Any]) -> str:
+        blob = json.dumps(
+            {"kind": kind, "threads": threads, "seed": seed, "params": params},
+            sort_keys=True,
+            default=str,
+        )
+        digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+        return f"{kind}-t{threads}-s{seed}-{digest}"
+
+    def path_for(self, kind: str, threads: int, seed: int = 0, **params: Any) -> Path:
+        return self.directory / (self._key(kind, threads, seed, params) + ".npz")
+
+    def get(self, kind: str, threads: int, seed: int = 0, **params: Any) -> Workload:
+        """Load the workload from cache, generating and storing on miss."""
+        path = self.path_for(kind, threads, seed=seed, **params)
+        if path.exists():
+            return load_workload_npz(path)
+        workload = make_workload(kind, threads, seed=seed, **params)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.npz")
+        save_workload_npz(workload, tmp)
+        os.replace(tmp, path)
+        return workload
+
+    def clear(self) -> int:
+        """Delete every cached workload; returns the number removed."""
+        removed = 0
+        if self.directory.exists():
+            for f in self.directory.glob("*.npz"):
+                f.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,99 @@
+"""Non-disjoint workloads: cores that share pages (paper section 6.1).
+
+The model — and all of the paper's theory — assumes Property 1: the
+per-core page sets are mutually exclusive. The conclusion names the
+relaxation as future work: "Theory on non-disjoint access sequences is
+a promising avenue." The simulator already handles sharing (a fetch of
+an already-resident page is a no-op and wakes every waiting core), so
+this module provides the workloads to explore it empirically:
+
+* :func:`shared_segment_trace` — a thread mixes references to its
+  private pages with references into a common read-shared segment
+  (the shape of scientific codes sharing a read-only table or matrix);
+* :func:`shared_workload` — ``threads`` such traces over one common
+  segment, built with ``Workload(namespace=False)``.
+
+The interesting empirical questions mirror the disjoint story: sharing
+*reduces* total far-channel traffic (a shared fetch serves everyone),
+and a high-priority thread now inadvertently prefetches for low-priority
+ones — softening Priority's starvation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload, spawn_thread_seeds
+
+__all__ = ["shared_segment_trace", "shared_workload"]
+
+#: page-id block where the common segment lives; private blocks follow
+_SHARED_BASE = 0
+_PRIVATE_BASE = 1_000_000
+
+
+def shared_segment_trace(
+    length: int,
+    private_pages: int,
+    shared_pages: int,
+    shared_fraction: float,
+    rng: np.random.Generator,
+    thread: int,
+) -> Trace:
+    """One thread's mixed private/shared reference stream.
+
+    Each reference is shared with probability ``shared_fraction``
+    (uniform over the common segment) and otherwise private (uniform
+    over the thread's own block).
+    """
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError(f"shared_fraction must be in [0, 1], got {shared_fraction}")
+    if private_pages < 1 or shared_pages < 1:
+        raise ValueError("private_pages and shared_pages must be >= 1")
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    is_shared = rng.random(length) < shared_fraction
+    shared_refs = _SHARED_BASE + rng.integers(0, shared_pages, size=length)
+    private_refs = (
+        _PRIVATE_BASE
+        + thread * private_pages
+        + rng.integers(0, private_pages, size=length)
+    )
+    pages = np.where(is_shared, shared_refs, private_refs)
+    return Trace(
+        pages,
+        source="shared_segment",
+        params={
+            "shared_fraction": shared_fraction,
+            "private_pages": private_pages,
+            "shared_pages": shared_pages,
+        },
+    )
+
+
+@register_workload("shared")
+def shared_workload(
+    threads: int,
+    seed: int = 0,
+    length: int = 5_000,
+    private_pages: int = 64,
+    shared_pages: int = 64,
+    shared_fraction: float = 0.5,
+) -> Workload:
+    """Threads mixing private streams with a common shared segment.
+
+    Page ids are global by construction (``namespace=False``): the
+    shared segment occupies one id block that every trace references.
+    """
+    rngs = spawn_thread_seeds(seed, threads)
+    traces = [
+        shared_segment_trace(
+            length, private_pages, shared_pages, shared_fraction, rngs[i], i
+        )
+        for i in range(threads)
+    ]
+    return Workload(
+        traces,
+        name=f"shared-f{shared_fraction}-u{shared_pages}",
+        namespace=False,
+    )

@@ -1,0 +1,326 @@
+"""Instrumented sorting kernels (paper Dataset 1).
+
+The paper traces GNU sort — libstdc++ ``std::sort`` [53], i.e.
+**introsort**: median-of-3 quicksort with a depth limit falling back to
+heapsort, finished by a single insertion-sort pass over nearly-sorted
+data. We implement that algorithm faithfully over
+:class:`~repro.traces.instrument.LoggingArray` so every element
+dereference lands in the trace, plus plain quicksort and mergesort
+(the paper's parameter sweep also varies the trace source).
+
+The paper sorts 500,000 random integers per trace; a pure-Python
+instrumented run of that size is impractical, so the default ``n`` here
+is smaller and experiment configs document the scaling (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload
+from .instrument import DEFAULT_ITEMSIZE, DEFAULT_PAGE_BYTES, AccessLogger, LoggingArray
+
+__all__ = [
+    "introsort",
+    "quicksort",
+    "mergesort",
+    "heapsort_range",
+    "introsort_trace",
+    "quicksort_trace",
+    "mergesort_trace",
+    "sort_workload",
+    "quicksort_workload",
+    "mergesort_workload",
+]
+
+#: libstdc++'s _S_threshold: partitions at most this long are left for
+#: the final insertion sort.
+INSERTION_THRESHOLD = 16
+
+
+# -- kernels ------------------------------------------------------------------
+
+
+def _insertion_sort(a: LoggingArray, lo: int, hi: int) -> None:
+    """Classic insertion sort of ``a[lo:hi]``."""
+    for i in range(lo + 1, hi):
+        value = a[i]
+        j = i - 1
+        while j >= lo and a[j] > value:
+            a[j + 1] = a[j]
+            j -= 1
+        a[j + 1] = value
+
+
+def _sift_down(a: LoggingArray, lo: int, start: int, end: int) -> None:
+    """Restore the max-heap property for the subtree rooted at ``start``.
+
+    Heap indices are relative to ``lo``; ``end`` is one past the last
+    heap element (absolute).
+    """
+    root = start
+    n = end - lo
+    while True:
+        child = 2 * (root - lo) + 1  # left child, heap-relative
+        if child >= n:
+            return
+        child_abs = lo + child
+        if child + 1 < n and a[child_abs] < a[child_abs + 1]:
+            child_abs += 1
+        if a[root] < a[child_abs]:
+            a.swap(root, child_abs)
+            root = child_abs
+        else:
+            return
+
+
+def heapsort_range(a: LoggingArray, lo: int, hi: int) -> None:
+    """In-place heapsort of ``a[lo:hi]`` (introsort's fallback)."""
+    n = hi - lo
+    for start in range(lo + n // 2 - 1, lo - 1, -1):
+        _sift_down(a, lo, start, hi)
+    for end in range(hi - 1, lo, -1):
+        a.swap(lo, end)
+        _sift_down(a, lo, lo, end)
+
+
+def _median_of_three(a: LoggingArray, lo: int, mid: int, hi: int) -> int:
+    """Index of the median of ``a[lo]``, ``a[mid]``, ``a[hi]``."""
+    x, y, z = a[lo], a[mid], a[hi]
+    if x < y:
+        if y < z:
+            return mid
+        return hi if x < z else lo
+    if x < z:
+        return lo
+    return hi if y < z else mid
+
+
+def _partition(a: LoggingArray, lo: int, hi: int, pivot) -> int:
+    """Hoare partition of ``a[lo:hi]`` around ``pivot`` (libstdc++ style)."""
+    i, j = lo, hi
+    while True:
+        while a[i] < pivot:
+            i += 1
+        j -= 1
+        while pivot < a[j]:
+            j -= 1
+        if i >= j:
+            return i
+        a.swap(i, j)
+        i += 1
+
+
+def _introsort_loop(a: LoggingArray, lo: int, hi: int, depth_limit: int) -> None:
+    while hi - lo > INSERTION_THRESHOLD:
+        if depth_limit == 0:
+            heapsort_range(a, lo, hi)
+            return
+        depth_limit -= 1
+        mid = _median_of_three(a, lo, lo + (hi - lo) // 2, hi - 1)
+        pivot = a[mid]
+        cut = _partition(a, lo, hi, pivot)
+        _introsort_loop(a, cut, hi, depth_limit)
+        hi = cut  # tail-recurse on the left part, as libstdc++ does
+
+
+def introsort(a: LoggingArray) -> None:
+    """libstdc++ ``std::sort``: introsort + final insertion sort."""
+    n = len(a)
+    if n <= 1:
+        return
+    depth_limit = 2 * int(math.log2(n))
+    _introsort_loop(a, 0, n, depth_limit)
+    # libstdc++ finishes with one insertion-sort pass over the whole
+    # nearly-sorted array (__final_insertion_sort).
+    _insertion_sort(a, 0, n)
+
+
+def quicksort(a: LoggingArray, lo: int = 0, hi: int | None = None) -> None:
+    """Plain median-of-3 quicksort (no depth-limit fallback)."""
+    if hi is None:
+        hi = len(a)
+    while hi - lo > 1:
+        mid = _median_of_three(a, lo, lo + (hi - lo) // 2, hi - 1)
+        pivot = a[mid]
+        cut = _partition(a, lo, hi, pivot)
+        if cut - lo < hi - cut:
+            quicksort(a, lo, cut)
+            lo = cut
+        else:
+            quicksort(a, cut, hi)
+            hi = cut
+
+
+def mergesort(a: LoggingArray, buffer: LoggingArray) -> None:
+    """Top-down stable mergesort using an equal-size temp ``buffer``."""
+    _mergesort_range(a, buffer, 0, len(a))
+
+
+def _mergesort_range(a: LoggingArray, buf: LoggingArray, lo: int, hi: int) -> None:
+    if hi - lo <= INSERTION_THRESHOLD:
+        _insertion_sort(a, lo, hi)
+        return
+    mid = (lo + hi) // 2
+    _mergesort_range(a, buf, lo, mid)
+    _mergesort_range(a, buf, mid, hi)
+    for idx in range(lo, hi):
+        buf[idx] = a[idx]
+    i, j = lo, mid
+    for idx in range(lo, hi):
+        if i < mid and (j >= hi or buf[i] <= buf[j]):
+            a[idx] = buf[i]
+            i += 1
+        else:
+            a[idx] = buf[j]
+            j += 1
+
+
+# -- trace generation --------------------------------------------------------
+
+
+def _sorted_check(a: LoggingArray) -> None:
+    data = a.peek()
+    if any(data[i] > data[i + 1] for i in range(len(data) - 1)):
+        raise AssertionError("instrumented sort produced unsorted output")
+
+
+def _sort_trace(
+    kind: str,
+    n: int,
+    rng: np.random.Generator,
+    page_bytes: int,
+    itemsize: int,
+) -> Trace:
+    logger = AccessLogger(page_bytes=page_bytes)
+    values = rng.integers(0, 2**31, size=n)
+    a = logger.array(values, itemsize=itemsize, name="input")
+    if kind == "introsort":
+        introsort(a)
+    elif kind == "quicksort":
+        quicksort(a)
+    elif kind == "mergesort":
+        buf = logger.array(n, itemsize=itemsize, name="buffer")
+        mergesort(a, buf)
+    else:
+        raise ValueError(f"unknown sort kind {kind!r}")
+    logger.pause()
+    _sorted_check(a)
+    return logger.to_trace(source=f"{kind}", n=n, itemsize=itemsize)
+
+
+def introsort_trace(
+    n: int,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+) -> Trace:
+    """Page trace of GNU-sort-style introsort on ``n`` random integers."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return _sort_trace("introsort", n, rng, page_bytes, itemsize)
+
+
+def quicksort_trace(
+    n: int,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+) -> Trace:
+    """Page trace of plain quicksort on ``n`` random integers."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return _sort_trace("quicksort", n, rng, page_bytes, itemsize)
+
+
+def mergesort_trace(
+    n: int,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+) -> Trace:
+    """Page trace of buffered mergesort on ``n`` random integers."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return _sort_trace("mergesort", n, rng, page_bytes, itemsize)
+
+
+def _resolve_sizes(threads: int, n: int, work_factors) -> list[int]:
+    """Per-thread problem sizes, optionally skewed (paper: 'distribution
+    of work across the cores')."""
+    if work_factors is None:
+        return [n] * threads
+    factors = list(work_factors)
+    if len(factors) < threads:
+        raise ValueError(
+            f"work_factors has {len(factors)} entries for {threads} threads"
+        )
+    return [max(2, int(round(n * f))) for f in factors[:threads]]
+
+
+def _sort_workload(
+    kind: str,
+    threads: int,
+    seed: int,
+    n: int,
+    page_bytes: int,
+    itemsize: int,
+    coalesce: bool,
+    work_factors,
+) -> Workload:
+    from .base import spawn_thread_seeds
+
+    rngs = spawn_thread_seeds(seed, threads)
+    sizes = _resolve_sizes(threads, n, work_factors)
+    traces = [
+        _sort_trace(kind, sizes[i], rngs[i], page_bytes, itemsize)
+        for i in range(threads)
+    ]
+    return Workload(traces, name=f"{kind}-n{n}", coalesce=coalesce)
+
+
+@register_workload("sort")
+def sort_workload(
+    threads: int,
+    seed: int = 0,
+    n: int = 2000,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    work_factors=None,
+) -> Workload:
+    """GNU-sort workload: ``threads`` independent introsort traces."""
+    return _sort_workload(
+        "introsort", threads, seed, n, page_bytes, itemsize, coalesce, work_factors
+    )
+
+
+@register_workload("quicksort")
+def quicksort_workload(
+    threads: int,
+    seed: int = 0,
+    n: int = 2000,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    work_factors=None,
+) -> Workload:
+    """Plain-quicksort workload."""
+    return _sort_workload(
+        "quicksort", threads, seed, n, page_bytes, itemsize, coalesce, work_factors
+    )
+
+
+@register_workload("mergesort")
+def mergesort_workload(
+    threads: int,
+    seed: int = 0,
+    n: int = 2000,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    work_factors=None,
+) -> Workload:
+    """Buffered-mergesort workload."""
+    return _sort_workload(
+        "mergesort", threads, seed, n, page_bytes, itemsize, coalesce, work_factors
+    )

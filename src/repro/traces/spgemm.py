@@ -1,0 +1,212 @@
+"""Instrumented sparse matrix-matrix multiplication (paper Dataset 2).
+
+The paper's SpGEMM traces come from the TACO-generated CSR x CSR kernel
+[23, 40] with its arrays replaced by logging array objects. TACO emits
+Gustavson's row-by-row algorithm with a dense workspace accumulator;
+we implement exactly that shape over
+:class:`~repro.traces.instrument.LoggingArray`:
+
+* ``A.pos / A.crd / A.vals`` and ``B.pos / B.crd / B.vals`` — the CSR
+  ("compressed, compressed") level arrays, in TACO naming;
+* a dense value workspace plus an occupancy list per output row;
+* ``C.pos / C.crd / C.vals`` output arrays.
+
+Matrices are uniformly random with the paper's 600 x 600, ~10% density
+shape (default sizes scaled down for pure-Python tractability; see
+EXPERIMENTS.md). Results are verified against ``scipy.sparse`` with
+logging paused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload, spawn_thread_seeds
+from .instrument import DEFAULT_ITEMSIZE, DEFAULT_PAGE_BYTES, AccessLogger, LoggingArray
+
+__all__ = [
+    "random_csr",
+    "spgemm_gustavson",
+    "spgemm_trace",
+    "spgemm_workload",
+]
+
+
+def random_csr(
+    n: int,
+    density: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random n x n CSR matrix where each entry exists with prob ``density``.
+
+    Returns ``(indptr, indices, data)`` with sorted column indices per
+    row — the layout TACO's CSR level format stores.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    counts = rng.binomial(n, density, size=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(indptr[-1], dtype=np.int64)
+    for i in range(n):
+        cols = rng.choice(n, size=counts[i], replace=False)
+        cols.sort()
+        indices[indptr[i] : indptr[i + 1]] = cols
+    data = rng.uniform(0.5, 1.5, size=indptr[-1])
+    return indptr, indices, data
+
+
+def spgemm_gustavson(
+    logger: AccessLogger,
+    a_pos: LoggingArray,
+    a_crd: LoggingArray,
+    a_vals: LoggingArray,
+    b_pos: LoggingArray,
+    b_crd: LoggingArray,
+    b_vals: LoggingArray,
+    n: int,
+    c_capacity: int,
+) -> tuple[LoggingArray, LoggingArray, LoggingArray]:
+    """TACO-style Gustavson SpGEMM: C = A * B over logging arrays.
+
+    Every element dereference of the seven arrays (two CSR inputs, the
+    dense workspace, and the growing CSR output) is logged.
+    """
+    workspace = logger.array(n, name="workspace")
+    occupied = logger.array([0] * n, name="occupied")
+    row_list = logger.array(n, name="row_list")
+    c_pos = logger.array([0] * (n + 1), name="C.pos")
+    c_crd = logger.array(0, name="C.crd", capacity=c_capacity)
+    c_vals = logger.array(0, name="C.vals", capacity=c_capacity)
+
+    for i in range(n):
+        nnz_row = 0
+        a_lo, a_hi = a_pos[i], a_pos[i + 1]
+        for kk in range(a_lo, a_hi):
+            k = a_crd[kk]
+            a_ik = a_vals[kk]
+            b_lo, b_hi = b_pos[k], b_pos[k + 1]
+            for jj in range(b_lo, b_hi):
+                j = b_crd[jj]
+                if occupied[j]:
+                    workspace[j] = workspace[j] + a_ik * b_vals[jj]
+                else:
+                    occupied[j] = 1
+                    workspace[j] = a_ik * b_vals[jj]
+                    row_list[nnz_row] = j
+                    nnz_row += 1
+        # TACO sorts the per-row coordinate list before appending (the
+        # output CSR level is ordered); sort the occupancy list
+        # uninstrumented, then emit with instrumented accesses.
+        logger.pause()
+        cols = sorted(row_list.peek()[:nnz_row])
+        logger.resume()
+        for j in cols:
+            c_crd.append(j)
+            c_vals.append(workspace[j])
+            occupied[j] = 0
+        c_pos[i + 1] = c_pos[i] + nnz_row
+    return c_pos, c_crd, c_vals
+
+
+def _verify_against_scipy(
+    a_np: tuple[np.ndarray, np.ndarray, np.ndarray],
+    b_np: tuple[np.ndarray, np.ndarray, np.ndarray],
+    c_pos: LoggingArray,
+    c_crd: LoggingArray,
+    c_vals: LoggingArray,
+    n: int,
+) -> None:
+    from scipy import sparse
+
+    a = sparse.csr_matrix((a_np[2], a_np[1], a_np[0]), shape=(n, n))
+    b = sparse.csr_matrix((b_np[2], b_np[1], b_np[0]), shape=(n, n))
+    expected = (a @ b).sorted_indices()
+    got = sparse.csr_matrix(
+        (
+            np.asarray(c_vals.peek(), dtype=np.float64),
+            np.asarray(c_crd.peek(), dtype=np.int64),
+            np.asarray(c_pos.peek(), dtype=np.int64),
+        ),
+        shape=(n, n),
+    )
+    if not np.allclose(got.toarray(), expected.toarray(), atol=1e-9):
+        raise AssertionError("instrumented SpGEMM disagrees with scipy")
+
+
+def spgemm_trace(
+    n: int = 150,
+    density: float = 0.1,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    verify: bool = True,
+) -> Trace:
+    """Page trace of one n x n, ``density``-dense SpGEMM instance."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    logger = AccessLogger(page_bytes=page_bytes)
+    a_np = random_csr(n, density, rng)
+    b_np = random_csr(n, density, rng)
+    arrays = {}
+    for name, (indptr, indices, data) in (("A", a_np), ("B", b_np)):
+        arrays[name] = (
+            logger.array(indptr, itemsize=itemsize, name=f"{name}.pos"),
+            logger.array(indices, itemsize=itemsize, name=f"{name}.crd"),
+            logger.array(data, itemsize=itemsize, name=f"{name}.vals"),
+        )
+    c_pos, c_crd, c_vals = spgemm_gustavson(
+        logger, *arrays["A"], *arrays["B"], n=n, c_capacity=n * n
+    )
+    logger.pause()
+    if verify:
+        _verify_against_scipy(a_np, b_np, c_pos, c_crd, c_vals, n)
+    return logger.to_trace(
+        source="spgemm",
+        n=n,
+        density=density,
+        nnz_a=len(a_np[1]),
+        nnz_b=len(b_np[1]),
+        nnz_c=len(c_crd),
+        itemsize=itemsize,
+    )
+
+
+@register_workload("spgemm")
+def spgemm_workload(
+    threads: int,
+    seed: int = 0,
+    n: int = 150,
+    density: float = 0.1,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    verify: bool = False,
+    work_factors=None,
+) -> Workload:
+    """SpGEMM workload: ``threads`` independent random instances.
+
+    ``work_factors`` scales per-thread matrix sizes for asymmetric-work
+    experiments (paper: "the distribution of work across the cores").
+    """
+    rngs = spawn_thread_seeds(seed, threads)
+    if work_factors is None:
+        sizes = [n] * threads
+    else:
+        factors = list(work_factors)
+        if len(factors) < threads:
+            raise ValueError(
+                f"work_factors has {len(factors)} entries for {threads} threads"
+            )
+        sizes = [max(4, int(round(n * f))) for f in factors[:threads]]
+    traces = [
+        spgemm_trace(
+            n=sizes[i],
+            density=density,
+            seed=rngs[i],
+            page_bytes=page_bytes,
+            itemsize=itemsize,
+            verify=verify,
+        )
+        for i in range(threads)
+    ]
+    return Workload(traces, name=f"spgemm-n{n}-d{density}", coalesce=coalesce)

@@ -1,0 +1,154 @@
+"""Instrumented stencil / STREAM kernel trace generators.
+
+Laghari and Unat [41] (paper section 1.3) design flat-mode placement
+for "computational kernels such as STREAM on KNL" — bandwidth-bound
+kernels with perfectly regular access. These traces are the polar
+opposite of BFS: pure streaming with working sets equal to the array
+size, so they stress the far channel with compulsory traffic and show
+the regime where every arbitration policy is equivalent (queue mostly
+short) until thread count crosses the channel capacity.
+
+Kernels:
+
+* :func:`stream_triad` — ``a[i] = b[i] + s * c[i]`` (the STREAM triad);
+* :func:`jacobi_stencil` — ``iters`` sweeps of the 1-D 3-point Jacobi
+  stencil with buffer swap, the textbook memory-bound PDE kernel.
+
+Both verified against numpy with logging paused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload, spawn_thread_seeds
+from .instrument import DEFAULT_ITEMSIZE, DEFAULT_PAGE_BYTES, AccessLogger, LoggingArray
+
+__all__ = [
+    "stream_triad",
+    "jacobi_stencil",
+    "stream_triad_trace",
+    "jacobi_trace",
+    "stream_triad_workload",
+    "jacobi_workload",
+]
+
+
+def stream_triad(
+    a: LoggingArray, b: LoggingArray, c: LoggingArray, scalar: float, n: int
+) -> None:
+    """STREAM triad: ``a[i] = b[i] + scalar * c[i]``."""
+    for i in range(n):
+        a[i] = b[i] + scalar * c[i]
+
+
+def jacobi_stencil(
+    a: LoggingArray, b: LoggingArray, n: int, iters: int
+) -> LoggingArray:
+    """``iters`` Jacobi sweeps of the 1-D 3-point stencil; returns the
+    buffer holding the final values."""
+    src, dst = a, b
+    for _ in range(iters):
+        dst[0] = src[0]
+        for i in range(1, n - 1):
+            dst[i] = (src[i - 1] + src[i] + src[i + 1]) / 3.0
+        dst[n - 1] = src[n - 1]
+        src, dst = dst, src
+    return src
+
+
+def stream_triad_trace(
+    n: int = 4096,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    verify: bool = True,
+) -> Trace:
+    """Page trace of one STREAM-triad pass over three n-element arrays."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    logger = AccessLogger(page_bytes=page_bytes)
+    b_np = rng.uniform(-1, 1, size=n)
+    c_np = rng.uniform(-1, 1, size=n)
+    scalar = 3.0
+    a = logger.array([0.0] * n, itemsize=itemsize, name="a")
+    b = logger.array(b_np, itemsize=itemsize, name="b")
+    c = logger.array(c_np, itemsize=itemsize, name="c")
+    stream_triad(a, b, c, scalar, n)
+    logger.pause()
+    if verify and not np.allclose(a.peek(), b_np + scalar * c_np):
+        raise AssertionError("instrumented triad disagrees with numpy")
+    return logger.to_trace(source="stream_triad", n=n, itemsize=itemsize)
+
+
+def jacobi_trace(
+    n: int = 2048,
+    iters: int = 4,
+    seed: int | np.random.Generator = 0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    verify: bool = True,
+) -> Trace:
+    """Page trace of ``iters`` Jacobi sweeps over an n-point grid."""
+    if n < 3:
+        raise ValueError(f"stencil needs n >= 3, got {n}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    logger = AccessLogger(page_bytes=page_bytes)
+    initial = rng.uniform(0, 1, size=n)
+    a = logger.array(initial, itemsize=itemsize, name="grid")
+    b = logger.array([0.0] * n, itemsize=itemsize, name="buffer")
+    final = jacobi_stencil(a, b, n, iters)
+    logger.pause()
+    if verify:
+        expected = initial.copy()
+        for _ in range(iters):
+            nxt = expected.copy()
+            nxt[1:-1] = (expected[:-2] + expected[1:-1] + expected[2:]) / 3.0
+            expected = nxt
+        if not np.allclose(final.peek(), expected):
+            raise AssertionError("instrumented stencil disagrees with numpy")
+    return logger.to_trace(source="jacobi", n=n, iters=iters, itemsize=itemsize)
+
+
+@register_workload("stream_triad")
+def stream_triad_workload(
+    threads: int,
+    seed: int = 0,
+    n: int = 4096,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    verify: bool = False,
+) -> Workload:
+    """STREAM-triad workload: ``threads`` independent passes."""
+    rngs = spawn_thread_seeds(seed, threads)
+    traces = [
+        stream_triad_trace(
+            n=n, seed=rngs[i], page_bytes=page_bytes, itemsize=itemsize,
+            verify=verify,
+        )
+        for i in range(threads)
+    ]
+    return Workload(traces, name=f"triad-n{n}", coalesce=coalesce)
+
+
+@register_workload("jacobi")
+def jacobi_workload(
+    threads: int,
+    seed: int = 0,
+    n: int = 2048,
+    iters: int = 4,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    itemsize: int = DEFAULT_ITEMSIZE,
+    coalesce: bool = False,
+    verify: bool = False,
+) -> Workload:
+    """Jacobi-stencil workload: ``threads`` independent grids."""
+    rngs = spawn_thread_seeds(seed, threads)
+    traces = [
+        jacobi_trace(
+            n=n, iters=iters, seed=rngs[i], page_bytes=page_bytes,
+            itemsize=itemsize, verify=verify,
+        )
+        for i in range(threads)
+    ]
+    return Workload(traces, name=f"jacobi-n{n}x{iters}", coalesce=coalesce)

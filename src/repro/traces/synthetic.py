@@ -1,0 +1,196 @@
+"""Synthetic page-reference generators.
+
+Statistical trace families for unit tests, property tests, and sweeps
+beyond the paper's instrumented kernels: uniform random, Zipf-skewed
+(cache-friendly hot sets), sequential streaming, strided, and phased
+(working set shifts over time — the regime where a good HBM partition
+"changes in each time step", paper section 1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Trace, Workload, register_workload, spawn_thread_seeds
+
+__all__ = [
+    "random_trace",
+    "zipf_trace",
+    "stream_trace",
+    "strided_trace",
+    "phased_trace",
+    "random_workload",
+    "zipf_workload",
+    "stream_workload",
+    "strided_workload",
+    "phased_workload",
+]
+
+
+def random_trace(
+    length: int, pages: int, rng: np.random.Generator
+) -> Trace:
+    """Uniform random references over ``pages`` distinct pages."""
+    if length < 0 or pages < 1:
+        raise ValueError(f"need length >= 0 and pages >= 1, got {length}, {pages}")
+    return Trace(
+        rng.integers(0, pages, size=length),
+        source="random",
+        params={"pages": pages},
+    )
+
+
+def zipf_trace(
+    length: int, pages: int, rng: np.random.Generator, s: float = 1.2
+) -> Trace:
+    """Zipf(s)-distributed references: a skewed, cache-friendly hot set."""
+    if s <= 0:
+        raise ValueError(f"zipf exponent must be > 0, got {s}")
+    ranks = np.arange(1, pages + 1, dtype=np.float64)
+    weights = ranks**-s
+    weights /= weights.sum()
+    # A fixed random page permutation decouples popularity from page id.
+    perm = rng.permutation(pages)
+    refs = perm[rng.choice(pages, size=length, p=weights)]
+    return Trace(refs, source="zipf", params={"pages": pages, "s": s})
+
+
+def stream_trace(length: int, pages: int) -> Trace:
+    """Pure sequential streaming: 0, 1, ..., pages-1, 0, 1, ...
+
+    The page-level image of a large sequential scan; equivalent to the
+    adversarial cycle but sized by reference count.
+    """
+    if length < 0 or pages < 1:
+        raise ValueError(f"need length >= 0 and pages >= 1, got {length}, {pages}")
+    return Trace(
+        np.arange(length, dtype=np.int64) % pages,
+        source="stream",
+        params={"pages": pages},
+    )
+
+
+def strided_trace(length: int, pages: int, stride: int) -> Trace:
+    """Fixed-stride references modulo the page set."""
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    return Trace(
+        (np.arange(length, dtype=np.int64) * stride) % pages,
+        source="strided",
+        params={"pages": pages, "stride": stride},
+    )
+
+
+def phased_trace(
+    phases: int,
+    phase_length: int,
+    pages_per_phase: int,
+    rng: np.random.Generator,
+    overlap: float = 0.0,
+) -> Trace:
+    """Working set shifts every ``phase_length`` references.
+
+    Each phase draws uniformly from its own window of
+    ``pages_per_phase`` pages; consecutive windows share an ``overlap``
+    fraction of pages. Stresses replacement policies and the dynamic
+    re-partitioning argument of section 1.1.
+    """
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError(f"overlap must be in [0, 1), got {overlap}")
+    if phases < 1 or phase_length < 1 or pages_per_phase < 1:
+        raise ValueError("phases, phase_length, pages_per_phase must be >= 1")
+    step = max(1, int(round(pages_per_phase * (1.0 - overlap))))
+    chunks = []
+    for ph in range(phases):
+        base = ph * step
+        chunks.append(base + rng.integers(0, pages_per_phase, size=phase_length))
+    return Trace(
+        np.concatenate(chunks),
+        source="phased",
+        params={
+            "phases": phases,
+            "phase_length": phase_length,
+            "pages_per_phase": pages_per_phase,
+            "overlap": overlap,
+        },
+    )
+
+
+@register_workload("random")
+def random_workload(
+    threads: int,
+    seed: int = 0,
+    length: int = 10_000,
+    pages: int = 512,
+) -> Workload:
+    """Uniform-random workload."""
+    rngs = spawn_thread_seeds(seed, threads)
+    return Workload(
+        [random_trace(length, pages, r) for r in rngs],
+        name=f"random-l{length}-u{pages}",
+    )
+
+
+@register_workload("zipf")
+def zipf_workload(
+    threads: int,
+    seed: int = 0,
+    length: int = 10_000,
+    pages: int = 512,
+    s: float = 1.2,
+) -> Workload:
+    """Zipf-skewed workload."""
+    rngs = spawn_thread_seeds(seed, threads)
+    return Workload(
+        [zipf_trace(length, pages, r, s=s) for r in rngs],
+        name=f"zipf{s}-l{length}-u{pages}",
+    )
+
+
+@register_workload("stream")
+def stream_workload(
+    threads: int,
+    seed: int = 0,  # noqa: ARG001 - deterministic, kept for API symmetry
+    length: int = 10_000,
+    pages: int = 512,
+) -> Workload:
+    """Sequential-streaming workload."""
+    return Workload(
+        [stream_trace(length, pages) for _ in range(threads)],
+        name=f"stream-l{length}-u{pages}",
+    )
+
+
+@register_workload("stride")
+def strided_workload(
+    threads: int,
+    seed: int = 0,  # noqa: ARG001 - deterministic, kept for API symmetry
+    length: int = 10_000,
+    pages: int = 512,
+    stride: int = 7,
+) -> Workload:
+    """Fixed-stride workload."""
+    return Workload(
+        [strided_trace(length, pages, stride) for _ in range(threads)],
+        name=f"stride{stride}-l{length}-u{pages}",
+    )
+
+
+@register_workload("phased")
+def phased_workload(
+    threads: int,
+    seed: int = 0,
+    phases: int = 8,
+    phase_length: int = 2_000,
+    pages_per_phase: int = 128,
+    overlap: float = 0.25,
+) -> Workload:
+    """Phase-shifting workload."""
+    rngs = spawn_thread_seeds(seed, threads)
+    return Workload(
+        [
+            phased_trace(phases, phase_length, pages_per_phase, r, overlap=overlap)
+            for r in rngs
+        ],
+        name=f"phased-{phases}x{phase_length}",
+    )

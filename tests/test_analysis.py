@@ -1,0 +1,163 @@
+"""Tests for repro.analysis (sweep, tables, plots, stats)."""
+
+import numpy as np
+
+from repro.analysis import (
+    SweepJob,
+    SweepRunner,
+    WorkloadSpec,
+    fairness_summary,
+    format_table,
+    group_records,
+    line_plot,
+    ratio_series,
+    run_sweep,
+    scatter_plot,
+    to_csv,
+    write_csv,
+)
+from repro.core import SimulationConfig, run_simulation
+
+
+def demo_jobs(threads=(2, 4), arbs=("fifo", "priority"), k=32):
+    jobs = []
+    for p in threads:
+        spec = WorkloadSpec.make(
+            "adversarial_cycle", threads=p, pages=16, repeats=4
+        )
+        for arb in arbs:
+            jobs.append(SweepJob(spec, SimulationConfig(hbm_slots=k, arbitration=arb)))
+    return jobs
+
+
+class TestWorkloadSpec:
+    def test_build_matches_factory(self):
+        spec = WorkloadSpec.make("random", threads=3, seed=2, length=50, pages=8)
+        wl = spec.build()
+        assert wl.num_threads == 3
+        assert wl.total_references == 150
+
+    def test_hashable_and_param_order_independent(self):
+        a = WorkloadSpec.make("random", 2, length=10, pages=4)
+        b = WorkloadSpec.make("random", 2, pages=4, length=10)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe(self):
+        text = WorkloadSpec.make("sort", 4, n=100).describe()
+        assert "sort" in text and "n=100" in text
+
+
+class TestSweep:
+    def test_sequential_matches_parallel(self, tmp_path):
+        jobs = demo_jobs()
+        seq = run_sweep(jobs, processes=1, cache_dir=tmp_path / "c1")
+        par = run_sweep(jobs, processes=4, cache_dir=tmp_path / "c2")
+        assert [r.makespan for r in seq] == [r.makespan for r in par]
+        assert [r.inconsistency for r in seq] == [r.inconsistency for r in par]
+
+    def test_records_preserve_job_identity(self):
+        jobs = demo_jobs(threads=(2,))
+        records = run_sweep(jobs, processes=1)
+        assert [r.job for r in records] == jobs
+
+    def test_empty_jobs(self):
+        assert run_sweep([], processes=2) == []
+
+    def test_prepare_warms_cache(self, tmp_path):
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        jobs = demo_jobs(threads=(2,))
+        runner.prepare(jobs)
+        assert list(tmp_path.glob("*.npz"))
+
+    def test_record_row_is_flat(self):
+        records = run_sweep(demo_jobs(threads=(2,)), processes=1)
+        row = records[0].row()
+        assert row["threads"] == 2
+        assert row["arbitration"] in ("fifo", "priority")
+        assert isinstance(row["makespan"], int)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": None}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-" in lines[2]
+        assert len({len(l) for l in lines[1:]}) == 1  # rectangular
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_csv_round_trip(self, tmp_path):
+        rows = [{"x": 1, "y": 2.5}, {"x": 3, "y": None}]
+        text = to_csv(rows)
+        assert text.splitlines()[0] == "x,y"
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        assert path.read_text().splitlines()[1] == "1,2.5"
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestPlots:
+    def test_line_plot_contains_markers_and_labels(self):
+        text = line_plot(
+            {"s": [(1, 1), (2, 4), (3, 9)]},
+            title="squares",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert "squares" in text
+        assert "o" in text
+        assert "y" in text
+
+    def test_plot_no_data(self):
+        assert "(no data)" in line_plot({"s": []}, title="t")
+
+    def test_log_x(self):
+        text = line_plot(
+            {"s": [(1024, 1), (1048576, 2)]}, logx=True, width=30, height=6
+        )
+        assert "|" in text
+
+    def test_scatter_multiple_series_distinct_markers(self):
+        text = scatter_plot({"a": [(0, 0)], "b": [(1, 1)]}, width=20, height=5)
+        assert "o a" in text and "x b" in text
+
+    def test_constant_series_does_not_crash(self):
+        line_plot({"s": [(1, 5), (2, 5)]})
+
+
+class TestStats:
+    def test_ratio_series_matching(self):
+        records = run_sweep(demo_jobs(threads=(2, 4)), processes=1)
+        series = ratio_series(records, "fifo", "priority")
+        assert [x for x, _ in series] == [2, 4]
+        assert all(r > 0 for _, r in series)
+
+    def test_ratio_series_missing_pair_skipped(self):
+        records = run_sweep(demo_jobs(threads=(2,), arbs=("fifo",)), processes=1)
+        assert ratio_series(records, "fifo", "priority") == []
+
+    def test_group_records(self):
+        records = run_sweep(demo_jobs(threads=(2, 4)), processes=1)
+        groups = group_records(records, lambda r: r.job.workload.threads)
+        assert set(groups) == {2, 4}
+        assert all(len(v) == 2 for v in groups.values())
+
+    def test_fairness_summary_keys(self):
+        result = run_simulation(
+            [[0, 1, 2], [10, 11, 12]], hbm_slots=4, arbitration="priority"
+        )
+        summary = fairness_summary(result)
+        assert summary["makespan"] == result.makespan
+        assert summary["worst_thread_max_wait"] >= summary["median_thread_max_wait"]
+        assert summary["mean_wait_ratio_worst_to_best"] >= 1.0

@@ -1,0 +1,301 @@
+"""Tests for repro.core.arbitration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arbitration import (
+    CyclePriorityArbitration,
+    CycleReversePriorityArbitration,
+    DynamicPriorityArbitration,
+    FIFOArbitration,
+    InterleavePriorityArbitration,
+    PriorityArbitration,
+    RandomArbitration,
+    RoundRobinArbitration,
+    make_arbitration_policy,
+    riffle_permutation,
+)
+
+ALL_NAMES = [
+    "fifo",
+    "priority",
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+    "random",
+    "round_robin",
+]
+
+
+def make(name, p=8, T=16, seed=0):
+    return make_arbitration_policy(
+        name, p, remap_period=T, rng=np.random.default_rng(seed)
+    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_builds_each_policy(self, name):
+        policy = make(name)
+        assert policy.name == name
+        assert policy.num_threads == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown arbitration"):
+            make_arbitration_policy("nope", 4)
+
+    @pytest.mark.parametrize(
+        "name", ["dynamic_priority", "cycle_priority", "interleave_priority"]
+    )
+    def test_remapping_policies_require_period(self, name):
+        with pytest.raises(ValueError, match="remap_period"):
+            make_arbitration_policy(name, 4)
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ValueError, match="num_threads"):
+            FIFOArbitration(0)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_enqueue_select_drains(self, name):
+        policy = make(name)
+        for thread in range(5):
+            policy.enqueue(thread)
+        assert len(policy) == 5
+        granted = policy.select(3)
+        assert len(granted) == 3
+        assert len(policy) == 2
+        granted += policy.select(10)
+        assert len(policy) == 0
+        assert sorted(granted) == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_select_on_empty_returns_nothing(self, name):
+        assert make(name).select(4) == []
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_no_duplicates_across_selects(self, name):
+        policy = make(name)
+        for thread in range(8):
+            policy.enqueue(thread)
+        seen = []
+        while len(policy):
+            seen += policy.select(2)
+        assert sorted(seen) == list(range(8))
+
+
+class TestFIFO:
+    def test_arrival_order(self):
+        fifo = FIFOArbitration(8)
+        for thread in (3, 1, 7, 2):
+            fifo.enqueue(thread)
+        assert fifo.select(2) == [3, 1]
+        fifo.enqueue(5)
+        assert fifo.select(3) == [7, 2, 5]
+
+
+class TestStaticPriority:
+    def test_lowest_rank_first(self):
+        prio = PriorityArbitration(8)
+        for thread in (5, 2, 7, 0):
+            prio.enqueue(thread)
+        assert prio.select(2) == [0, 2]
+        assert prio.select(2) == [5, 7]
+
+    def test_priorities_identity(self):
+        prio = PriorityArbitration(4)
+        assert list(prio.priorities()) == [0, 1, 2, 3]
+
+    def test_new_high_priority_arrival_preempts(self):
+        prio = PriorityArbitration(8)
+        prio.enqueue(6)
+        prio.enqueue(4)
+        prio.enqueue(1)
+        assert prio.select(1) == [1]
+        prio.enqueue(0)
+        assert prio.select(1) == [0]
+
+    def test_begin_tick_without_period_never_remaps(self):
+        prio = PriorityArbitration(4)
+        for t in range(100):
+            prio.begin_tick(t)
+        assert prio.remap_count == 0
+
+
+class TestCyclePriority:
+    def test_definition_1_increment_mod_p(self):
+        cyc = CyclePriorityArbitration(4, remap_period=10)
+        assert list(cyc.priorities()) == [0, 1, 2, 3]
+        cyc.remap()
+        assert list(cyc.priorities()) == [1, 2, 3, 0]
+        cyc.remap()
+        assert list(cyc.priorities()) == [2, 3, 0, 1]
+
+    def test_remap_happens_on_period_boundaries(self):
+        cyc = CyclePriorityArbitration(4, remap_period=5)
+        for t in range(11):
+            cyc.begin_tick(t)
+        # boundaries at t = 0, 5, 10
+        assert cyc.remap_count == 3
+
+    def test_remap_reorders_waiting_threads(self):
+        cyc = CyclePriorityArbitration(2, remap_period=100)
+        cyc.enqueue(0)
+        cyc.enqueue(1)
+        cyc.remap()  # thread 1 now rank 0
+        assert cyc.select(2) == [1, 0]
+
+    def test_every_thread_reaches_top_within_p_remaps(self):
+        p = 6
+        cyc = CyclePriorityArbitration(p, remap_period=1)
+        tops = set()
+        for _ in range(p):
+            ranks = cyc.priorities()
+            tops.add(int(np.argmin(ranks)))
+            cyc.remap()
+        assert tops == set(range(p))
+
+
+class TestCycleReverse:
+    def test_decrement_mod_p(self):
+        cyc = CycleReversePriorityArbitration(4, remap_period=10)
+        cyc.remap()
+        assert list(cyc.priorities()) == [3, 0, 1, 2]
+
+    def test_inverse_of_cycle(self):
+        fwd = CyclePriorityArbitration(5, remap_period=10)
+        rev = CycleReversePriorityArbitration(5, remap_period=10)
+        fwd.remap()
+        rev.remap()
+        combined = rev.priorities()[np.argsort(fwd.priorities())]
+        # applying forward then reverse restores identity ranks
+        fwd2 = CyclePriorityArbitration(5, remap_period=10)
+        fwd2.remap()
+        back = (fwd2.priorities() + 4) % 5
+        assert list(back) == [0, 1, 2, 3, 4]
+
+
+class TestDynamicPriority:
+    def test_remap_is_a_permutation(self):
+        dyn = DynamicPriorityArbitration(16, remap_period=4, rng=np.random.default_rng(3))
+        for _ in range(5):
+            dyn.remap()
+            assert sorted(dyn.priorities()) == list(range(16))
+
+    def test_deterministic_under_seed(self):
+        a = DynamicPriorityArbitration(8, remap_period=4, rng=np.random.default_rng(9))
+        b = DynamicPriorityArbitration(8, remap_period=4, rng=np.random.default_rng(9))
+        for _ in range(4):
+            a.remap()
+            b.remap()
+        assert list(a.priorities()) == list(b.priorities())
+
+    def test_remap_changes_selection_order(self):
+        rng = np.random.default_rng(1)
+        dyn = DynamicPriorityArbitration(64, remap_period=4, rng=rng)
+        for thread in range(64):
+            dyn.enqueue(thread)
+        dyn.remap()
+        order = dyn.select(64)
+        assert order != list(range(64))  # astronomically unlikely to be identity
+        assert sorted(order) == list(range(64))
+
+
+class TestInterleave:
+    def test_riffle_permutation_even(self):
+        ranks = np.arange(6)
+        assert list(riffle_permutation(ranks)) == [0, 2, 4, 1, 3, 5]
+
+    def test_riffle_permutation_odd(self):
+        ranks = np.arange(5)
+        # top half (ranks 0,1,2) -> 0,2,4; bottom half (3,4) -> 1,3
+        assert list(riffle_permutation(ranks)) == [0, 2, 4, 1, 3]
+
+    def test_riffle_is_a_permutation(self):
+        for p in (1, 2, 3, 7, 16, 33):
+            ranks = riffle_permutation(np.arange(p))
+            assert sorted(ranks) == list(range(p))
+
+    def test_interleave_remap(self):
+        pol = InterleavePriorityArbitration(4, remap_period=10)
+        pol.remap()
+        assert sorted(pol.priorities()) == [0, 1, 2, 3]
+        assert list(pol.priorities()) == [0, 2, 1, 3]
+
+
+class TestRandomArbitration:
+    def test_deterministic_under_seed(self):
+        a = make("random", seed=5)
+        b = make("random", seed=5)
+        for thread in range(8):
+            a.enqueue(thread)
+            b.enqueue(thread)
+        assert a.select(8) == b.select(8)
+
+    def test_uniformity_rough(self):
+        """Each thread should be picked first a fair share of the time."""
+        rng = np.random.default_rng(0)
+        firsts = []
+        for _ in range(600):
+            pol = RandomArbitration(4, rng=rng)
+            for thread in range(4):
+                pol.enqueue(thread)
+            firsts.append(pol.select(1)[0])
+        counts = np.bincount(firsts, minlength=4)
+        assert counts.min() > 80  # expected 150 each
+
+
+class TestRoundRobin:
+    def test_cycles_after_last_grant(self):
+        rr = RoundRobinArbitration(4)
+        for thread in range(4):
+            rr.enqueue(thread)
+        assert rr.select(2) == [0, 1]
+        rr.enqueue(0)
+        rr.enqueue(1)
+        # pointer sits after 1 -> grants 2, 3 before wrapping to 0, 1
+        assert rr.select(4) == [2, 3, 0, 1]
+
+    def test_duplicate_enqueue_ignored(self):
+        rr = RoundRobinArbitration(4)
+        rr.enqueue(2)
+        rr.enqueue(2)
+        assert len(rr) == 1
+        assert rr.select(4) == [2]
+
+
+# -- property-based invariants -------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from(ALL_NAMES),
+    st.integers(min_value=1, max_value=16),
+    st.data(),
+)
+def test_arbitration_conserves_requests(name, p, data):
+    """Enqueued thread ids come out exactly once, regardless of policy."""
+    policy = make(name, p=p, T=8, seed=1)
+    pending: set[int] = set()
+    enqueued: list[int] = []
+    out: list[int] = []
+    available = list(range(p))
+    for step in range(30):
+        policy.begin_tick(step)
+        if available and data.draw(st.booleans(), label=f"enqueue@{step}"):
+            thread = available.pop()
+            policy.enqueue(thread)
+            pending.add(thread)
+            enqueued.append(thread)
+        granted = policy.select(data.draw(st.integers(0, 4), label=f"q@{step}"))
+        for g in granted:
+            assert g in pending
+            pending.discard(g)
+            out.append(g)
+        assert len(policy) == len(pending)
+    out += policy.select(p)
+    assert sorted(out) == sorted(enqueued)

@@ -1,0 +1,127 @@
+"""Tests for repro.traces.characterize (locality analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_simulation
+from repro.traces import (
+    characterize,
+    cyclic_trace,
+    miss_ratio_curve,
+    reuse_distances,
+    working_set_profile,
+)
+
+
+class TestReuseDistances:
+    def test_cold_references_are_minus_one(self):
+        assert list(reuse_distances([1, 2, 3])) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        assert list(reuse_distances([1, 1])) == [-1, 0]
+
+    def test_textbook_example(self):
+        # a b c a : distance of the second a is 2 (b and c in between)
+        assert list(reuse_distances([1, 2, 3, 1])) == [-1, -1, -1, 2]
+
+    def test_duplicates_between_count_once(self):
+        # a b b a : only one distinct page between the two a's
+        assert list(reuse_distances([1, 2, 2, 1])) == [-1, -1, 0, 1]
+
+    def test_cyclic_distance_is_m_minus_one(self):
+        trace = cyclic_trace(8, 3).pages
+        distances = reuse_distances(trace)
+        assert (distances[8:] == 7).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 10), max_size=120))
+    def test_distances_bounded_by_distinct_pages(self, trace):
+        distances = reuse_distances(np.asarray(trace, dtype=np.int64))
+        if len(trace):
+            assert distances.max(initial=-1) < max(len(set(trace)), 1)
+            # cold count equals distinct count
+            assert (distances == -1).sum() == len(set(trace))
+
+
+class TestMissRatioCurve:
+    def test_monotone_nonincreasing_in_capacity(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 40, size=800)
+        curve = miss_ratio_curve(trace, [1, 2, 4, 8, 16, 32, 64])
+        ratios = [r for _, r in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_matches_actual_lru_simulation(self):
+        """Mattson stack analysis == counting misses in a real LRU run."""
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 30, size=500).tolist()
+        for k in (2, 8, 16):
+            predicted = dict(miss_ratio_curve(trace, [k]))[k]
+            result = run_simulation([trace], hbm_slots=k)
+            assert result.misses / result.total_requests == pytest.approx(
+                predicted
+            )
+
+    def test_cyclic_cliff(self):
+        trace = cyclic_trace(16, 10).pages
+        curve = dict(miss_ratio_curve(trace, [15, 16]))
+        assert curve[15] == 1.0  # LRU cyclic pathology
+        assert curve[16] == pytest.approx(0.1)  # cold misses only
+
+    def test_empty_trace(self):
+        assert miss_ratio_curve([], [4]) == [(4, 0.0)]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            miss_ratio_curve([1], [0])
+
+
+class TestWorkingSetProfile:
+    def test_window_partitioning(self):
+        trace = [1, 1, 2, 3, 3, 3]
+        assert list(working_set_profile(trace, 3)) == [2, 1]
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            working_set_profile([1], 0)
+
+    def test_phased_trace_shows_shift(self):
+        from repro.traces import phased_trace
+
+        trace = phased_trace(3, 200, 16, np.random.default_rng(0)).pages
+        profile = working_set_profile(trace, 200)
+        assert len(profile) == 3
+        assert profile.max() <= 16
+
+
+class TestCharacterize:
+    def test_empty(self):
+        profile = characterize([])
+        assert profile.references == 0
+        assert profile.unique_pages == 0
+
+    def test_cyclic_profile(self):
+        trace = cyclic_trace(64, 10).pages
+        profile = characterize(trace, capacities=(32, 64), window=64)
+        assert profile.unique_pages == 64
+        assert profile.cold_fraction == pytest.approx(0.1)
+        assert profile.lru_miss_ratio_at[32] == 1.0
+        assert profile.lru_miss_ratio_at[64] == pytest.approx(0.1)
+        assert profile.max_window_working_set == 64
+
+    def test_summary_renders(self):
+        text = characterize([1, 2, 1, 2], capacities=(2,), window=2).summary()
+        assert "miss ratio" in text
+        assert "references" in text
+
+    def test_sort_trace_is_cache_friendly(self):
+        """Introsort has short reuse distances — the reason its fig2b
+        crossover needs tiny HBM sizes (EXPERIMENTS.md design note)."""
+        from repro.traces import introsort_trace
+
+        trace = introsort_trace(400, seed=0, page_bytes=256).pages
+        profile = characterize(trace, capacities=(8, 64), window=256)
+        assert profile.median_reuse_distance < 8
+        assert profile.lru_miss_ratio_at[64] < 0.05

@@ -1,0 +1,108 @@
+"""Tests for the hbm-repro CLI."""
+
+import pytest
+
+from repro._cli import _parse_params, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out and "tab2b" in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "spgemm" in out and "sort" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_rejects_unknown_id(self, capsys):
+        assert main(["run", "not-an-experiment"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+
+class TestParamParsing:
+    def test_types_inferred(self):
+        params = _parse_params(["n=100", "density=0.25", "coalesce=true", "tag=x"])
+        assert params == {"n": 100, "density": 0.25, "coalesce": True, "tag": "x"}
+
+    def test_rejects_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestRunCommands:
+    def test_simulate_prints_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "adversarial_cycle",
+                "--threads",
+                "4",
+                "--hbm-slots",
+                "32",
+                "--param",
+                "pages=16",
+                "--param",
+                "repeats=2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "thm4",
+                "--scale",
+                "smoke",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "thm4.csv").exists()
+        assert (tmp_path / "thm4.txt").exists()
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_profile_prints_locality(self, capsys):
+        code = main(
+            [
+                "profile",
+                "adversarial_cycle",
+                "--param",
+                "pages=16",
+                "--param",
+                "repeats=3",
+                "--capacities",
+                "8,16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert "reuse distance" in out
+
+    def test_run_exit_code_on_failed_checks(self, monkeypatch, capsys):
+        from repro.experiments import registry
+        from repro.experiments.base import ExperimentOutput
+
+        def fake(scale="smoke", processes=None, cache_dir=None, seed=0):
+            return ExperimentOutput(
+                experiment_id="thm4",
+                title="fake",
+                scale=scale,
+                rows=[],
+                text="",
+                checks={"doomed": False},
+            )
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "thm4", (fake, "fake"))
+        assert main(["run", "thm4"]) == 1
+        assert "FAILED shape checks" in capsys.readouterr().err

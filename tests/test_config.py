@@ -1,0 +1,86 @@
+"""Tests for repro.core.config."""
+
+import pickle
+
+import pytest
+
+from repro.core import ARBITRATION_POLICIES, REPLACEMENT_POLICIES, SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = SimulationConfig(hbm_slots=100)
+        assert cfg.channels == 1
+        assert cfg.replacement == "lru"
+        assert cfg.arbitration == "fifo"
+        assert cfg.protect_pending is True
+
+    @pytest.mark.parametrize("k", [0, -1, -100])
+    def test_rejects_bad_hbm_slots(self, k):
+        with pytest.raises(ValueError, match="hbm_slots"):
+            SimulationConfig(hbm_slots=k)
+
+    @pytest.mark.parametrize("q", [0, -3])
+    def test_rejects_bad_channels(self, q):
+        with pytest.raises(ValueError, match="channels"):
+            SimulationConfig(hbm_slots=10, channels=q)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ValueError, match="replacement"):
+            SimulationConfig(hbm_slots=10, replacement="magic")
+
+    def test_rejects_unknown_arbitration(self):
+        with pytest.raises(ValueError, match="arbitration"):
+            SimulationConfig(hbm_slots=10, arbitration="magic")
+
+    def test_rejects_bad_remap_period(self):
+        with pytest.raises(ValueError, match="remap_period"):
+            SimulationConfig(hbm_slots=10, remap_period=0)
+
+    def test_rejects_bad_timeline_stride(self):
+        with pytest.raises(ValueError, match="timeline_stride"):
+            SimulationConfig(hbm_slots=10, timeline_stride=0)
+
+    def test_rejects_bad_max_ticks(self):
+        with pytest.raises(ValueError, match="max_ticks"):
+            SimulationConfig(hbm_slots=10, max_ticks=0)
+
+    @pytest.mark.parametrize("name", REPLACEMENT_POLICIES)
+    def test_all_registered_replacements_accepted(self, name):
+        assert SimulationConfig(hbm_slots=10, replacement=name).replacement == name
+
+    @pytest.mark.parametrize("name", ARBITRATION_POLICIES)
+    def test_all_registered_arbitrations_accepted(self, name):
+        assert SimulationConfig(hbm_slots=10, arbitration=name).arbitration == name
+
+
+class TestRoundTrips:
+    def test_replace_returns_modified_copy(self):
+        cfg = SimulationConfig(hbm_slots=100)
+        other = cfg.replace(channels=4)
+        assert other.channels == 4
+        assert cfg.channels == 1  # original untouched
+
+    def test_replace_validates(self):
+        cfg = SimulationConfig(hbm_slots=100)
+        with pytest.raises(ValueError):
+            cfg.replace(channels=0)
+
+    def test_dict_round_trip(self):
+        cfg = SimulationConfig(
+            hbm_slots=64,
+            channels=3,
+            arbitration="dynamic_priority",
+            remap_period=640,
+            seed=7,
+        )
+        assert SimulationConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_ignores_unknown_keys(self):
+        cfg = SimulationConfig.from_dict({"hbm_slots": 5, "bogus": 1})
+        assert cfg.hbm_slots == 5
+
+    def test_hashable_and_picklable(self):
+        cfg = SimulationConfig(hbm_slots=64, seed=3)
+        assert hash(cfg) == hash(cfg.replace())
+        assert pickle.loads(pickle.dumps(cfg)) == cfg

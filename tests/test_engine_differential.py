@@ -1,0 +1,155 @@
+"""Differential testing: the engine vs an independent reference simulator.
+
+The reference below is written straight from the paper's section 3.1
+pseudo-code with no sharing of code or data structures with
+``repro.core.engine`` (plain dicts/lists, no fast paths, no
+engine-tracked queue length). Any divergence in makespan, response-time
+histogram, or per-thread completion times on randomized workloads flags
+a bug in one of the two implementations.
+"""
+
+from collections import OrderedDict, deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationConfig, Simulator
+
+
+def reference_simulate(traces, k, q=1, arbitration="fifo"):
+    """Naive tick-by-tick simulation of the paper's five steps.
+
+    Supports FIFO and static Priority arbitration with LRU replacement
+    and pending-page protection (the engine's default configuration).
+    Returns (makespan, histogram, completion_ticks).
+    """
+    p = len(traces)
+    pos = [0] * p
+    current = [t[0] if len(t) else None for t in traces]
+    request_tick = [0] * p
+    state = ["ready" if len(t) else "done" for t in traces]
+    lru: OrderedDict[int, None] = OrderedDict()  # front = LRU
+    fifo_queue: deque[int] = deque()
+    waiting: list[int] = []  # for priority: waiting thread ids
+    hist: dict[int, int] = {}
+    completion = [0] * p
+    t = 0
+    while any(s != "done" for s in state):
+        # step 2: enqueue misses (thread-id order)
+        for i in range(p):
+            if state[i] == "ready" and current[i] not in lru:
+                state[i] = "waiting"
+                if arbitration == "fifo":
+                    fifo_queue.append(i)
+                else:
+                    waiting.append(i)
+        # step 3: evict to make room
+        queue_len = len(fifo_queue) if arbitration == "fifo" else len(waiting)
+        will_fetch = min(q, queue_len)
+        protected = {current[i] for i in range(p) if state[i] != "done"}
+        need = will_fetch - (k - len(lru))
+        while need > 0:
+            victim = None
+            for page in lru:  # front-to-back = LRU order
+                if page not in protected:
+                    victim = page
+                    break
+            if victim is None:
+                break
+            del lru[victim]
+            need -= 1
+        if need > 0:
+            will_fetch -= need
+        # step 4: serve resident current requests
+        for i in range(p):
+            if state[i] == "ready" and current[i] in lru:
+                lru.move_to_end(current[i])
+                w = t - request_tick[i] + 1
+                hist[w] = hist.get(w, 0) + 1
+                pos[i] += 1
+                if pos[i] >= len(traces[i]):
+                    state[i] = "done"
+                    completion[i] = t + 1
+                    current[i] = None
+                else:
+                    current[i] = traces[i][pos[i]]
+                    request_tick[i] = t + 1
+        # step 5: fetch up to will_fetch queued pages
+        for _ in range(will_fetch):
+            if arbitration == "fifo":
+                i = fifo_queue.popleft()
+            else:
+                i = min(waiting)  # identity priorities: lowest id first
+                waiting.remove(i)
+            if current[i] not in lru:
+                lru[current[i]] = None
+            state[i] = "ready"
+        t += 1
+        assert t < 10_000_000, "reference simulator runaway"
+    makespan = max(completion)
+    return makespan, hist, completion
+
+
+def run_engine(traces, k, q, arbitration):
+    config = SimulationConfig(hbm_slots=k, channels=q, arbitration=arbitration)
+    return Simulator(traces, config).run()
+
+
+class TestHandCases:
+    @pytest.mark.parametrize("arbitration", ["fifo", "priority"])
+    def test_simple_two_thread(self, arbitration):
+        traces = [[0, 1, 0], [10, 11]]
+        makespan, hist, completion = reference_simulate(traces, 4, 1, arbitration)
+        result = run_engine(traces, 4, 1, arbitration)
+        assert result.makespan == makespan
+        assert result.response_histogram == hist
+        assert list(result.completion_ticks) == completion
+
+    def test_contended_cycle(self):
+        traces = [[100 * i + j for j in range(8)] * 3 for i in range(4)]
+        for arbitration in ("fifo", "priority"):
+            makespan, hist, _ = reference_simulate(traces, 8, 1, arbitration)
+            result = run_engine(traces, 8, 1, arbitration)
+            assert result.makespan == makespan, arbitration
+            assert result.response_histogram == hist, arbitration
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 12), min_size=0, max_size=30),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(1, 10),
+    st.integers(1, 3),
+    st.sampled_from(["fifo", "priority"]),
+)
+def test_engine_matches_reference_on_random_workloads(raw, k, q, arbitration):
+    # namespace pages per thread (model Property 1)
+    traces = [[1000 * i + page for page in t] for i, t in enumerate(raw)]
+    if all(len(t) == 0 for t in traces):
+        return
+    makespan, hist, completion = reference_simulate(traces, k, q, arbitration)
+    result = run_engine(traces, k, q, arbitration)
+    assert result.makespan == makespan
+    assert result.response_histogram == hist
+    assert list(result.completion_ticks) == completion
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_engine_matches_reference_on_zipf(seed):
+    rng = np.random.default_rng(seed)
+    p = int(rng.integers(2, 5))
+    traces = [
+        (1000 * i + rng.zipf(1.5, size=60).clip(max=40)).tolist() for i in range(p)
+    ]
+    k = int(rng.integers(2, 30))
+    for arbitration in ("fifo", "priority"):
+        makespan, hist, _ = reference_simulate(traces, k, 1, arbitration)
+        result = run_engine(traces, k, 1, arbitration)
+        assert result.makespan == makespan
+        assert result.response_histogram == hist

@@ -1,0 +1,149 @@
+"""Scenario and consistency tests for the engine beyond the basics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationConfig, Simulator, run_simulation
+from repro.theory import makespan_lower_bound
+from repro.traces import make_workload
+
+
+class TestResponseLogConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 10), max_size=25), min_size=1, max_size=4),
+        st.integers(1, 6),
+        st.sampled_from(["fifo", "priority", "random"]),
+    )
+    def test_log_matches_histogram(self, raw, k, arb):
+        traces = [[100 * i + p for p in t] for i, t in enumerate(raw)]
+        result = run_simulation(
+            traces, hbm_slots=k, arbitration=arb, record_responses=True, seed=2
+        )
+        all_w = (
+            np.concatenate(result.response_log)
+            if any(len(log) for log in result.response_log)
+            else np.array([])
+        )
+        rebuilt: dict[int, int] = {}
+        for w in all_w.tolist():
+            rebuilt[w] = rebuilt.get(w, 0) + 1
+        assert rebuilt == result.response_histogram
+
+    def test_per_thread_log_lengths(self):
+        traces = [[0, 1, 2], [10], []]
+        result = run_simulation(traces, hbm_slots=8, record_responses=True)
+        assert [len(log) for log in result.response_log] == [3, 1, 0]
+
+
+class TestChannelsAndRemapInteractions:
+    def test_many_channels_with_dynamic_priority(self):
+        wl = make_workload("adversarial_cycle", threads=12, pages=16, repeats=6)
+        result = run_simulation(
+            wl.traces,
+            hbm_slots=48,
+            channels=5,
+            arbitration="dynamic_priority",
+            remap_period=48,
+            seed=4,
+        )
+        assert result.total_requests == wl.total_references
+        assert result.remap_count >= 1
+
+    def test_remap_every_tick(self):
+        wl = make_workload("random", threads=6, length=200, pages=16)
+        result = run_simulation(
+            wl.traces,
+            hbm_slots=24,
+            arbitration="dynamic_priority",
+            remap_period=1,
+            seed=0,
+        )
+        assert result.remap_count == result.ticks
+
+    def test_q_exceeding_thread_count(self):
+        traces = [[i] for i in range(3)]
+        result = run_simulation(traces, hbm_slots=8, channels=16)
+        assert result.makespan == 2  # all fetched in one tick, served next
+
+    @pytest.mark.parametrize("q", [1, 2, 3, 7])
+    def test_more_channels_never_slow_fifo(self, q):
+        wl = make_workload("adversarial_cycle", threads=8, pages=16, repeats=5)
+        base = run_simulation(wl.traces, hbm_slots=32, channels=1)
+        faster = run_simulation(wl.traces, hbm_slots=32, channels=q)
+        assert faster.makespan <= base.makespan
+
+
+class TestTimelineSemantics:
+    def test_queue_column_bounded_by_threads(self):
+        wl = make_workload("adversarial_cycle", threads=6, pages=12, repeats=4)
+        result = run_simulation(
+            wl.traces,
+            hbm_slots=18,
+            collect_timeline=True,
+            timeline_stride=1,
+        )
+        queue = result.timeline[:, 1]
+        assert queue.max() <= 6  # one outstanding request per core
+        ready = result.timeline[:, 3]
+        assert ready.max() <= 6
+
+    def test_occupancy_never_exceeds_capacity_and_fills(self):
+        wl = make_workload("random", threads=4, length=300, pages=30)
+        result = run_simulation(
+            wl.traces, hbm_slots=10, collect_timeline=True, timeline_stride=1
+        )
+        occupancy = result.timeline[:, 2]
+        assert occupancy.max() == 10  # fills under pressure
+        assert occupancy.min() >= 0
+
+
+class TestLowerBoundIntegration:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from(["random", "zipf", "stream", "adversarial_cycle"]),
+        st.integers(1, 3),
+        st.sampled_from(["fifo", "priority", "dynamic_priority"]),
+    )
+    def test_no_generated_workload_beats_the_bound(self, kind, q, arb):
+        kwargs = (
+            dict(pages=12, repeats=4)
+            if kind == "adversarial_cycle"
+            else dict(length=150, pages=12)
+        )
+        wl = make_workload(kind, threads=4, seed=1, **kwargs)
+        bound = makespan_lower_bound(wl.traces, hbm_slots=8, channels=q)
+        result = run_simulation(
+            wl.traces,
+            hbm_slots=8,
+            channels=q,
+            arbitration=arb,
+            remap_period=80 if arb == "dynamic_priority" else None,
+            seed=1,
+        )
+        assert result.makespan >= bound.value
+
+
+class TestBeladyEngineWiring:
+    def test_belady_beats_lru_on_cyclic_pressure(self):
+        # cyclic scans are LRU's worst case and MIN's showcase
+        trace = list(range(12)) * 8
+        lru = run_simulation([trace], hbm_slots=6, replacement="lru")
+        belady = run_simulation([trace], hbm_slots=6, replacement="belady")
+        assert lru.hits == 0
+        assert belady.hits > 30
+
+    def test_belady_multithread_completes(self):
+        wl = make_workload("random", threads=4, length=200, pages=24)
+        result = run_simulation(wl.traces, hbm_slots=12, replacement="belady")
+        assert result.total_requests == wl.total_references
+
+
+class TestWallTimeAndConfigEcho:
+    def test_result_carries_config_and_walltime(self):
+        cfg = SimulationConfig(hbm_slots=4, seed=9)
+        result = Simulator([[0, 1]], cfg).run()
+        assert result.config == cfg
+        assert result.wall_time_s > 0

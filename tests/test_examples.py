@@ -1,0 +1,58 @@
+"""Integration tests for the example scripts.
+
+The two fast examples run end to end; the longer studies (spgemm_study,
+sort_fairness, adversarial_fifo — minutes of simulation) are
+compile-checked here and exercised by the benchmark suite's equivalent
+experiments.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "spgemm_study.py",
+        "sort_fairness.py",
+        "adversarial_fifo.py",
+        "knl_validation.py",
+        "hbm_sizing.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "knl_validation.py"])
+def test_fast_examples_run(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_quickstart_story_holds():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    out = completed.stdout
+    assert "slower than Priority" in out
+    assert "fifo" in out and "dynamic_priority" in out

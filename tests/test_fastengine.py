@@ -1,0 +1,178 @@
+"""FastSimulator must be bit-identical to the reference Simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationConfig, Simulator
+from repro.core.fastengine import FastSimulator, simulate
+from repro.traces import make_workload
+
+
+def assert_identical(traces, config):
+    ref = Simulator(traces, config).run()
+    fast = FastSimulator(traces, config).run()
+    assert fast.makespan == ref.makespan
+    assert fast.ticks == ref.ticks
+    assert fast.response_histogram == ref.response_histogram
+    assert fast.hits == ref.hits
+    assert fast.fetches == ref.fetches
+    assert fast.evictions == ref.evictions
+    assert list(fast.completion_ticks) == list(ref.completion_ticks)
+    for a, b in zip(fast.thread_stats, ref.thread_stats):
+        assert a.response == b.response
+    assert fast.remap_count == ref.remap_count
+    return fast
+
+
+class TestScopeGuard:
+    def test_rejects_non_lru(self):
+        with pytest.raises(ValueError, match="fast path"):
+            FastSimulator([[0]], SimulationConfig(hbm_slots=2, replacement="clock"))
+
+    def test_rejects_unprotected(self):
+        with pytest.raises(ValueError, match="fast path"):
+            FastSimulator(
+                [[0]], SimulationConfig(hbm_slots=2, protect_pending=False)
+            )
+
+    def test_rejects_shared_pages(self):
+        with pytest.raises(ValueError, match="fast path"):
+            FastSimulator([[0, 1], [0]], SimulationConfig(hbm_slots=2))
+
+    def test_simulate_falls_back(self):
+        result = simulate([[0, 1], [0]], SimulationConfig(hbm_slots=2))
+        assert result.total_requests == 3
+
+    def test_simulate_uses_fast_path_when_possible(self):
+        result = simulate([[0, 1], [10]], SimulationConfig(hbm_slots=4))
+        assert result.total_requests == 3
+
+
+class TestHandCases:
+    def test_doc_example(self):
+        fast = FastSimulator([[0, 1, 0, 1]], SimulationConfig(hbm_slots=2)).run()
+        assert fast.makespan == 6
+        assert fast.hits == 2
+
+    @pytest.mark.parametrize("arb", ["fifo", "priority", "round_robin"])
+    def test_small_contended(self, arb):
+        traces = [[100 * i + j for j in range(8)] * 3 for i in range(4)]
+        assert_identical(traces, SimulationConfig(hbm_slots=8, arbitration=arb))
+
+    def test_empty_and_single(self):
+        assert_identical([[], [5]], SimulationConfig(hbm_slots=2))
+
+    @pytest.mark.parametrize("q", [1, 2, 5])
+    def test_channels(self, q):
+        traces = [[100 * i + j for j in range(12)] * 2 for i in range(6)]
+        assert_identical(traces, SimulationConfig(hbm_slots=10, channels=q))
+
+    def test_dynamic_priority_same_rng_stream(self):
+        traces = [[100 * i + j for j in range(16)] * 3 for i in range(8)]
+        cfg = SimulationConfig(
+            hbm_slots=24,
+            arbitration="dynamic_priority",
+            remap_period=16,
+            seed=11,
+        )
+        assert_identical(traces, cfg)
+
+    def test_fr_fcfs(self):
+        traces = [[100 * i + j for j in range(10)] * 2 for i in range(5)]
+        cfg = SimulationConfig(hbm_slots=12, arbitration="fr_fcfs")
+        assert_identical(traces, cfg)
+
+    @pytest.mark.parametrize(
+        "arb",
+        [
+            "cycle_priority",
+            "cycle_reverse_priority",
+            "interleave_priority",
+            "dynamic_priority",
+        ],
+    )
+    def test_every_remapping_scheme(self, arb):
+        traces = [[100 * i + j for j in range(12)] * 3 for i in range(6)]
+        cfg = SimulationConfig(
+            hbm_slots=18, arbitration=arb, remap_period=24, seed=3
+        )
+        assert_identical(traces, cfg)
+
+    def test_random_arbitration_same_stream(self):
+        traces = [[100 * i + j for j in range(8)] * 2 for i in range(6)]
+        cfg = SimulationConfig(hbm_slots=10, arbitration="random", seed=13)
+        assert_identical(traces, cfg)
+
+    def test_realistic_workloads_identical(self):
+        for kind, kwargs, k in [
+            ("spgemm", dict(n=40, density=0.1, page_bytes=512, coalesce=True), 24),
+            ("bfs", dict(vertices=80, avg_degree=4.0, page_bytes=512), 12),
+            ("jacobi", dict(n=300, iters=2, page_bytes=512), 8),
+        ]:
+            wl = make_workload(kind, threads=4, seed=0, **kwargs)
+            assert_identical(wl.traces, SimulationConfig(hbm_slots=k))
+
+
+class TestVectorPathExercised:
+    """Workloads wide enough to cross VECTOR_THRESHOLD."""
+
+    def test_wide_hit_heavy(self):
+        wl = make_workload("zipf", threads=40, seed=0, length=400, pages=24)
+        cfg = SimulationConfig(hbm_slots=2048)
+        fast = assert_identical(wl.traces, cfg)
+        assert fast.hit_rate > 0.5  # the vector path actually ran hits
+
+    def test_wide_contended_priority(self):
+        wl = make_workload("adversarial_cycle", threads=32, pages=16, repeats=6)
+        cfg = SimulationConfig(hbm_slots=128, arbitration="priority")
+        assert_identical(wl.traces, cfg)
+
+    def test_wide_dynamic_with_remap(self):
+        wl = make_workload("random", threads=48, seed=3, length=300, pages=20)
+        cfg = SimulationConfig(
+            hbm_slots=480,
+            arbitration="dynamic_priority",
+            remap_period=100,
+            seed=5,
+        )
+        assert_identical(wl.traces, cfg)
+
+    def test_mixed_regimes_sort_workload(self):
+        wl = make_workload("sort", threads=30, seed=1, n=200, coalesce=True)
+        cfg = SimulationConfig(hbm_slots=12, arbitration="fifo")
+        assert_identical(wl.traces, cfg)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 12), max_size=30),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(1, 12),
+    st.integers(1, 3),
+    st.sampled_from(["fifo", "priority", "random", "round_robin"]),
+)
+def test_fast_matches_reference_random(raw, k, q, arb):
+    traces = [[1000 * i + page for page in t] for i, t in enumerate(raw)]
+    cfg = SimulationConfig(hbm_slots=k, channels=q, arbitration=arb, seed=7)
+    assert_identical(traces, cfg)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_fast_matches_reference_wide(seed):
+    rng = np.random.default_rng(seed)
+    p = int(rng.integers(26, 40))  # above the vector threshold
+    length = int(rng.integers(20, 120))
+    pages = int(rng.integers(4, 24))
+    traces = [
+        (1000 * i + rng.integers(0, pages, size=length)).tolist()
+        for i in range(p)
+    ]
+    k = int(rng.integers(4, p * pages))
+    cfg = SimulationConfig(hbm_slots=k, seed=int(rng.integers(100)))
+    assert_identical(traces, cfg)

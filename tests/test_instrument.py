@@ -1,0 +1,133 @@
+"""Tests for repro.traces.instrument."""
+
+import numpy as np
+import pytest
+
+from repro.traces.instrument import AccessLogger, LoggingArray
+
+
+class TestAccessLogger:
+    def test_page_aligned_allocation(self):
+        logger = AccessLogger(page_bytes=128)
+        a = logger.allocate_bytes(100)
+        b = logger.allocate_bytes(1)
+        assert a == 0
+        assert b == 128  # next page boundary
+
+    def test_zero_byte_allocation_still_reserves_a_page(self):
+        logger = AccessLogger(page_bytes=64)
+        a = logger.allocate_bytes(0)
+        b = logger.allocate_bytes(8)
+        assert b - a == 64
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLogger().allocate_bytes(-1)
+
+    def test_bad_page_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLogger(page_bytes=0)
+
+    def test_record_and_len(self):
+        logger = AccessLogger()
+        logger.record(0)
+        logger.record(5000)
+        assert len(logger) == 2
+
+    def test_pause_resume(self):
+        logger = AccessLogger()
+        logger.record(1)
+        logger.pause()
+        logger.record(2)
+        logger.resume()
+        logger.record(3)
+        assert logger.addresses == [1, 3]
+
+    def test_to_trace_maps_addresses_to_pages(self):
+        logger = AccessLogger(page_bytes=100)
+        for addr in (0, 99, 100, 250):
+            logger.record(addr)
+        trace = logger.to_trace(source="t")
+        assert list(trace.pages) == [0, 0, 1, 2]
+        assert trace.params["raw_accesses"] == 4
+        assert trace.source == "t"
+
+
+class TestLoggingArray:
+    def test_reads_and_writes_logged(self):
+        logger = AccessLogger(page_bytes=64)
+        a = logger.array([10, 20, 30], itemsize=8)
+        assert a[0] == 10
+        a[2] = 99
+        assert a[2] == 99
+        assert logger.addresses == [a.base, a.base + 16, a.base + 16]
+
+    def test_negative_indexing(self):
+        logger = AccessLogger()
+        a = logger.array([1, 2, 3])
+        assert a[-1] == 3
+        assert logger.addresses == [a.base + 16]
+
+    def test_out_of_range_does_not_log(self):
+        logger = AccessLogger()
+        a = logger.array([1])
+        with pytest.raises(IndexError):
+            a[5]
+        assert len(logger) == 0
+
+    def test_distinct_arrays_get_distinct_pages(self):
+        logger = AccessLogger(page_bytes=4096)
+        a = logger.array([1] * 4)
+        b = logger.array([2] * 4)
+        _ = a[0]
+        _ = b[0]
+        trace = logger.to_trace()
+        assert trace.pages[0] != trace.pages[1]
+
+    def test_iteration_logs_every_element(self):
+        logger = AccessLogger()
+        a = logger.array([5, 6, 7])
+        assert list(a) == [5, 6, 7]
+        assert len(logger) == 3
+
+    def test_swap(self):
+        logger = AccessLogger()
+        a = logger.array([1, 2])
+        a.swap(0, 1)
+        assert a.peek() == [2, 1]
+        assert len(logger) == 4  # two reads + two writes
+
+    def test_append_within_capacity(self):
+        logger = AccessLogger(page_bytes=64)
+        a = logger.array(0, capacity=8)
+        for i in range(8):
+            a.append(i)
+        assert a.peek() == list(range(8))
+        assert len(logger) == 8
+
+    def test_append_overflow_raises(self):
+        logger = AccessLogger(page_bytes=16)
+        a = logger.array([0, 0], itemsize=8)  # exactly one 16-byte page
+        with pytest.raises(ValueError, match="overflow"):
+            a.append(1)
+
+    def test_int_allocation_zero_fills(self):
+        logger = AccessLogger()
+        a = logger.array(4)
+        assert a.peek() == [0, 0, 0, 0]
+
+    def test_numpy_input(self):
+        logger = AccessLogger()
+        a = logger.array(np.array([1.5, 2.5]))
+        assert a.peek() == [1.5, 2.5]
+
+    def test_peek_does_not_log(self):
+        logger = AccessLogger()
+        a = logger.array([1, 2, 3])
+        a.peek()
+        assert len(logger) == 0
+
+    def test_repr(self):
+        logger = AccessLogger()
+        a = logger.array([1], name="A")
+        assert "A" in repr(a)

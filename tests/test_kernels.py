@@ -1,0 +1,161 @@
+"""Tests for the instrumented kernels (sorting, SpGEMM, dense MM)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.instrument import AccessLogger
+from repro.traces.sorting import (
+    heapsort_range,
+    introsort,
+    introsort_trace,
+    mergesort,
+    mergesort_trace,
+    quicksort,
+    quicksort_trace,
+)
+from repro.traces.spgemm import random_csr, spgemm_trace
+from repro.traces.densemm import densemm_trace
+
+
+def _sorted(values, algorithm):
+    logger = AccessLogger()
+    a = logger.array(list(values))
+    if algorithm == "mergesort":
+        buf = logger.array(len(values))
+        mergesort(a, buf)
+    elif algorithm == "introsort":
+        introsort(a)
+    elif algorithm == "quicksort":
+        quicksort(a)
+    elif algorithm == "heapsort":
+        heapsort_range(a, 0, len(a))
+    return a.peek(), logger
+
+
+class TestSortingCorrectness:
+    @pytest.mark.parametrize(
+        "algorithm", ["introsort", "quicksort", "mergesort", "heapsort"]
+    )
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [1],
+            [2, 1],
+            [3, 1, 2],
+            list(range(50)),
+            list(range(50, 0, -1)),
+            [5] * 30,
+            [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4] * 3,
+        ],
+    )
+    def test_sorts(self, algorithm, values):
+        out, _ = _sorted(values, algorithm)
+        assert out == sorted(values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(-1000, 1000), max_size=120),
+        st.sampled_from(["introsort", "quicksort", "mergesort", "heapsort"]),
+    )
+    def test_sorts_random(self, values, algorithm):
+        out, _ = _sorted(values, algorithm)
+        assert out == sorted(values)
+
+    def test_introsort_logs_accesses(self):
+        _, logger = _sorted(list(range(100, 0, -1)), "introsort")
+        assert len(logger) > 100  # at minimum it had to read everything
+
+    def test_introsort_comparison_count_is_n_log_n_ish(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10**6, size=1024).tolist()
+        _, logger = _sorted(values, "introsort")
+        n = 1024
+        # generous envelope: > n reads, < 40 n log n accesses
+        assert n < len(logger) < 40 * n * 10
+
+
+class TestSortTraces:
+    def test_trace_deterministic(self):
+        a = introsort_trace(200, seed=1, page_bytes=256)
+        b = introsort_trace(200, seed=1, page_bytes=256)
+        assert np.array_equal(a.pages, b.pages)
+
+    def test_page_bytes_controls_page_count(self):
+        coarse = introsort_trace(512, seed=0, page_bytes=4096)
+        fine = introsort_trace(512, seed=0, page_bytes=256)
+        assert fine.unique_pages > coarse.unique_pages
+
+    def test_mergesort_uses_buffer_pages(self):
+        m = mergesort_trace(512, seed=0, page_bytes=256)
+        q = quicksort_trace(512, seed=0, page_bytes=256)
+        assert m.unique_pages > q.unique_pages  # extra buffer region
+
+    def test_metadata(self):
+        t = introsort_trace(64, seed=0)
+        assert t.source == "introsort"
+        assert t.params["n"] == 64
+        assert t.params["raw_accesses"] == len(t)
+
+
+class TestRandomCSR:
+    def test_shape_and_sortedness(self):
+        rng = np.random.default_rng(0)
+        indptr, indices, data = random_csr(50, 0.2, rng)
+        assert len(indptr) == 51
+        assert indptr[0] == 0
+        assert len(indices) == indptr[-1] == len(data)
+        for i in range(50):
+            row = indices[indptr[i] : indptr[i + 1]]
+            assert list(row) == sorted(set(row.tolist()))  # sorted, unique
+
+    def test_density_roughly_respected(self):
+        rng = np.random.default_rng(1)
+        indptr, indices, _ = random_csr(200, 0.1, rng)
+        density = len(indices) / (200 * 200)
+        assert 0.07 < density < 0.13
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            random_csr(10, 0.0, np.random.default_rng(0))
+
+
+class TestSpgemm:
+    def test_verified_against_scipy(self):
+        # verify=True raises on any mismatch, so surviving is the test
+        t = spgemm_trace(n=40, density=0.15, seed=2, verify=True)
+        assert len(t) > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 30), st.integers(0, 10))
+    def test_verified_random_instances(self, n, seed):
+        spgemm_trace(n=n, density=0.2, seed=seed, verify=True)
+
+    def test_trace_metadata(self):
+        t = spgemm_trace(n=30, density=0.1, seed=0, verify=False)
+        assert t.source == "spgemm"
+        assert t.params["n"] == 30
+        assert t.params["nnz_c"] >= 0
+
+    def test_deterministic(self):
+        a = spgemm_trace(n=30, seed=3, verify=False)
+        b = spgemm_trace(n=30, seed=3, verify=False)
+        assert np.array_equal(a.pages, b.pages)
+
+
+class TestDenseMM:
+    @pytest.mark.parametrize("order", ["ikj", "ijk"])
+    def test_verified_against_numpy(self, order):
+        t = densemm_trace(n=10, seed=1, order=order, verify=True)
+        assert len(t) > 0
+
+    def test_orders_give_different_traces(self):
+        a = densemm_trace(n=8, seed=0, order="ikj", verify=False, page_bytes=64)
+        b = densemm_trace(n=8, seed=0, order="ijk", verify=False, page_bytes=64)
+        assert not np.array_equal(a.pages, b.pages)
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            densemm_trace(n=4, order="kij")

@@ -1,0 +1,231 @@
+"""Tests for repro.machine (hierarchy model, KNL, microbenchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    GIB,
+    KIB,
+    MIB,
+    CacheLevel,
+    MachineModel,
+    TLBModel,
+    default_bandwidth_sizes,
+    default_latency_sizes,
+    glups_curve,
+    knl_cache_mode,
+    knl_flat_dram,
+    knl_flat_hbm,
+    knl_machines,
+    measure_glups,
+    measure_pointer_chase,
+    pointer_chase_curve,
+)
+
+
+def tiny_machine(**kwargs):
+    return MachineModel(
+        "tiny",
+        [
+            CacheLevel("L1", 1 * KIB, 1.0, 1000.0),
+            CacheLevel("L2", 4 * KIB, 10.0, 500.0),
+            CacheLevel("MEM", None, 100.0, 50.0),
+        ],
+        tlb=TLBModel(segments=()),
+        **kwargs,
+    )
+
+
+class TestMachineModel:
+    def test_level_validation(self):
+        with pytest.raises(ValueError, match="backing store"):
+            MachineModel("m", [CacheLevel("L1", 10, 1.0, 1.0)])
+        with pytest.raises(ValueError, match="strictly increase"):
+            MachineModel(
+                "m",
+                [
+                    CacheLevel("a", 10, 1.0, 1.0),
+                    CacheLevel("b", 10, 2.0, 1.0),
+                    CacheLevel("c", None, 3.0, 1.0),
+                ],
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            MachineModel("m", [])
+
+    def test_cache_level_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("x", 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CacheLevel("x", 10, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            CacheLevel("x", 10, 1.0, 0.0)
+
+    def test_served_fractions_sum_to_one(self):
+        m = tiny_machine()
+        for size in (512, 1024, 3000, 100_000):
+            fractions = m.served_fractions(size)
+            assert fractions.sum() == pytest.approx(1.0)
+            assert (fractions >= 0).all()
+
+    def test_fractions_tiny_working_set_all_l1(self):
+        fractions = tiny_machine().served_fractions(512)
+        assert fractions[0] == pytest.approx(1.0)
+
+    def test_expected_latency_interpolates(self):
+        m = tiny_machine()
+        assert m.expected_latency_ns(512) == pytest.approx(1.0)
+        # 8KiB: 1/8 L1, 3/8 L2, 4/8 MEM
+        expected = (1 / 8) * 1 + (3 / 8) * 10 + (1 / 2) * 100
+        assert m.expected_latency_ns(8 * KIB) == pytest.approx(expected)
+
+    def test_latency_monotone_in_size(self):
+        m = tiny_machine()
+        values = [m.expected_latency_ns(s) for s in (512, 2048, 8192, 65536)]
+        assert values == sorted(values)
+
+    def test_miss_penalty_charged_to_deeper_levels(self):
+        m = MachineModel(
+            "pen",
+            [
+                CacheLevel("C", 1 * KIB, 10.0, 100.0, miss_penalty_ns=7.0),
+                CacheLevel("MEM", None, 100.0, 10.0),
+            ],
+            tlb=TLBModel(segments=()),
+        )
+        # 2KiB working set: half served at C (10ns), half at MEM (100+7)
+        assert m.expected_latency_ns(2 * KIB) == pytest.approx(
+            0.5 * 10 + 0.5 * 107
+        )
+
+    def test_allocation_limit(self):
+        m = tiny_machine(allocatable_bytes=10 * KIB)
+        m.check_allocation(10 * KIB)
+        with pytest.raises(MemoryError):
+            m.check_allocation(11 * KIB)
+        with pytest.raises(ValueError):
+            m.check_allocation(0)
+
+    def test_monte_carlo_matches_expectation(self):
+        m = tiny_machine()
+        rng = np.random.default_rng(0)
+        samples = m.sample_latencies_ns(8 * KIB, 20000, rng, jitter=0.0)
+        assert samples.mean() == pytest.approx(
+            m.expected_latency_ns(8 * KIB), rel=0.05
+        )
+
+    def test_bandwidth_bottleneck_composition(self):
+        m = tiny_machine()
+        # fully in L1
+        assert m.streaming_bandwidth_mib_s(512, threads=100) == pytest.approx(1000.0)
+        # half the traffic reaches MEM -> MEM caps at 50/0.5 = 100
+        assert m.streaming_bandwidth_mib_s(8 * KIB, threads=100) == pytest.approx(
+            100.0
+        )
+
+    def test_bandwidth_issue_cap(self):
+        m = tiny_machine()
+        assert m.streaming_bandwidth_mib_s(512, threads=1, per_thread_mib_s=3.0) == 3.0
+
+    def test_bad_inputs(self):
+        m = tiny_machine()
+        with pytest.raises(ValueError):
+            m.served_fractions(0)
+        with pytest.raises(ValueError):
+            m.streaming_bandwidth_mib_s(512, threads=0)
+
+
+class TestTLB:
+    def test_no_cost_within_coverage(self):
+        tlb = TLBModel(segments=((1 * MIB, 10.0),))
+        assert tlb.walk_ns(1 * MIB) == 0.0
+
+    def test_cost_per_doubling(self):
+        tlb = TLBModel(segments=((1 * MIB, 10.0),))
+        assert tlb.walk_ns(4 * MIB) == pytest.approx(20.0)
+
+    def test_segments_accumulate(self):
+        tlb = TLBModel(segments=((1 * MIB, 10.0), (4 * MIB, 5.0)))
+        assert tlb.walk_ns(8 * MIB) == pytest.approx(30.0 + 5.0)
+
+
+class TestKNLProperties:
+    """The four section 5 properties, asserted on the synthetic KNL."""
+
+    def test_property1_similar_latency(self):
+        dram, hbm = knl_flat_dram(), knl_flat_hbm()
+        for size in (16 * MIB, 1 * GIB, 8 * GIB):
+            gap = hbm.expected_latency_ns(size) - dram.expected_latency_ns(size)
+            assert 15 < gap < 35  # ~24ns, far below the level latencies
+
+    def test_property2_bandwidth_advantage(self):
+        dram, hbm = knl_flat_dram(), knl_flat_hbm()
+        for size in (512 * MIB, 4 * GIB):
+            ratio = hbm.streaming_bandwidth_mib_s(size) / dram.streaming_bandwidth_mib_s(size)
+            assert 4.0 < ratio < 5.5
+
+    def test_property3_cache_miss_latency_penalty(self):
+        cache = knl_cache_mode()
+        within = cache.expected_latency_ns(8 * GIB)
+        beyond = cache.expected_latency_ns(64 * GIB)
+        # beyond-HBM accesses pay roughly double the post-L2 latency
+        assert beyond > within + 100
+
+    def test_property4_bandwidth_cliff(self):
+        cache = knl_cache_mode()
+        dram = knl_flat_dram()
+        inside = cache.streaming_bandwidth_mib_s(8 * GIB)
+        outside = cache.streaming_bandwidth_mib_s(32 * GIB)
+        assert outside < 0.5 * inside
+        assert outside > dram.streaming_bandwidth_mib_s(32 * GIB)
+
+    def test_hbm_allocation_cap(self):
+        hbm = knl_flat_hbm()
+        with pytest.raises(MemoryError):
+            hbm.check_allocation(16 * GIB)
+
+    def test_machines_dict(self):
+        machines = knl_machines()
+        assert set(machines) == {"DRAM", "HBM", "Cache"}
+
+
+class TestMicrobenchmarks:
+    def test_pointer_chase_returns_none_when_unallocatable(self):
+        assert measure_pointer_chase(knl_flat_hbm(), 16 * GIB) is None
+
+    def test_pointer_chase_deterministic_under_seed(self):
+        a = measure_pointer_chase(knl_flat_dram(), 1 * GIB, operations=2048, seed=3)
+        b = measure_pointer_chase(knl_flat_dram(), 1 * GIB, operations=2048, seed=3)
+        assert a.mean_ns == b.mean_ns
+
+    def test_pointer_chase_mc_close_to_model(self):
+        r = measure_pointer_chase(knl_flat_dram(), 1 * GIB, operations=1 << 14)
+        assert r.mean_ns == pytest.approx(r.expected_ns, rel=0.05)
+
+    def test_curve_covers_all_sizes(self):
+        sizes = [1 * MIB, 32 * MIB]
+        curves = pointer_chase_curve(knl_machines(), sizes, operations=256)
+        assert all(len(v) == 2 for v in curves.values())
+
+    def test_default_sizes_are_doubling(self):
+        sizes = default_latency_sizes(1 * KIB, 8 * KIB)
+        assert sizes == [1024, 2048, 4096, 8192]
+
+    def test_glups_block_accounting(self):
+        r = measure_glups(knl_flat_dram(), 1 * GIB)
+        assert r.blocks_updated == GIB // 1024
+        assert r.glups > 0
+
+    def test_glups_close_to_model(self):
+        r = measure_glups(knl_cache_mode(), 32 * GIB, sample_blocks=1 << 16)
+        assert r.mib_per_s == pytest.approx(r.model_mib_per_s, rel=0.05)
+
+    def test_glups_none_when_unallocatable(self):
+        assert measure_glups(knl_flat_hbm(), 16 * GIB) is None
+
+    def test_glups_curve(self):
+        curves = glups_curve(knl_machines(), [512 * MIB, 1 * GIB])
+        assert len(curves["DRAM"]) == 2
+
+    def test_default_bandwidth_sizes(self):
+        sizes = default_bandwidth_sizes(512 * MIB, 2 * GIB)
+        assert sizes == [512 * MIB, 1 * GIB, 2 * GIB]

@@ -1,0 +1,114 @@
+"""Tests for the hybrid-mode composite and the Sapphire Rapids models."""
+
+import pytest
+
+from repro.machine import (
+    GIB,
+    MIB,
+    SPR_HBM_BYTES,
+    SPR_PER_THREAD_MIB_S,
+    SPR_THREADS,
+    HybridMachine,
+    make_hybrid,
+    knl_cache_mode,
+    knl_flat_hbm,
+    spr_cache_mode,
+    spr_flat_dram,
+    spr_flat_hbm,
+    spr_hbm_only,
+    spr_hybrid_mode,
+    spr_machines,
+)
+
+
+class TestHybridMachine:
+    def make(self, flat_fraction=0.5, hbm=16 * GIB):
+        return make_hybrid(knl_flat_hbm(), knl_cache_mode(), hbm, flat_fraction)
+
+    def test_split_arithmetic(self):
+        hybrid = self.make(0.25)
+        in_flat, in_cached = hybrid.split(16 * GIB)
+        assert in_flat == 4 * GIB
+        assert in_cached == 12 * GIB
+
+    def test_small_working_set_all_flat(self):
+        hybrid = self.make(0.5)
+        in_flat, in_cached = hybrid.split(1 * GIB)
+        assert in_flat == 1 * GIB and in_cached == 0
+
+    def test_latency_matches_flat_when_fitting(self):
+        hybrid = self.make(0.5)
+        flat = knl_flat_hbm()
+        size = 2 * GIB
+        assert hybrid.expected_latency_ns(size) == pytest.approx(
+            flat.expected_latency_ns(size)
+        )
+
+    def test_latency_interpolates_when_overflowing(self):
+        hybrid = self.make(0.5)
+        size = 64 * GIB  # far beyond the 8 GiB flat slice
+        flat_like = knl_flat_hbm().expected_latency_ns(8 * GIB)
+        cache_like = knl_cache_mode().expected_latency_ns(size)
+        value = hybrid.expected_latency_ns(size)
+        assert flat_like < value < cache_like + 50
+
+    def test_bandwidth_capped_by_shared_hbm(self):
+        hybrid = self.make(0.5)
+        hbm_bw = knl_flat_hbm().levels[-1].bandwidth_mib_s
+        assert hybrid.streaming_bandwidth_mib_s(4 * GIB, 272) <= hbm_bw
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_hybrid(knl_flat_hbm(), knl_cache_mode(), 16 * GIB, 1.5)
+        with pytest.raises(ValueError):
+            make_hybrid(knl_flat_hbm(), knl_cache_mode(), 16 * GIB, 1.0)
+        with pytest.raises(ValueError):
+            HybridMachine(knl_flat_hbm(), knl_cache_mode(), -1)
+        with pytest.raises(ValueError):
+            self.make(0.5).split(0)
+
+    def test_repr(self):
+        assert "hybrid" in repr(self.make(0.5))
+
+
+class TestSapphireRapids:
+    def test_modes_dict(self):
+        assert set(spr_machines()) == {"DRAM", "HBM", "Cache", "HBM-only"}
+
+    def test_bandwidth_projection_matches_public_figure(self):
+        """~3.68 TB/s peak (paper section 1.3 citing [52])."""
+        hbm = spr_flat_hbm()
+        bw = hbm.streaming_bandwidth_mib_s(
+            64 * GIB, SPR_THREADS, per_thread_mib_s=SPR_PER_THREAD_MIB_S
+        )
+        assert 3.0e6 < bw < 3.7e6  # MiB/s, i.e. ~3.2-3.9 TB/s
+
+    def test_property1_persists(self):
+        gap = spr_flat_hbm().expected_latency_ns(16 * GIB) - spr_flat_dram(
+        ).expected_latency_ns(16 * GIB)
+        assert 5 < gap < 60
+
+    def test_hbm_only_allocation_limit(self):
+        only = spr_hbm_only()
+        only.check_allocation(SPR_HBM_BYTES)
+        with pytest.raises(MemoryError):
+            only.check_allocation(SPR_HBM_BYTES + 1)
+
+    def test_cache_mode_cliff(self):
+        cache = spr_cache_mode()
+        inside = cache.streaming_bandwidth_mib_s(
+            64 * GIB, SPR_THREADS, per_thread_mib_s=SPR_PER_THREAD_MIB_S
+        )
+        outside = cache.streaming_bandwidth_mib_s(
+            512 * GIB, SPR_THREADS, per_thread_mib_s=SPR_PER_THREAD_MIB_S
+        )
+        assert outside < 0.25 * inside
+        dram = spr_flat_dram().streaming_bandwidth_mib_s(
+            512 * GIB, SPR_THREADS, per_thread_mib_s=SPR_PER_THREAD_MIB_S
+        )
+        assert outside > dram
+
+    def test_hybrid_mode_builder(self):
+        hybrid = spr_hybrid_mode(0.25)
+        assert hybrid.flat_bytes == SPR_HBM_BYTES // 4
+        assert hybrid.expected_latency_ns(256 * GIB) > 0

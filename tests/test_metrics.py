@@ -1,0 +1,154 @@
+"""Tests for repro.core.metrics."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    MetricsCollector,
+    histogram_stats,
+    merge_histograms,
+)
+from repro.core.metrics import histogram_percentile
+
+
+class TestHistogramStats:
+    def test_empty(self):
+        stats = histogram_stats({})
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_single_value(self):
+        stats = histogram_stats({5: 3})
+        assert stats.count == 3
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.min == stats.max == 5
+
+    def test_known_values(self):
+        # values: 1,1,2,4 -> mean 2, var (1+1+0+4)/4 = 1.5
+        stats = histogram_stats({1: 2, 2: 1, 4: 1})
+        assert stats.count == 4
+        assert stats.mean == 2.0
+        assert math.isclose(stats.variance, 1.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=200))
+    def test_matches_numpy(self, values):
+        hist: dict[int, int] = {}
+        for v in values:
+            hist[v] = hist.get(v, 0) + 1
+        stats = histogram_stats(hist)
+        arr = np.asarray(values, dtype=float)
+        assert stats.count == len(values)
+        assert math.isclose(stats.mean, arr.mean(), rel_tol=1e-12)
+        assert math.isclose(stats.std, arr.std(), rel_tol=1e-9, abs_tol=1e-12)
+        assert stats.min == arr.min()
+        assert stats.max == arr.max()
+
+
+class TestMergeAndPercentile:
+    def test_merge(self):
+        merged = merge_histograms([{1: 2, 3: 1}, {1: 1, 4: 5}])
+        assert merged == {1: 3, 3: 1, 4: 5}
+
+    def test_merge_empty_list(self):
+        assert merge_histograms([]) == {}
+
+    def test_percentile_median(self):
+        hist = {1: 5, 10: 5}
+        assert histogram_percentile(hist, 0.5) == 1
+        assert histogram_percentile(hist, 0.51) == 10
+        assert histogram_percentile(hist, 1.0) == 10
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            histogram_percentile({1: 1}, 1.5)
+        with pytest.raises(ValueError):
+            histogram_percentile({}, 0.5)
+
+
+class TestMetricsCollector:
+    def test_serve_accounting(self):
+        mc = MetricsCollector(2)
+        mc.record_serve(0, 1)
+        mc.record_serve(0, 1)
+        mc.record_serve(0, 4)
+        mc.record_serve(1, 2)
+        mc.record_completion(0, 10)
+        mc.record_completion(1, 7)
+        result = mc.finalize(makespan=10, ticks=10)
+        assert result.total_requests == 4
+        assert result.hits == 2
+        assert result.misses == 2
+        assert result.hit_rate == 0.5
+        assert result.max_response == 4
+        assert result.makespan == 10
+        assert list(result.completion_ticks) == [10, 7]
+
+    def test_per_thread_stats(self):
+        mc = MetricsCollector(2)
+        for w in (1, 1, 3):
+            mc.record_serve(0, w)
+        mc.record_serve(1, 7)
+        result = mc.finalize(makespan=5, ticks=5)
+        t0, t1 = result.thread_stats
+        assert t0.requests == 3 and t0.hits == 2 and t0.misses == 1
+        assert t0.starvation == 3
+        assert t1.requests == 1 and t1.hits == 0
+        assert t1.starvation == 7
+        assert result.starvation == 7
+
+    def test_inconsistency_is_population_std(self):
+        mc = MetricsCollector(1)
+        for w in (1, 1, 2, 4):
+            mc.record_serve(0, w)
+        result = mc.finalize(makespan=4, ticks=4)
+        assert math.isclose(result.inconsistency, math.sqrt(1.5))
+        assert math.isclose(result.mean_response, 2.0)
+
+    def test_response_log_round_trip(self):
+        mc = MetricsCollector(2, record_responses=True)
+        mc.record_serve(0, 1)
+        mc.record_serve(1, 9)
+        mc.record_serve(0, 2)
+        result = mc.finalize(makespan=3, ticks=3)
+        assert list(result.response_log[0]) == [1, 2]
+        assert list(result.response_log[1]) == [9]
+
+    def test_log_agrees_with_histogram(self):
+        rng = np.random.default_rng(0)
+        mc = MetricsCollector(3, record_responses=True)
+        for _ in range(500):
+            mc.record_serve(int(rng.integers(3)), int(rng.integers(1, 20)))
+        result = mc.finalize(makespan=1, ticks=1)
+        all_w = np.concatenate(result.response_log)
+        assert math.isclose(result.mean_response, all_w.mean())
+        assert math.isclose(result.inconsistency, all_w.std())
+
+    def test_result_picklable(self):
+        mc = MetricsCollector(1)
+        mc.record_serve(0, 1)
+        result = mc.finalize(makespan=1, ticks=1)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.makespan == result.makespan
+        assert clone.response_histogram == result.response_histogram
+
+    def test_empty_threads(self):
+        mc = MetricsCollector(2)
+        result = mc.finalize(makespan=0, ticks=0)
+        assert result.total_requests == 0
+        assert result.hit_rate == 0.0
+        assert result.mean_response == 0.0
+
+    def test_summary_mentions_key_figures(self):
+        mc = MetricsCollector(1)
+        mc.record_serve(0, 1)
+        text = mc.finalize(makespan=42, ticks=42).summary()
+        assert "42" in text
+        assert "inconsistency" in text

@@ -1,0 +1,168 @@
+"""Tests for the custom-policy plugin registries.
+
+The library's reason to exist downstream is trying out *new*
+far-channel arbitration and replacement ideas against the paper's
+baselines; these tests exercise that extension path end to end.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.core import (
+    ArbitrationPolicy,
+    ReplacementPolicy,
+    SimulationConfig,
+    Simulator,
+    arbitration_policy_names,
+    make_arbitration_policy,
+    make_replacement_policy,
+    register_arbitration_policy,
+    register_replacement_policy,
+    replacement_policy_names,
+)
+from repro.core.arbitration import _ARBITRATION_CLASSES
+from repro.core.replacement import _POLICY_CLASSES
+
+
+class LIFOArbitration(ArbitrationPolicy):
+    """Last-come-first-served — a deliberately odd custom policy."""
+
+    name = "test_lifo"
+
+    def __init__(self, num_threads: int) -> None:
+        super().__init__(num_threads)
+        self._stack: deque[int] = deque()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        self._stack.append(thread)
+
+    def select(self, limit: int) -> list[int]:
+        return [self._stack.pop() for _ in range(min(limit, len(self._stack)))]
+
+
+class SecondInsertedPolicy(ReplacementPolicy):
+    """FIFO clone used to exercise the replacement registry."""
+
+    name = "test_fifo_clone"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: dict[int, None] = {}
+        self.residency = self._order
+
+    def __contains__(self, page):
+        return page in self._order
+
+    def __len__(self):
+        return len(self._order)
+
+    def pages(self):
+        return iter(self._order)
+
+    def insert(self, page):
+        self._order[page] = None
+
+    def touch(self, page):
+        pass
+
+    def evict(self, protected=frozenset()):
+        for page in self._order:
+            if page not in protected:
+                del self._order[page]
+                return page
+        return None
+
+    def remove(self, page):
+        del self._order[page]
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    yield
+    _ARBITRATION_CLASSES.pop("test_lifo", None)
+    _POLICY_CLASSES.pop("test_fifo_clone", None)
+
+
+class TestArbitrationRegistry:
+    def test_register_and_construct(self):
+        register_arbitration_policy(LIFOArbitration)
+        assert "test_lifo" in arbitration_policy_names()
+        policy = make_arbitration_policy("test_lifo", 4)
+        policy.enqueue(1)
+        policy.enqueue(2)
+        assert policy.select(1) == [2]  # LIFO order
+
+    def test_config_accepts_registered_policy(self):
+        register_arbitration_policy(LIFOArbitration)
+        cfg = SimulationConfig(hbm_slots=4, arbitration="test_lifo")
+        result = Simulator([[0, 1], [10, 11]], cfg).run()
+        assert result.total_requests == 4
+
+    def test_duplicate_name_rejected(self):
+        register_arbitration_policy(LIFOArbitration)
+
+        class Clash(ArbitrationPolicy):
+            name = "test_lifo"
+
+            def __len__(self):
+                return 0
+
+            def enqueue(self, thread, page=None):
+                pass
+
+            def select(self, limit):
+                return []
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_arbitration_policy(Clash)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_arbitration_policy(LIFOArbitration)
+        register_arbitration_policy(LIFOArbitration)
+
+    def test_unnamed_class_rejected(self):
+        class NoName(ArbitrationPolicy):
+            def __len__(self):
+                return 0
+
+            def enqueue(self, thread, page=None):
+                pass
+
+            def select(self, limit):
+                return []
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_arbitration_policy(NoName)
+
+
+class TestReplacementRegistry:
+    def test_register_and_simulate(self):
+        register_replacement_policy(SecondInsertedPolicy)
+        assert "test_fifo_clone" in replacement_policy_names()
+        policy = make_replacement_policy("test_fifo_clone", 4)
+        policy.insert(1)
+        assert 1 in policy
+        cfg = SimulationConfig(hbm_slots=2, replacement="test_fifo_clone")
+        result = Simulator([[0, 1, 2, 0]], cfg).run()
+        assert result.total_requests == 4
+
+    def test_custom_fifo_clone_matches_builtin_fifo(self):
+        register_replacement_policy(SecondInsertedPolicy)
+        trace = [list(range(12)) * 3]
+        clone = Simulator(
+            trace, SimulationConfig(hbm_slots=6, replacement="test_fifo_clone")
+        ).run()
+        builtin = Simulator(
+            trace, SimulationConfig(hbm_slots=6, replacement="fifo")
+        ).run()
+        assert clone.makespan == builtin.makespan
+        assert clone.hits == builtin.hits
+
+    def test_unknown_name_lists_custom_policies(self):
+        register_replacement_policy(SecondInsertedPolicy)
+        with pytest.raises(ValueError, match="test_fifo_clone"):
+            make_replacement_policy("nope", 4)

@@ -1,0 +1,71 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.analysis import markdown_table, render_report, write_report
+from repro.experiments.base import ExperimentOutput
+
+
+def fake_output(experiment_id="x", checks=None, rows=None):
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title=f"title of {experiment_id}",
+        scale="smoke",
+        rows=rows if rows is not None else [{"a": 1, "b": 2.5}],
+        text="body",
+        checks=checks if checks is not None else {"good": True},
+    )
+
+
+class TestMarkdownTable:
+    def test_basic(self):
+        text = markdown_table([{"a": 1, "b": None}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | — |"
+
+    def test_empty(self):
+        assert "(no rows)" in markdown_table([])
+
+    def test_pipe_escaped(self):
+        assert "\\|" in markdown_table([{"a": "x|y"}])
+
+    def test_float_formatting(self):
+        assert "| 0.3333 |" in markdown_table([{"a": 1 / 3}])
+
+
+class TestRenderReport:
+    def test_summary_counts(self):
+        report = render_report(
+            [fake_output("one"), fake_output("two", checks={"ok": True, "bad": False})]
+        )
+        assert "2/3 shape checks passed" in report
+        assert "| one | smoke | 1/1 | PASS |" in report
+        assert "FAIL: bad" in report
+        assert "❌ `bad`" in report
+
+    def test_row_truncation(self):
+        rows = [{"n": i} for i in range(60)]
+        report = render_report([fake_output(rows=rows)], max_rows=10)
+        assert "50 more rows" in report
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report([fake_output()], path, title="My run")
+        text = path.read_text()
+        assert text.startswith("# My run")
+        assert "title of x" in text
+
+
+class TestCLIReportFlag:
+    def test_run_with_report(self, tmp_path, capsys):
+        from repro._cli import main
+
+        report = tmp_path / "out.md"
+        code = main(
+            ["run", "thm4", "--scale", "smoke", "--report", str(report)]
+        )
+        assert code == 0
+        assert report.exists()
+        assert "thm4" in report.read_text()

@@ -1,0 +1,192 @@
+"""Tests for repro.theory (bounds, adversary, validation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationConfig, Simulator, run_simulation
+from repro.theory import (
+    check_cycle_response_bound,
+    check_priority_competitiveness,
+    competitive_ratio,
+    cycle_response_time_bound,
+    fcfs_gap_experiment,
+    fit_linear,
+    makespan_lower_bound,
+    min_fetches_lower_bound,
+)
+from repro.traces import make_workload
+
+
+class TestLowerBounds:
+    def test_serial_bound(self):
+        bound = makespan_lower_bound([np.arange(10)], hbm_slots=100)
+        assert bound.serial == 11  # 10 refs + first cold miss
+
+    def test_channel_bound(self):
+        traces = [np.arange(i * 100, i * 100 + 10) for i in range(4)]
+        bound = makespan_lower_bound(traces, hbm_slots=1000, channels=2)
+        # 40 distinct pages over 2 channels + final serve
+        assert bound.channel == 21
+
+    def test_capacity_bound_on_cycles(self):
+        # one thread cycling 10 pages 5 times with k=4: Belady/MIN
+        # pins 3 pages and rotates through the other 7, missing 7 per
+        # pass after the cold pass -> 10 + 4*... = 35 fetches minimum
+        trace = np.tile(np.arange(10), 5)
+        assert min_fetches_lower_bound([trace], hbm_slots=4) == 35
+
+    def test_belady_misses_is_min(self):
+        from repro.theory import belady_misses
+        from repro.core import run_simulation
+
+        rng = np.random.default_rng(7)
+        trace = rng.integers(0, 24, size=600)
+        floor = belady_misses(trace, 8)
+        # no single-thread policy run can miss fewer times
+        for replacement in ("lru", "fifo", "clock", "mru", "belady"):
+            result = run_simulation(
+                [trace.tolist()], hbm_slots=8, replacement=replacement
+            )
+            assert result.misses >= floor
+
+    def test_belady_misses_basics(self):
+        from repro.theory import belady_misses
+
+        assert belady_misses([], 4) == 0
+        assert belady_misses([1, 1, 1], 1) == 1
+        assert belady_misses([1, 2, 3], 2) == 3
+        with pytest.raises(ValueError):
+            belady_misses([1], 0)
+
+    def test_belady_stream_bound_tightness(self):
+        from repro.theory import belady_misses
+
+        # cycling 96 pages through 64 slots: MIN pins 63, rotates 33
+        stream = np.arange(5000) % 96
+        misses = belady_misses(stream, 64)
+        assert misses > 1500  # far above the 96 compulsory misses
+
+    def test_capacity_bound_ignored_when_fits(self):
+        trace = np.tile(np.arange(10), 5)
+        assert min_fetches_lower_bound([trace], hbm_slots=10) == 10
+
+    def test_shared_workload_falls_back_to_compulsory(self):
+        # two threads over the SAME pages: per-thread sums would
+        # double-count, so only the compulsory bound applies
+        trace = np.tile(np.arange(10), 5)
+        assert min_fetches_lower_bound([trace, trace], hbm_slots=4) == 10
+
+    def test_random_trace_bound_exceeds_compulsory_under_pressure(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 50, size=500)
+        distinct = len(np.unique(trace))
+        assert min_fetches_lower_bound([trace], hbm_slots=10) > distinct
+
+    def test_empty_traces(self):
+        bound = makespan_lower_bound([np.array([], dtype=np.int64)], hbm_slots=4)
+        assert bound.value == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            makespan_lower_bound([np.arange(3)], hbm_slots=0)
+        with pytest.raises(ValueError):
+            makespan_lower_bound([np.arange(3)], hbm_slots=4, channels=0)
+        with pytest.raises(ValueError):
+            competitive_ratio(10, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 20), max_size=40), min_size=1, max_size=5
+        ),
+        st.integers(1, 8),
+        st.integers(1, 3),
+        st.sampled_from(["fifo", "priority", "round_robin"]),
+    )
+    def test_bound_is_sound(self, raw, k, q, arb):
+        """No policy may beat the certified lower bound."""
+        traces = [
+            np.asarray([100 * i + page for page in t], dtype=np.int64)
+            for i, t in enumerate(raw)
+        ]
+        bound = makespan_lower_bound(traces, hbm_slots=k, channels=q)
+        result = run_simulation(traces, hbm_slots=k, channels=q, arbitration=arb)
+        assert result.makespan >= bound.value
+
+    def test_cyclic_capacity_bound_sound_against_best_policy(self):
+        """Even Belady+priority cannot beat the cyclic fetch bound."""
+        traces = [np.tile(np.arange(16), 6) + 100 * i for i in range(3)]
+        k = 8
+        bound = makespan_lower_bound(traces, hbm_slots=k)
+        for replacement in ("lru", "mru", "belady"):
+            result = run_simulation(
+                traces, hbm_slots=k, replacement=replacement,
+                arbitration="priority",
+            )
+            assert result.makespan >= bound.value
+            assert result.fetches >= min_fetches_lower_bound(traces, k)
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        slope, intercept, r2 = fit_linear([1, 2, 3], [3, 5, 7])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+
+    def test_flat_data(self):
+        slope, _, r2 = fit_linear([1, 2, 3], [5, 5, 5])
+        assert slope == pytest.approx(0.0)
+        assert r2 == pytest.approx(1.0)
+
+
+class TestAdversary:
+    def test_gap_experiment_structure(self):
+        points = fcfs_gap_experiment([2, 4], pages_per_thread=16, repeats=4)
+        assert [pt.threads for pt in points] == [2, 4]
+        for pt in points:
+            assert pt.fifo_makespan >= pt.priority_makespan > 0
+            assert pt.hbm_slots == pt.threads * 4  # quarter of unique
+
+    def test_gap_grows_with_threads(self):
+        points = fcfs_gap_experiment([4, 16], pages_per_thread=32, repeats=12)
+        assert points[1].gap > points[0].gap
+
+    def test_fifo_zero_hits_under_pressure(self):
+        points = fcfs_gap_experiment([8], pages_per_thread=32, repeats=8)
+        assert points[0].fifo_hit_rate == 0.0
+
+
+class TestValidation:
+    def test_priority_competitiveness_rows(self):
+        wl = make_workload("random", threads=4, seed=0, length=400, pages=16)
+        rows = check_priority_competitiveness([wl], hbm_slots=[8], channels=[1, 2])
+        assert len(rows) == 2
+        for row in rows:
+            assert row.ratio >= 1.0  # cannot beat the lower bound
+            assert row.makespan == pytest.approx(row.ratio * row.lower_bound)
+
+    def test_cycle_response_bound_formula(self):
+        assert cycle_response_time_bound(4, 10) == 42
+        with pytest.raises(ValueError):
+            cycle_response_time_bound(0, 10)
+
+    def test_cycle_response_bound_holds_empirically(self):
+        wl = make_workload("adversarial_cycle", threads=6, pages=16, repeats=8)
+        k, T = 24, 48
+        result = Simulator(
+            wl.traces,
+            SimulationConfig(
+                hbm_slots=k,
+                arbitration="cycle_priority",
+                remap_period=T,
+            ),
+        ).run()
+        assert check_cycle_response_bound(result, 6, T)
+        assert result.max_response <= 6 * T + 2

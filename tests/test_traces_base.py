@@ -1,0 +1,162 @@
+"""Tests for repro.traces.base (Trace / Workload / factory)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    Trace,
+    Workload,
+    coalesce_consecutive,
+    make_workload,
+    workload_kinds,
+)
+
+
+class TestCoalesce:
+    def test_empty(self):
+        assert len(coalesce_consecutive(np.array([], dtype=np.int64))) == 0
+
+    def test_collapses_runs(self):
+        pages = np.array([1, 1, 1, 2, 2, 1, 3, 3, 3, 3])
+        assert list(coalesce_consecutive(pages)) == [1, 2, 1, 3]
+
+    def test_no_adjacent_duplicates_is_identity(self):
+        pages = np.array([1, 2, 3, 1, 2])
+        assert list(coalesce_consecutive(pages)) == [1, 2, 3, 1, 2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=100))
+    def test_result_has_no_adjacent_duplicates(self, pages):
+        out = coalesce_consecutive(np.asarray(pages, dtype=np.int64))
+        assert all(out[i] != out[i + 1] for i in range(len(out) - 1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=100))
+    def test_idempotent_and_preserves_unique_set(self, pages):
+        arr = np.asarray(pages, dtype=np.int64)
+        once = coalesce_consecutive(arr)
+        assert list(coalesce_consecutive(once)) == list(once)
+        assert set(once.tolist()) == set(arr.tolist())
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        t = Trace([3, 3, 5, 7], source="x")
+        assert len(t) == 4
+        assert t.unique_pages == 3
+        assert t.pages.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Trace(np.zeros((2, 2)))
+
+    def test_renumbered_compacts_ids(self):
+        t = Trace([100, 5, 100, 42])
+        new, u = t.renumbered(offset=10)
+        assert u == 3
+        assert set(new.pages.tolist()) == {10, 11, 12}
+        # same structure: equal pages stay equal
+        assert new.pages[0] == new.pages[2]
+
+    def test_renumbered_empty(self):
+        t = Trace([])
+        new, u = t.renumbered()
+        assert u == 0 and len(new) == 0
+
+    def test_coalesced_keeps_metadata(self):
+        t = Trace([1, 1, 2], source="s", params={"a": 1})
+        c = t.coalesced()
+        assert c.source == "s"
+        assert c.params["coalesced"] is True
+        assert list(c.pages) == [1, 2]
+
+
+class TestWorkload:
+    def test_namespaces_are_disjoint(self):
+        wl = Workload([[1, 2, 3], [1, 2, 3], [2, 2]])
+        sets = [set(t.tolist()) for t in wl.traces]
+        assert sets[0].isdisjoint(sets[1])
+        assert sets[1].isdisjoint(sets[2])
+        assert wl.total_unique_pages == 7
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Workload([])
+
+    def test_lengths_and_totals(self):
+        wl = Workload([[1, 2], [3, 3, 3]])
+        assert wl.lengths == (2, 3)
+        assert wl.total_references == 5
+        assert wl.max_length == 3
+        assert wl.num_threads == 2
+
+    def test_unique_pages_per_thread(self):
+        wl = Workload([[1, 1, 2], [5]])
+        assert wl.unique_pages_per_thread() == (2, 1)
+
+    def test_coalesce_option(self):
+        wl = Workload([[1, 1, 2, 2]], coalesce=True)
+        assert wl.lengths == (2,)
+
+    def test_subset(self):
+        wl = Workload([[1], [2], [3]])
+        sub = wl.subset(2)
+        assert sub.num_threads == 2
+        assert sub.total_references == 2
+        with pytest.raises(ValueError):
+            wl.subset(4)
+        with pytest.raises(ValueError):
+            wl.subset(0)
+
+    def test_repr_mentions_shape(self):
+        text = repr(Workload([[1, 2]], name="demo"))
+        assert "demo" in text and "threads=1" in text
+
+
+class TestFactory:
+    def test_kinds_registered(self):
+        kinds = workload_kinds()
+        for expected in (
+            "sort",
+            "quicksort",
+            "mergesort",
+            "spgemm",
+            "densemm",
+            "adversarial_cycle",
+            "random",
+            "zipf",
+            "stream",
+            "stride",
+            "phased",
+        ):
+            assert expected in kinds
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            make_workload("nope", threads=1)
+
+    def test_bad_thread_count(self):
+        with pytest.raises(ValueError, match="threads"):
+            make_workload("random", threads=0)
+
+    def test_deterministic(self):
+        a = make_workload("random", threads=3, seed=11, length=50, pages=9)
+        b = make_workload("random", threads=3, seed=11, length=50, pages=9)
+        for ta, tb in zip(a.traces, b.traces):
+            assert np.array_equal(ta, tb)
+
+    def test_seed_changes_content(self):
+        a = make_workload("random", threads=2, seed=1, length=50, pages=9)
+        b = make_workload("random", threads=2, seed=2, length=50, pages=9)
+        assert any(
+            not np.array_equal(ta, tb) for ta, tb in zip(a.traces, b.traces)
+        )
+
+    def test_thread_prefix_property(self):
+        """make_workload(k, 8, s).subset(4) == make_workload(k, 4, s)."""
+        big = make_workload("random", threads=8, seed=4, length=30, pages=7)
+        small = make_workload("random", threads=4, seed=4, length=30, pages=7)
+        for ta, tb in zip(big.subset(4).traces, small.traces):
+            assert np.array_equal(ta, tb)

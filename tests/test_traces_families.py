@@ -1,0 +1,176 @@
+"""Tests for adversarial and synthetic trace families and workload I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    WorkloadCache,
+    adversarial_cycle_workload,
+    cyclic_trace,
+    fifo_adversarial_hbm_slots,
+    load_workload_npz,
+    load_workload_text,
+    make_workload,
+    phased_trace,
+    random_trace,
+    save_workload_npz,
+    save_workload_text,
+    stream_trace,
+    strided_trace,
+    theorem2_workload,
+    zipf_trace,
+)
+
+
+class TestAdversarial:
+    def test_cyclic_trace_shape(self):
+        t = cyclic_trace(pages=4, repeats=3)
+        assert list(t.pages) == [0, 1, 2, 3] * 3
+        assert t.unique_pages == 4
+
+    def test_cyclic_trace_offset(self):
+        t = cyclic_trace(pages=3, repeats=1, offset=10)
+        assert list(t.pages) == [10, 11, 12]
+
+    def test_cyclic_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            cyclic_trace(0, 1)
+        with pytest.raises(ValueError):
+            cyclic_trace(1, 0)
+
+    def test_dataset3_default_shape(self):
+        wl = adversarial_cycle_workload(threads=3)
+        assert wl.num_threads == 3
+        assert wl.lengths == (25600,) * 3
+        assert wl.total_unique_pages == 3 * 256
+
+    def test_hbm_sizing_quarter(self):
+        assert fifo_adversarial_hbm_slots(8, pages=256) == 8 * 256 // 4
+        with pytest.raises(ValueError):
+            fifo_adversarial_hbm_slots(8, fraction=0.0)
+
+    def test_theorem2_workload(self):
+        wl = theorem2_workload(threads=4, pages_per_thread=16, repeats=5)
+        assert wl.total_unique_pages == 64
+        assert wl.lengths == (80,) * 4
+
+
+class TestSynthetic:
+    def test_random_trace_range(self):
+        t = random_trace(500, 16, np.random.default_rng(0))
+        assert t.pages.min() >= 0 and t.pages.max() < 16
+
+    def test_zipf_trace_is_skewed(self):
+        t = zipf_trace(5000, 100, np.random.default_rng(0), s=1.5)
+        counts = np.bincount(t.pages, minlength=100)
+        top = np.sort(counts)[::-1]
+        assert top[0] > 5 * max(top[50], 1)  # hot page dominates the tail
+
+    def test_zipf_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_trace(10, 10, np.random.default_rng(0), s=0)
+
+    def test_stream_trace(self):
+        t = stream_trace(7, 3)
+        assert list(t.pages) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_strided_trace(self):
+        t = strided_trace(4, 10, 3)
+        assert list(t.pages) == [0, 3, 6, 9]
+        with pytest.raises(ValueError):
+            strided_trace(4, 10, 0)
+
+    def test_phased_trace_shifts_working_set(self):
+        t = phased_trace(3, 100, 10, np.random.default_rng(0), overlap=0.0)
+        first = set(t.pages[:100].tolist())
+        last = set(t.pages[200:].tolist())
+        assert first.isdisjoint(last)
+
+    def test_phased_overlap_validates(self):
+        with pytest.raises(ValueError):
+            phased_trace(2, 10, 10, np.random.default_rng(0), overlap=1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sampled_from(["random", "zipf", "stream", "stride"]),
+        st.integers(1, 4),
+        st.integers(0, 3),
+    )
+    def test_factory_families_build_and_are_disjoint(self, kind, threads, seed):
+        wl = make_workload(kind, threads=threads, seed=seed, length=50, pages=8)
+        sets = [set(t.tolist()) for t in wl.traces]
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert sets[i].isdisjoint(sets[j])
+
+
+class TestIO:
+    def test_npz_round_trip(self, tmp_path):
+        wl = make_workload("random", threads=3, seed=7, length=40, pages=6)
+        path = tmp_path / "wl.npz"
+        save_workload_npz(wl, path)
+        loaded = load_workload_npz(path)
+        assert loaded.name == wl.name
+        assert loaded.num_threads == 3
+        for a, b in zip(loaded.traces, wl.traces):
+            assert np.array_equal(a, b)
+        assert [t.source for t in loaded.source_traces] == [
+            t.source for t in wl.source_traces
+        ]
+
+    def test_text_round_trip(self, tmp_path):
+        wl = make_workload("stream", threads=2, length=10, pages=4)
+        path = tmp_path / "wl.txt"
+        save_workload_text(wl, path)
+        loaded = load_workload_text(path)
+        assert loaded.num_threads == 2
+        for a, b in zip(loaded.traces, wl.traces):
+            assert np.array_equal(a, b)
+
+    def test_text_headerless_single_thread(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("3\n1\n2\n")
+        wl = load_workload_text(path)
+        assert wl.num_threads == 1
+        assert len(wl.traces[0]) == 3
+
+    def test_text_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no traces"):
+            load_workload_text(path)
+
+    def test_cache_generates_then_hits(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        a = cache.get("random", threads=2, seed=1, length=20, pages=5)
+        assert cache.path_for("random", 2, seed=1, length=20, pages=5).exists()
+        b = cache.get("random", threads=2, seed=1, length=20, pages=5)
+        for ta, tb in zip(a.traces, b.traces):
+            assert np.array_equal(ta, tb)
+
+    def test_cache_distinguishes_params(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        p1 = cache.path_for("random", 2, seed=1, length=20, pages=5)
+        p2 = cache.path_for("random", 2, seed=1, length=21, pages=5)
+        assert p1 != p2
+
+    def test_cache_clear(self, tmp_path):
+        cache = WorkloadCache(tmp_path)
+        cache.get("random", threads=1, seed=0, length=5, pages=2)
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+
+class TestWorkFactors:
+    def test_sort_work_factors_scale_traces(self):
+        wl = make_workload(
+            "sort", threads=3, seed=0, n=300, work_factors=[1.0, 0.5, 0.25]
+        )
+        lengths = wl.lengths
+        assert lengths[0] > lengths[1] > lengths[2]
+
+    def test_work_factors_length_checked(self):
+        with pytest.raises(ValueError, match="work_factors"):
+            make_workload("sort", threads=3, n=100, work_factors=[1.0])

@@ -1,0 +1,117 @@
+"""Tests for the non-disjoint (shared pages) workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_simulation
+from repro.traces import Workload, make_workload, shared_segment_trace
+from repro.traces.shared import _PRIVATE_BASE
+
+
+class TestSharedSegmentTrace:
+    def make(self, fraction, length=500, seed=0, thread=0):
+        return shared_segment_trace(
+            length, 32, 16, fraction, np.random.default_rng(seed), thread
+        )
+
+    def test_fraction_zero_is_all_private(self):
+        trace = self.make(0.0)
+        assert (trace.pages >= _PRIVATE_BASE).all()
+
+    def test_fraction_one_is_all_shared(self):
+        trace = self.make(1.0)
+        assert (trace.pages < 16).all()
+
+    def test_fraction_roughly_respected(self):
+        trace = self.make(0.5, length=4000)
+        shared = (trace.pages < _PRIVATE_BASE).mean()
+        assert 0.45 < shared < 0.55
+
+    def test_private_blocks_disjoint_across_threads(self):
+        a = self.make(0.0, thread=0)
+        b = self.make(0.0, thread=1, seed=1)
+        assert set(a.pages.tolist()).isdisjoint(b.pages.tolist())
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            shared_segment_trace(10, 4, 4, 1.5, rng, 0)
+        with pytest.raises(ValueError):
+            shared_segment_trace(10, 0, 4, 0.5, rng, 0)
+        with pytest.raises(ValueError):
+            shared_segment_trace(-1, 4, 4, 0.5, rng, 0)
+
+
+class TestSharedWorkload:
+    def test_not_namespaced(self):
+        wl = make_workload("shared", threads=4, length=200, shared_fraction=0.5)
+        assert wl.namespaced is False
+        sets = [set(t.tolist()) for t in wl.traces]
+        # the shared segment really is shared
+        assert sets[0] & sets[1]
+
+    def test_unique_accounting_uses_union(self):
+        wl = make_workload(
+            "shared",
+            threads=4,
+            length=5000,
+            private_pages=8,
+            shared_pages=8,
+            shared_fraction=0.5,
+        )
+        # 4 private blocks of 8 plus one shared block of 8
+        assert wl.total_unique_pages == 4 * 8 + 8
+
+    def test_subset_preserves_non_namespacing(self):
+        wl = make_workload("shared", threads=4, length=100, shared_fraction=0.9)
+        sub = wl.subset(2)
+        assert sub.namespaced is False
+        assert set(sub.traces[0].tolist()) & set(sub.traces[1].tolist())
+
+    def test_simulation_shares_fetches(self):
+        """At shared_fraction=1 every core reads the same tiny segment:
+        one fetch per page serves all cores."""
+        wl = make_workload(
+            "shared",
+            threads=8,
+            length=500,
+            private_pages=4,
+            shared_pages=16,
+            shared_fraction=1.0,
+        )
+        result = run_simulation(wl.traces, hbm_slots=32)
+        assert result.fetches == 16  # compulsory only, shared by all
+        assert result.total_requests == 8 * 500
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.floats(0.0, 1.0),
+        st.integers(0, 5),
+    )
+    def test_simulation_always_completes(self, threads, fraction, seed):
+        wl = make_workload(
+            "shared",
+            threads=threads,
+            seed=seed,
+            length=120,
+            private_pages=8,
+            shared_pages=8,
+            shared_fraction=fraction,
+        )
+        for arb in ("fifo", "priority", "round_robin"):
+            result = run_simulation(wl.traces, hbm_slots=12, arbitration=arb)
+            assert result.total_requests == threads * 120
+
+
+class TestWorkloadNamespaceFlag:
+    def test_namespace_false_keeps_raw_ids(self):
+        wl = Workload([[5, 6], [5, 7]], namespace=False)
+        assert wl.traces[0][0] == wl.traces[1][0] == 5
+        assert wl.total_unique_pages == 3
+
+    def test_namespace_true_separates(self):
+        wl = Workload([[5, 6], [5, 7]], namespace=True)
+        assert wl.total_unique_pages == 4
