@@ -19,7 +19,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from ..core import SimulationConfig, SimulationResult, Simulator
+from ..core import SimulationConfig, SimulationResult
+from ..core.fastengine import simulate
 from ..traces import Workload, WorkloadCache, make_workload
 
 __all__ = ["WorkloadSpec", "SweepJob", "SweepRecord", "SweepRunner", "run_sweep"]
@@ -121,7 +122,10 @@ def _pool_init(cache_dir: str | None) -> None:
 def _run_job(job: SweepJob) -> SweepRecord:
     cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
     workload = job.workload.build(cache)
-    result = Simulator(workload.traces, job.config).run()
+    # Dispatch through the engine selector: eligible (LRU, protected,
+    # disjoint) configs take the vectorized fast path, everything else
+    # falls back to the reference engine with identical results.
+    result = simulate(workload.traces, job.config)
     return SweepRecord.from_result(job, result)
 
 
