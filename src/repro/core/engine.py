@@ -48,7 +48,20 @@ from .dram import DramGeometry
 from .metrics import MetricsCollector, SimulationResult
 from .replacement import BeladyPolicy, make_replacement_policy
 
-__all__ = ["Simulator", "SimulationLimitError", "run_simulation"]
+__all__ = [
+    "ENGINE_SEMANTICS_VERSION",
+    "Simulator",
+    "SimulationLimitError",
+    "run_simulation",
+]
+
+#: Version tag for the tick semantics every engine implements (the
+#: five-step tick above plus the tie-breaking rules in docs/MODEL.md).
+#: Persistent result caches key on it: bump whenever a change alters
+#: *any* simulator output for *any* (workload, config), so stale cached
+#: metrics can never be replayed as current ones. Pure speedups that
+#: keep results bit-identical must NOT bump it.
+ENGINE_SEMANTICS_VERSION = 1
 
 _EMPTY: frozenset[int] = frozenset()
 

@@ -33,6 +33,19 @@ Scope restrictions (violations fall back to the reference engine via
   ``current[owner[page]] == page``;
 * no Belady wiring, no timeline collection.
 
+``record_responses=True`` *is* supported: the chronological serve
+buffers the engine keeps anyway hold exactly the per-thread response
+sequences (a core has at most one serve per tick, so restricting the
+chronological log to one thread reproduces the reference engine's
+per-thread append order).
+
+Dispatch cost: :func:`simulate` accepts either raw arrays or a
+:class:`repro.traces.Workload`. A workload carries a
+:class:`~repro.traces.base.PageAttestation` certified at construction,
+so eligibility is an O(1) attribute check; raw arrays fall back to a
+full O(n log n) disjointness scan. Callers on hot paths should pass the
+workload object.
+
 Why stamps reproduce the reference exactly: the reference engine
 serves hits in core-id order within a tick and inserts fetched pages
 afterwards, so its LRU recency order is exactly (tick, phase, core
@@ -55,29 +68,104 @@ from .dram import DramGeometry
 from .engine import Simulator
 from .metrics import MetricsCollector, SimulationResult
 
-__all__ = ["FastSimulator", "simulate"]
+__all__ = [
+    "ENGINE_CHOICES",
+    "FastSimulator",
+    "default_engine",
+    "set_default_engine",
+    "simulate",
+]
 
 #: below this many READY cores a tick is processed scalar; numpy call
 #: overhead (~1us each) only pays off beyond a couple dozen lanes.
 VECTOR_THRESHOLD = 24
 
+#: dense page-state arrays must stay sane
+MAX_DENSE_PAGE = 50_000_000
 
-def _supports(config: SimulationConfig, traces: list[np.ndarray]) -> bool:
-    """Can the fast path run this configuration faithfully?"""
-    if config.replacement != "lru" or not config.protect_pending:
-        return False
-    if config.record_responses or config.collect_timeline:
-        return False
+#: valid values for the ``engine`` argument of :func:`simulate`
+ENGINE_CHOICES = ("auto", "reference", "fast")
+
+_default_engine = "auto"
+
+
+def default_engine() -> str:
+    """The engine :func:`simulate` uses when none is given."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous value.
+
+    Used by the CLI's ``--engine`` flag to steer every dispatch inside
+    an experiment run without threading a parameter through each
+    experiment signature. Sweep workers receive the choice explicitly
+    through the pool initializer.
+    """
+    global _default_engine
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(f"engine must be one of {ENGINE_CHOICES}, got {engine!r}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+class _ArrayAttestation:
+    """Attestation-shaped result of scanning raw trace arrays.
+
+    Duck-type compatible with :class:`repro.traces.base.PageAttestation`
+    (which lives in the traces layer; core does not import it).
+    """
+
+    __slots__ = ("disjoint", "min_page", "max_page")
+
+    def __init__(self, disjoint: bool, min_page: int, max_page: int) -> None:
+        self.disjoint = disjoint
+        self.min_page = min_page
+        self.max_page = max_page
+
+
+def _attest_arrays(traces: list[np.ndarray]) -> _ArrayAttestation:
+    """The expensive raw-array fallback: scan for disjointness/bounds."""
     non_empty = [t for t in traces if len(t)]
     if not non_empty:
-        return True
+        return _ArrayAttestation(True, 0, -1)
     max_page = max(int(t.max()) for t in non_empty)
     min_page = min(int(t.min()) for t in non_empty)
-    if min_page < 0 or max_page > 50_000_000:  # dense arrays must stay sane
-        return False
+    if min_page < 0 or max_page > MAX_DENSE_PAGE:
+        return _ArrayAttestation(False, min_page, max_page)
     per_thread = sum(len(np.unique(t)) for t in non_empty)
     total = len(np.unique(np.concatenate(non_empty)))
-    return per_thread == total  # disjoint namespaces
+    return _ArrayAttestation(per_thread == total, min_page, max_page)
+
+
+def _config_supported(config: SimulationConfig) -> bool:
+    return (
+        config.replacement == "lru"
+        and config.protect_pending
+        and not config.collect_timeline
+    )
+
+
+def _attestation_ok(attestation) -> bool:
+    return (
+        attestation.disjoint
+        and attestation.min_page >= 0
+        and attestation.max_page <= MAX_DENSE_PAGE
+    )
+
+
+def _supports(
+    config: SimulationConfig,
+    traces: list[np.ndarray],
+    attestation=None,
+) -> bool:
+    """Can the fast path run this configuration faithfully?"""
+    if not _config_supported(config):
+        return False
+    if attestation is None:
+        attestation = _attest_arrays(traces)
+    return _attestation_ok(attestation)
 
 
 class FastSimulator:
@@ -92,17 +180,21 @@ class FastSimulator:
         self,
         traces: Sequence[np.ndarray | Sequence[int]],
         config: SimulationConfig,
+        attestation=None,
     ) -> None:
+        """``attestation`` (an object with ``disjoint``/``min_page``/
+        ``max_page``, e.g. :class:`repro.traces.base.PageAttestation`)
+        vouches for the trace layout and skips the O(n log n) scan."""
         if len(traces) == 0:
             raise ValueError("workload must contain at least one trace")
         self.config = config
         self.traces = [
             np.ascontiguousarray(np.asarray(t, dtype=np.int64)) for t in traces
         ]
-        if not _supports(config, self.traces):
+        if not _supports(config, self.traces, attestation):
             raise ValueError(
                 "configuration outside the fast path (needs LRU, "
-                "protect_pending, disjoint compact traces, no logs); "
+                "protect_pending, disjoint compact traces, no timeline); "
                 "use repro.core.fastengine.simulate() to auto-fallback"
             )
         self.num_threads = len(self.traces)
@@ -120,7 +212,7 @@ class FastSimulator:
             rng=rng,
             dram_geometry=DramGeometry(cfg.dram_banks, cfg.dram_row_pages),
         )
-        metrics = MetricsCollector(p)
+        metrics = MetricsCollector(p, record_responses=cfg.record_responses)
 
         lengths = np.array([len(t) for t in self.traces], dtype=np.int64)
         offsets = np.zeros(p, dtype=np.int64)
@@ -339,6 +431,18 @@ class FastSimulator:
                 thread, w = divmod(key, max_w + 1)
                 hist = metrics.histograms[thread]
                 hist[w] = hist.get(w, 0) + count
+            if metrics.response_logs is not None:
+                # A core is served at most once per tick, so slicing the
+                # chronological log by thread yields each thread's
+                # responses in exactly the reference engine's append
+                # order (tick order, one entry per serve).
+                order = np.argsort(all_threads, kind="stable")
+                sorted_w = all_w[order]
+                bounds = np.searchsorted(
+                    all_threads[order], np.arange(p + 1)
+                )
+                for i in range(p):
+                    metrics.response_logs[i] = sorted_w[bounds[i] : bounds[i + 1]]
         remap_count = getattr(arb, "remap_count", 0)
         return metrics.finalize(
             makespan=makespan,
@@ -350,11 +454,47 @@ class FastSimulator:
 
 
 def simulate(
-    traces: Sequence[np.ndarray | Sequence[int]],
+    traces,
     config: SimulationConfig,
+    engine: str | None = None,
 ) -> SimulationResult:
-    """Run with the fast path when supported, else the reference engine."""
-    arrays = [np.ascontiguousarray(np.asarray(t, dtype=np.int64)) for t in traces]
-    if _supports(config, arrays):
-        return FastSimulator(arrays, config).run()
+    """Run with the fast path when supported, else the reference engine.
+
+    Parameters
+    ----------
+    traces:
+        A :class:`repro.traces.Workload` (preferred — its build-time
+        :class:`~repro.traces.base.PageAttestation` makes eligibility an
+        O(1) check) or a sequence of per-core page arrays (scanned on
+        every call).
+    config:
+        Model and policy parameters.
+    engine:
+        ``"auto"`` dispatches by eligibility, ``"reference"`` forces the
+        scalar engine, ``"fast"`` forces the vectorized engine (raising
+        ``ValueError`` when the configuration is outside its scope).
+        ``None`` uses the process default (:func:`set_default_engine`).
+    """
+    if engine is None:
+        engine = _default_engine
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(f"engine must be one of {ENGINE_CHOICES}, got {engine!r}")
+    attestation = getattr(traces, "attestation", None)
+    if attestation is not None:
+        arrays = traces.traces
+    else:
+        arrays = [
+            np.ascontiguousarray(np.asarray(t, dtype=np.int64)) for t in traces
+        ]
+    if engine != "reference" and _config_supported(config) and len(arrays):
+        if attestation is None:
+            attestation = _attest_arrays(arrays)
+        if _attestation_ok(attestation):
+            return FastSimulator(arrays, config, attestation=attestation).run()
+    if engine == "fast":
+        raise ValueError(
+            "engine='fast' requested but the configuration is outside the "
+            "fast path (needs LRU, protect_pending, disjoint compact "
+            "traces, no timeline)"
+        )
     return Simulator(arrays, config).run()

@@ -21,6 +21,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 __all__ = [
+    "PageAttestation",
     "Trace",
     "Workload",
     "coalesce_consecutive",
@@ -29,6 +30,32 @@ __all__ = [
     "workload_kinds",
     "spawn_thread_seeds",
 ]
+
+
+@dataclass(frozen=True)
+class PageAttestation:
+    """Facts about a workload's page-id layout, certified at build time.
+
+    The fast engine (:mod:`repro.core.fastengine`) needs to know that
+    per-core page namespaces are disjoint and that ids are small enough
+    for dense arrays. Scanning every trace to establish this costs
+    O(n log n) per dispatch; a :class:`Workload` already knows the
+    answer from construction (renumbering *makes* the namespaces
+    disjoint), so it carries this attestation and the engine selector
+    trusts it instead of rescanning.
+
+    Attributes
+    ----------
+    disjoint:
+        No page id appears in two different traces.
+    min_page / max_page:
+        Bounds over all references (``min_page=0, max_page=-1`` for a
+        workload with no references).
+    """
+
+    disjoint: bool
+    min_page: int
+    max_page: int
 
 
 def coalesce_consecutive(pages: np.ndarray) -> np.ndarray:
@@ -149,13 +176,29 @@ class Workload:
             self._renumbered: tuple[Trace, ...] = tuple(renumbered)
             self.page_offsets: tuple[int, ...] = tuple(offsets)
             self.total_unique_pages: int = offset
+            # Renumbering assigns each trace its own contiguous id block,
+            # so disjointness and the id range are known without a scan.
+            self.attestation = PageAttestation(
+                disjoint=True, min_page=0, max_page=offset - 1
+            )
         else:
             self._renumbered = tuple(normalized)
             self.page_offsets = tuple(0 for _ in normalized)
             non_empty = [t.pages for t in normalized if len(t)]
-            self.total_unique_pages = (
-                len(np.unique(np.concatenate(non_empty))) if non_empty else 0
-            )
+            if non_empty:
+                merged = np.concatenate(non_empty)
+                self.total_unique_pages = len(np.unique(merged))
+                per_thread = sum(len(np.unique(t)) for t in non_empty)
+                self.attestation = PageAttestation(
+                    disjoint=per_thread == self.total_unique_pages,
+                    min_page=int(merged.min()),
+                    max_page=int(merged.max()),
+                )
+            else:
+                self.total_unique_pages = 0
+                self.attestation = PageAttestation(
+                    disjoint=True, min_page=0, max_page=-1
+                )
 
     # -- simulator-facing view ---------------------------------------------
     @property

@@ -6,8 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import SimulationConfig, Simulator
-from repro.core.fastengine import FastSimulator, simulate
-from repro.traces import make_workload
+from repro.core.fastengine import (
+    ENGINE_CHOICES,
+    FastSimulator,
+    default_engine,
+    set_default_engine,
+    simulate,
+)
+from repro.traces import PageAttestation, make_workload
 
 
 def assert_identical(traces, config):
@@ -143,6 +149,121 @@ class TestVectorPathExercised:
         wl = make_workload("sort", threads=30, seed=1, n=200, coalesce=True)
         cfg = SimulationConfig(hbm_slots=12, arbitration="fifo")
         assert_identical(wl.traces, cfg)
+
+
+class TestRecordResponses:
+    """record_responses=True stays on the fast path and is bit-identical."""
+
+    @pytest.mark.parametrize("threads", [4, 40])  # scalar and vector regimes
+    def test_response_logs_identical(self, threads):
+        wl = make_workload("zipf", threads=threads, seed=4, length=200, pages=16)
+        cfg = SimulationConfig(
+            hbm_slots=8 * threads, arbitration="priority", record_responses=True
+        )
+        ref = Simulator(wl.traces, cfg).run()
+        fast = FastSimulator(wl.traces, cfg).run()
+        assert fast.makespan == ref.makespan
+        assert fast.response_log is not None and ref.response_log is not None
+        assert len(fast.response_log) == len(ref.response_log)
+        for a, b in zip(fast.response_log, ref.response_log):
+            assert np.array_equal(a, b)
+
+    def test_simulate_dispatches_record_responses_to_fast(self):
+        wl = make_workload("adversarial_cycle", threads=4, pages=8, repeats=4)
+        cfg = SimulationConfig(hbm_slots=16, record_responses=True)
+        result = simulate(wl, cfg, engine="fast")  # must not raise
+        assert result.response_log is not None
+
+    def test_empty_thread_gets_empty_log(self):
+        cfg = SimulationConfig(hbm_slots=4, record_responses=True)
+        ref = Simulator([[], [5, 6]], cfg).run()
+        fast = FastSimulator([[], [5, 6]], cfg).run()
+        assert len(fast.response_log[0]) == 0
+        assert np.array_equal(fast.response_log[1], ref.response_log[1])
+
+
+class TestAttestation:
+    def test_workload_carries_attestation(self):
+        wl = make_workload("random", threads=4, seed=0, length=50, pages=8)
+        att = wl.attestation
+        assert isinstance(att, PageAttestation)
+        assert att.disjoint  # renumbering makes namespaces disjoint
+        assert att.min_page == 0
+        assert att.max_page == wl.total_unique_pages - 1
+
+    def test_empty_workload_attestation(self):
+        wl = make_workload("random", threads=1, seed=0, length=0, pages=4)
+        assert wl.attestation.disjoint
+        assert wl.attestation.max_page == -1
+
+    def test_simulate_trusts_workload_attestation(self):
+        wl = make_workload("zipf", threads=6, seed=1, length=120, pages=16)
+        cfg = SimulationConfig(hbm_slots=48)
+        # engine="fast" would raise if dispatch ignored the attestation
+        # or judged the workload ineligible.
+        fast = simulate(wl, cfg, engine="fast")
+        ref = simulate(wl, cfg, engine="reference")
+        assert fast.makespan == ref.makespan
+        assert fast.response_histogram == ref.response_histogram
+
+    def test_false_attestation_forces_fallback(self):
+        class Claimed:
+            def __init__(self, traces, attestation):
+                self.traces = traces
+                self.attestation = attestation
+
+        traces = [np.array([0, 1], dtype=np.int64), np.array([10], dtype=np.int64)]
+        shy = Claimed(traces, PageAttestation(disjoint=False, min_page=0, max_page=10))
+        with pytest.raises(ValueError, match="fast"):
+            simulate(shy, SimulationConfig(hbm_slots=4), engine="fast")
+        # auto quietly falls back to the reference engine
+        result = simulate(shy, SimulationConfig(hbm_slots=4))
+        assert result.total_requests == 3
+
+    def test_raw_arrays_still_scanned(self):
+        # no attestation attribute: dispatch must fall back to scanning
+        with pytest.raises(ValueError, match="fast"):
+            simulate([[0, 1], [0]], SimulationConfig(hbm_slots=4), engine="fast")
+        assert (
+            simulate([[0, 1], [10]], SimulationConfig(hbm_slots=4), engine="fast")
+            .total_requests
+            == 3
+        )
+
+
+class TestEngineSelection:
+    def test_engine_choices(self):
+        assert ENGINE_CHOICES == ("auto", "reference", "fast")
+
+    def test_all_engines_agree(self):
+        wl = make_workload("adversarial_cycle", threads=4, pages=8, repeats=4)
+        cfg = SimulationConfig(hbm_slots=16)
+        results = {e: simulate(wl, cfg, engine=e) for e in ENGINE_CHOICES}
+        makespans = {e: r.makespan for e, r in results.items()}
+        assert len(set(makespans.values())) == 1
+
+    def test_fast_raises_on_unsupported_config(self):
+        wl = make_workload("adversarial_cycle", threads=2, pages=4, repeats=2)
+        cfg = SimulationConfig(hbm_slots=4, replacement="clock")
+        with pytest.raises(ValueError, match="fast"):
+            simulate(wl, cfg, engine="fast")
+        # auto falls back without raising
+        assert simulate(wl, cfg).total_requests == wl.total_references
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            simulate([[0]], SimulationConfig(hbm_slots=2), engine="warp")
+
+    def test_set_default_engine_round_trip(self):
+        previous = set_default_engine("reference")
+        try:
+            assert previous == "auto"
+            assert default_engine() == "reference"
+            with pytest.raises(ValueError):
+                set_default_engine("warp")
+        finally:
+            set_default_engine(previous)
+        assert default_engine() == "auto"
 
 
 @settings(max_examples=40, deadline=None)
