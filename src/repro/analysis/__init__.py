@@ -2,8 +2,16 @@
 
 from .asciiplot import line_plot, scatter_plot
 from .report import markdown_table, render_report, write_report
+from .resultcache import ResultCache, sweep_result_key
 from .stats import fairness_summary, group_records, ratio_series
-from .sweep import SweepJob, SweepRecord, SweepRunner, WorkloadSpec, run_sweep
+from .sweep import (
+    SweepJob,
+    SweepRecord,
+    SweepRunner,
+    WorkloadSpec,
+    run_sweep,
+    set_result_cache_default,
+)
 from .tables import format_table, to_csv, write_csv
 
 __all__ = [
@@ -12,6 +20,9 @@ __all__ = [
     "SweepRunner",
     "WorkloadSpec",
     "run_sweep",
+    "set_result_cache_default",
+    "ResultCache",
+    "sweep_result_key",
     "format_table",
     "to_csv",
     "write_csv",

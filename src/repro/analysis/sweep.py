@@ -10,20 +10,39 @@ regenerate (or cache-load) workloads locally instead of pickling
 multi-megabyte traces through the pool; the disk cache is warmed in the
 parent first so each expensive instrumented workload is generated
 exactly once.
+
+Two further levers make repeated campaigns cheap:
+
+* a persistent **result cache** (:mod:`repro.analysis.resultcache`):
+  records are pure functions of (spec, config), so a re-run only
+  simulates jobs never seen before (enabled whenever ``cache_dir`` is
+  given; disable with ``result_cache=False``);
+* **longest-job-first scheduling**: pool submissions are ordered by a
+  crude cost hint so one straggler at the end of the job list no
+  longer serializes the tail of the campaign.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from pathlib import Path
 from typing import Any, Sequence
 
 from ..core import SimulationConfig, SimulationResult
-from ..core.fastengine import simulate
+from ..core.fastengine import default_engine, simulate
 from ..traces import Workload, WorkloadCache, make_workload
+from .resultcache import ResultCache, sweep_result_key
 
-__all__ = ["WorkloadSpec", "SweepJob", "SweepRecord", "SweepRunner", "run_sweep"]
+__all__ = [
+    "WorkloadSpec",
+    "SweepJob",
+    "SweepRecord",
+    "SweepRunner",
+    "run_sweep",
+    "set_result_cache_default",
+]
 
 
 @dataclass(frozen=True)
@@ -107,16 +126,21 @@ class SweepRecord:
             "max_response": self.max_response,
             "hit_rate": round(self.hit_rate, 4),
             "requests": self.total_requests,
+            "fetches": self.fetches,
+            "evictions": self.evictions,
+            "wall_time_s": round(self.wall_time_s, 6),
         }
 
 
-# module-level worker so ProcessPoolExecutor can pickle it
+# module-level worker state so ProcessPoolExecutor can pickle the worker
 _WORKER_CACHE_DIR: str | None = None
+_WORKER_ENGINE: str | None = None
 
 
-def _pool_init(cache_dir: str | None) -> None:
-    global _WORKER_CACHE_DIR
+def _pool_init(cache_dir: str | None, engine: str | None = None) -> None:
+    global _WORKER_CACHE_DIR, _WORKER_ENGINE
     _WORKER_CACHE_DIR = cache_dir
+    _WORKER_ENGINE = engine
 
 
 def _run_job(job: SweepJob) -> SweepRecord:
@@ -124,9 +148,60 @@ def _run_job(job: SweepJob) -> SweepRecord:
     workload = job.workload.build(cache)
     # Dispatch through the engine selector: eligible (LRU, protected,
     # disjoint) configs take the vectorized fast path, everything else
-    # falls back to the reference engine with identical results.
-    result = simulate(workload.traces, job.config)
+    # falls back to the reference engine with identical results. The
+    # Workload object is passed whole so its build-time attestation
+    # replaces the per-dispatch disjointness scan.
+    result = simulate(workload, job.config, engine=_WORKER_ENGINE)
     return SweepRecord.from_result(job, result)
+
+
+#: SweepRecord fields persisted by the result cache (everything except
+#: the job itself, which the caller supplies on a hit).
+_RESULT_FIELDS = tuple(f.name for f in fields(SweepRecord) if f.name != "job")
+
+#: spec params that scale simulated work, for the scheduling cost hint
+_SIZE_PARAM_KEYS = ("n", "length", "repeats", "vertices", "iters")
+
+
+def _record_payload(record: SweepRecord) -> dict[str, Any]:
+    return {name: getattr(record, name) for name in _RESULT_FIELDS}
+
+
+def _record_from_payload(job: SweepJob, payload: dict[str, Any]) -> SweepRecord | None:
+    if not all(name in payload for name in _RESULT_FIELDS):
+        return None  # written by an older schema; treat as a miss
+    return SweepRecord(job=job, **{name: payload[name] for name in _RESULT_FIELDS})
+
+
+def _job_cost_hint(job: SweepJob) -> float:
+    """Crude relative runtime estimate, used only to order pool submits.
+
+    Longest-job-first keeps a big job from landing on a worker after
+    the queue has drained; a wrong hint costs nothing but scheduling
+    quality.
+    """
+    params = dict(job.workload.params)
+    size = 1.0
+    for key in _SIZE_PARAM_KEYS:
+        value = params.get(key)
+        if isinstance(value, (int, float)) and value > 1:
+            size *= float(value)
+    return job.workload.threads * size
+
+
+_RESULT_CACHE_DEFAULT = True
+
+
+def set_result_cache_default(enabled: bool) -> bool:
+    """Set the process-wide result-cache default; returns the old value.
+
+    Used by the CLI's ``--no-result-cache`` flag; individual runners can
+    still override via their ``result_cache`` argument.
+    """
+    global _RESULT_CACHE_DEFAULT
+    previous = _RESULT_CACHE_DEFAULT
+    _RESULT_CACHE_DEFAULT = bool(enabled)
+    return previous
 
 
 class SweepRunner:
@@ -134,15 +209,30 @@ class SweepRunner:
 
     ``processes=None`` picks ``os.cpu_count()``; ``processes<=1`` runs
     sequentially in-process (useful under pytest and for debugging).
+
+    ``engine`` selects the simulator per job (``"auto"`` /
+    ``"reference"`` / ``"fast"``; ``None`` uses the process default from
+    :func:`repro.core.fastengine.set_default_engine`).
+
+    When ``cache_dir`` is given and ``result_cache`` is enabled (the
+    default, see :func:`set_result_cache_default`), finished records
+    are persisted under ``<cache_dir>/results/`` and re-running a job
+    list replays hits from disk without touching any engine.
     """
 
     def __init__(
         self,
         processes: int | None = None,
         cache_dir: str | os.PathLike | None = None,
+        engine: str | None = None,
+        result_cache: bool | None = None,
     ) -> None:
         self.processes = processes if processes is not None else (os.cpu_count() or 1)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.engine = engine if engine is not None else default_engine()
+        self.result_cache = (
+            result_cache if result_cache is not None else _RESULT_CACHE_DEFAULT
+        )
 
     def prepare(self, jobs: Sequence[SweepJob]) -> None:
         """Warm the workload cache: generate each distinct spec once."""
@@ -152,25 +242,66 @@ class SweepRunner:
         for spec in dict.fromkeys(job.workload for job in jobs):
             spec.build(cache)
 
+    def _result_cache(self) -> ResultCache | None:
+        if self.cache_dir is None or not self.result_cache:
+            return None
+        return ResultCache(Path(self.cache_dir) / "results")
+
     def run(self, jobs: Sequence[SweepJob]) -> list[SweepRecord]:
         if not jobs:
             return []
-        if self.processes <= 1 or len(jobs) == 1:
-            _pool_init(self.cache_dir)
-            return [_run_job(job) for job in jobs]
-        self.prepare(jobs)
-        with ProcessPoolExecutor(
-            max_workers=min(self.processes, len(jobs)),
-            initializer=_pool_init,
-            initargs=(self.cache_dir,),
-        ) as pool:
-            return list(pool.map(_run_job, jobs, chunksize=1))
+        cache = self._result_cache()
+        records: list[SweepRecord | None] = [None] * len(jobs)
+        keys: list[str | None] = [None] * len(jobs)
+        pending: list[int] = []
+        for idx, job in enumerate(jobs):
+            if cache is not None:
+                keys[idx] = sweep_result_key(job.workload, job.config)
+                payload = cache.get(keys[idx])
+                if payload is not None:
+                    record = _record_from_payload(job, payload)
+                    if record is not None:
+                        records[idx] = record
+                        continue
+            pending.append(idx)
+
+        if pending:
+            if self.processes <= 1 or len(pending) == 1:
+                _pool_init(self.cache_dir, self.engine)
+                fresh = [(idx, _run_job(jobs[idx])) for idx in pending]
+            else:
+                self.prepare([jobs[idx] for idx in pending])
+                # Longest-job-first: order submissions by the cost hint
+                # so stragglers start early instead of serializing the
+                # tail once the queue drains.
+                order = sorted(
+                    pending, key=lambda idx: _job_cost_hint(jobs[idx]), reverse=True
+                )
+                with ProcessPoolExecutor(
+                    max_workers=min(self.processes, len(pending)),
+                    initializer=_pool_init,
+                    initargs=(self.cache_dir, self.engine),
+                ) as pool:
+                    futures = {idx: pool.submit(_run_job, jobs[idx]) for idx in order}
+                    fresh = [(idx, futures[idx].result()) for idx in pending]
+            for idx, record in fresh:
+                records[idx] = record
+                if cache is not None and keys[idx] is not None:
+                    cache.put(keys[idx], _record_payload(record))
+        return records  # type: ignore[return-value]  # every slot filled
 
 
 def run_sweep(
     jobs: Sequence[SweepJob],
     processes: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    engine: str | None = None,
+    result_cache: bool | None = None,
 ) -> list[SweepRecord]:
     """One-call sweep execution."""
-    return SweepRunner(processes=processes, cache_dir=cache_dir).run(jobs)
+    return SweepRunner(
+        processes=processes,
+        cache_dir=cache_dir,
+        engine=engine,
+        result_cache=result_cache,
+    ).run(jobs)

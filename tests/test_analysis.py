@@ -13,10 +13,25 @@ from repro.analysis import (
     ratio_series,
     run_sweep,
     scatter_plot,
+    sweep_result_key,
     to_csv,
     write_csv,
 )
-from repro.core import SimulationConfig, run_simulation
+from repro.analysis import sweep as sweep_mod
+from repro.core import SimulationConfig, Simulator, run_simulation
+
+#: every engine-produced SweepRecord field; wall_time_s is excluded from
+#: cross-run comparisons because it is the one non-deterministic column.
+METRIC_FIELDS = (
+    "makespan",
+    "mean_response",
+    "inconsistency",
+    "max_response",
+    "hit_rate",
+    "total_requests",
+    "fetches",
+    "evictions",
+)
 
 
 def demo_jobs(threads=(2, 4), arbs=("fifo", "priority"), k=32):
@@ -76,6 +91,163 @@ class TestSweep:
         assert row["threads"] == 2
         assert row["arbitration"] in ("fifo", "priority")
         assert isinstance(row["makespan"], int)
+
+    def test_record_row_perf_columns(self):
+        records = run_sweep(demo_jobs(threads=(2,)), processes=1)
+        row = records[0].row()
+        assert {"requests", "fetches", "evictions", "wall_time_s"} <= row.keys()
+        assert row["fetches"] >= 1
+        assert row["wall_time_s"] >= 0.0
+
+
+def mixed_engine_jobs(k=32):
+    """Jobs spanning both dispatch outcomes: fast-eligible LRU configs
+    and clock-replacement configs that must fall back to the reference
+    engine."""
+    jobs = []
+    for p in (2, 4):
+        spec = WorkloadSpec.make(
+            "adversarial_cycle", threads=p, pages=16, repeats=4
+        )
+        for replacement in ("lru", "clock"):
+            jobs.append(
+                SweepJob(
+                    spec,
+                    SimulationConfig(
+                        hbm_slots=k,
+                        arbitration="priority",
+                        replacement=replacement,
+                    ),
+                )
+            )
+        jobs.append(
+            SweepJob(
+                spec,
+                SimulationConfig(
+                    hbm_slots=k, arbitration="fifo", record_responses=True
+                ),
+            )
+        )
+    return jobs
+
+
+class TestSweepDifferential:
+    """SweepRunner must agree with the reference Simulator bit-for-bit
+    regardless of process count, engine dispatch, or caching."""
+
+    def test_pool_sequential_and_direct_agree(self, tmp_path):
+        jobs = mixed_engine_jobs()
+        seq = run_sweep(jobs, processes=1, cache_dir=tmp_path / "seq")
+        par = run_sweep(jobs, processes=2, cache_dir=tmp_path / "par")
+        direct = [
+            Simulator(job.workload.build().traces, job.config).run()
+            for job in jobs
+        ]
+        for s, p, d in zip(seq, par, direct):
+            for name in METRIC_FIELDS:
+                assert getattr(s, name) == getattr(p, name)
+                assert getattr(s, name) == getattr(d, name)
+
+    def test_forced_engines_agree(self, tmp_path):
+        jobs = demo_jobs()
+        ref = run_sweep(jobs, processes=1, engine="reference")
+        fast = run_sweep(jobs, processes=1, engine="fast")
+        auto = run_sweep(jobs, processes=1, engine="auto")
+        for a, b, c in zip(ref, fast, auto):
+            for name in METRIC_FIELDS:
+                assert getattr(a, name) == getattr(b, name) == getattr(c, name)
+
+
+class TestResultCache:
+    def test_rerun_replays_without_engine(self, tmp_path, monkeypatch):
+        jobs = demo_jobs()
+        first = run_sweep(jobs, processes=1, cache_dir=tmp_path)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("engine invoked despite warm result cache")
+
+        monkeypatch.setattr(sweep_mod, "simulate", boom)
+        second = run_sweep(jobs, processes=1, cache_dir=tmp_path)
+        assert second == first  # includes replayed wall_time_s
+
+    def test_disabled_cache_recomputes(self, tmp_path, monkeypatch):
+        jobs = demo_jobs(threads=(2,))
+        run_sweep(jobs, processes=1, cache_dir=tmp_path)
+        calls = []
+        real = sweep_mod.simulate
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "simulate", counting)
+        run_sweep(jobs, processes=1, cache_dir=tmp_path, result_cache=False)
+        assert len(calls) == len(jobs)
+
+    def test_cache_entries_on_disk(self, tmp_path):
+        jobs = demo_jobs(threads=(2,))
+        run_sweep(jobs, processes=1, cache_dir=tmp_path)
+        assert len(list((tmp_path / "results").glob("*.json"))) == len(jobs)
+
+    def test_no_cache_dir_means_no_cache(self, tmp_path, monkeypatch):
+        jobs = demo_jobs(threads=(2,))
+        run_sweep(jobs, processes=1)
+        calls = []
+        real = sweep_mod.simulate
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "simulate", counting)
+        run_sweep(jobs, processes=1)
+        assert len(calls) == len(jobs)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        jobs = demo_jobs(threads=(2,))
+        first = run_sweep(jobs, processes=1, cache_dir=tmp_path)
+        for path in (tmp_path / "results").glob("*.json"):
+            path.write_text("{not json", encoding="utf-8")
+        second = run_sweep(jobs, processes=1, cache_dir=tmp_path)
+        for a, b in zip(first, second):
+            for name in METRIC_FIELDS:
+                assert getattr(a, name) == getattr(b, name)
+
+    def test_key_depends_on_spec_and_config_not_tag(self):
+        spec = WorkloadSpec.make("random", 2, length=10, pages=4)
+        other_spec = WorkloadSpec.make("random", 2, length=20, pages=4)
+        cfg = SimulationConfig(hbm_slots=8)
+        key = sweep_result_key(spec, cfg)
+        assert key == sweep_result_key(spec, cfg)  # stable
+        assert key != sweep_result_key(other_spec, cfg)
+        assert key != sweep_result_key(spec, SimulationConfig(hbm_slots=16))
+        # the tag is presentation metadata, not simulation input
+        a = SweepJob(spec, cfg, tag="a")
+        b = SweepJob(spec, cfg, tag="b")
+        assert sweep_result_key(a.workload, a.config) == sweep_result_key(
+            b.workload, b.config
+        )
+
+    def test_set_result_cache_default_round_trip(self, tmp_path, monkeypatch):
+        from repro.analysis import set_result_cache_default
+
+        jobs = demo_jobs(threads=(2,))
+        run_sweep(jobs, processes=1, cache_dir=tmp_path)
+        previous = set_result_cache_default(False)
+        try:
+            assert previous is True
+            calls = []
+            real = sweep_mod.simulate
+
+            def counting(*args, **kwargs):
+                calls.append(1)
+                return real(*args, **kwargs)
+
+            monkeypatch.setattr(sweep_mod, "simulate", counting)
+            run_sweep(jobs, processes=1, cache_dir=tmp_path)
+            assert len(calls) == len(jobs)  # default now skips the cache
+        finally:
+            set_result_cache_default(previous)
 
 
 class TestTables:
