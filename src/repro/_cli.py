@@ -23,8 +23,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from .analysis import write_csv
-from .core import SimulationConfig, Simulator
+from .analysis import set_result_cache_default, write_csv
+from .core import ENGINE_CHOICES, SimulationConfig, set_default_engine, simulate
 from .experiments import EXPERIMENTS, experiment_ids, run_experiment
 from .traces import make_workload, workload_kinds
 
@@ -66,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="REPORT.md",
         help="also write a combined Markdown report to this path",
     )
+    _add_engine_flags(run_p)
 
     sim_p = sub.add_parser("simulate", help="run one ad-hoc simulation")
     sim_p.add_argument("workload", help="workload kind (see 'workloads')")
@@ -83,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", default=[], metavar="KEY=VALUE",
         help="workload generator parameter (repeatable)",
     )
+    _add_engine_flags(sim_p)
 
     prof_p = sub.add_parser(
         "profile", help="locality characterization of a workload"
@@ -100,6 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload generator parameter (repeatable)",
     )
     return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="simulator engine: 'auto' dispatches eligible configs to "
+        "the vectorized fast engine, 'reference'/'fast' force one "
+        "(default: auto)",
+    )
+    parser.add_argument(
+        "--no-result-cache", action="store_true",
+        help="recompute every sweep job even when a cached result "
+        "exists under <cache-dir>/results/",
+    )
 
 
 def _parse_params(items: list[str]) -> dict:
@@ -147,24 +163,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         output_dir.mkdir(parents=True, exist_ok=True)
     failed: list[str] = []
     outputs = []
-    for experiment_id in ids:
-        out = run_experiment(
-            experiment_id,
-            scale=args.scale,
-            processes=args.processes,
-            cache_dir=args.cache_dir,
-            seed=args.seed,
-        )
-        outputs.append(out)
-        print(out.render())
-        print()
-        if output_dir:
-            if out.rows:
-                write_csv(out.rows, output_dir / f"{experiment_id}.csv")
-            (output_dir / f"{experiment_id}.txt").write_text(
-                out.render() + "\n", encoding="utf-8"
+    # Experiment runners take (scale, processes, cache_dir, seed) only;
+    # engine choice and result-cache policy flow through module-level
+    # defaults, restored afterwards so in-process callers are unaffected.
+    prev_engine = set_default_engine(args.engine)
+    prev_cache = set_result_cache_default(not args.no_result_cache)
+    try:
+        for experiment_id in ids:
+            out = run_experiment(
+                experiment_id,
+                scale=args.scale,
+                processes=args.processes,
+                cache_dir=args.cache_dir,
+                seed=args.seed,
             )
-        failed.extend(f"{experiment_id}:{name}" for name in out.failed_checks())
+            outputs.append(out)
+            print(out.render())
+            print()
+            if output_dir:
+                if out.rows:
+                    write_csv(out.rows, output_dir / f"{experiment_id}.csv")
+                (output_dir / f"{experiment_id}.txt").write_text(
+                    out.render() + "\n", encoding="utf-8"
+                )
+            failed.extend(
+                f"{experiment_id}:{name}" for name in out.failed_checks()
+            )
+    finally:
+        set_default_engine(prev_engine)
+        set_result_cache_default(prev_cache)
     if args.report:
         from .analysis import write_report
 
@@ -193,7 +220,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(workload)
-    result = Simulator(workload.traces, config).run()
+    result = simulate(workload, config, engine=args.engine)
     print(result.summary())
     return 0
 

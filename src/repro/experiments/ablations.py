@@ -39,7 +39,7 @@ from ..analysis import (
     line_plot,
     run_sweep,
 )
-from ..core import SimulationConfig, Simulator
+from ..core import SimulationConfig, simulate
 from ..traces import make_workload
 from .base import ExperimentOutput, require_scale
 
@@ -296,7 +296,7 @@ def replacement_ablation(
         cfg = SimulationConfig(
             hbm_slots=k, arbitration="priority", replacement=replacement, seed=seed
         )
-        result = Simulator(workload.traces, cfg).run()
+        result = simulate(workload, cfg)
         results[replacement] = result
         rows.append(
             {
@@ -369,7 +369,7 @@ def shared_pages_ablation(
                 remap_period=10 * k if arb == "dynamic_priority" else None,
                 seed=seed,
             )
-            result = Simulator(workload.traces, cfg).run()
+            result = simulate(workload, cfg)
             if arb == "priority":
                 fetch_by_fraction[fraction] = result.fetches
             rows.append(

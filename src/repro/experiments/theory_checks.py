@@ -29,7 +29,7 @@ from ..theory import (
     fcfs_gap_experiment,
     fit_linear,
 )
-from ..core import SimulationConfig, Simulator
+from ..core import SimulationConfig, simulate
 from ..traces import make_workload
 from .base import ExperimentOutput, require_scale
 
@@ -94,7 +94,7 @@ def theorem1_3(scale="smoke", processes=None, cache_dir=None, seed=0) -> Experim
                         ),
                         seed=seed,
                     )
-                    makespans[arb] = Simulator(workload.traces, cfg).run().makespan
+                    makespans[arb] = simulate(workload, cfg).makespan
                 best = min(makespans.values())
                 prio = makespans["priority"]
                 ratio_bound = competitive_ratio(prio, bound)
@@ -281,7 +281,7 @@ def response_bound(scale="smoke", processes=None, cache_dir=None, seed=0) -> Exp
         cfg = SimulationConfig(
             hbm_slots=k, arbitration="cycle_priority", remap_period=T, seed=seed
         )
-        result = Simulator(workload.traces, cfg).run()
+        result = simulate(workload, cfg)
         bound = cycle_response_time_bound(p, T)
         holds = check_cycle_response_bound(result, p, T)
         ok = ok and holds

@@ -23,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core import SimulationConfig, Simulator
+from ..core import SimulationConfig, simulate
 from ..traces.adversarial import fifo_adversarial_hbm_slots, theorem2_workload
 from .bounds import competitive_ratio, makespan_lower_bound
 
@@ -71,7 +71,7 @@ def fcfs_gap_experiment(
             cfg = SimulationConfig(
                 hbm_slots=k, channels=channels, arbitration=arb, seed=seed
             )
-            results[arb] = Simulator(workload.traces, cfg).run()
+            results[arb] = simulate(workload, cfg)
         points.append(
             GapPoint(
                 threads=p,

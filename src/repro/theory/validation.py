@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..core import SimulationConfig, SimulationResult, Simulator
+from ..core import SimulationConfig, SimulationResult, simulate
 from ..traces.base import Workload
 from .bounds import LowerBoundReport, competitive_ratio, makespan_lower_bound
 
@@ -71,7 +71,7 @@ def check_priority_competitiveness(
                     remap_period=remap_period,
                     seed=seed,
                 )
-                result = Simulator(workload.traces, cfg).run()
+                result = simulate(workload, cfg)
                 rows.append(
                     CompetitivenessRow(
                         workload=workload.name,

@@ -89,6 +89,51 @@ class TestRunCommands:
         assert "miss ratio" in out
         assert "reuse distance" in out
 
+    SIMULATE_ARGV = [
+        "simulate",
+        "adversarial_cycle",
+        "--threads",
+        "4",
+        "--hbm-slots",
+        "32",
+        "--param",
+        "pages=16",
+        "--param",
+        "repeats=2",
+    ]
+
+    def test_simulate_engine_flag_output_identical(self, capsys):
+        outputs = {}
+        for engine in ("reference", "fast", "auto"):
+            assert main(self.SIMULATE_ARGV + ["--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["reference"] == outputs["fast"] == outputs["auto"]
+
+    def test_simulate_engine_fast_rejects_unsupported(self):
+        argv = self.SIMULATE_ARGV + ["--replacement", "clock", "--engine", "fast"]
+        with pytest.raises(ValueError, match="fast"):
+            main(argv)
+
+    def test_simulate_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(self.SIMULATE_ARGV + ["--engine", "warp"])
+
+    def test_run_engine_flags_restore_defaults(self, capsys):
+        from repro.analysis.sweep import _RESULT_CACHE_DEFAULT
+        from repro.core import default_engine
+
+        assert default_engine() == "auto"
+        code = main(
+            ["run", "thm4", "--engine", "reference", "--no-result-cache"]
+        )
+        assert code == 0
+        assert "[PASS]" in capsys.readouterr().out
+        # module-level defaults must be restored after the command
+        assert default_engine() == "auto"
+        from repro.analysis import sweep as sweep_mod
+
+        assert sweep_mod._RESULT_CACHE_DEFAULT is _RESULT_CACHE_DEFAULT is True
+
     def test_run_exit_code_on_failed_checks(self, monkeypatch, capsys):
         from repro.experiments import registry
         from repro.experiments.base import ExperimentOutput
