@@ -15,6 +15,13 @@ Subcommands
     Locality characterization of a generated workload (reuse
     distances, Mattson miss-ratio curve, working sets) — the tool used
     to size HBM for the experiment regimes.
+``trace``
+    Run one workload with probes attached and export its timeline as
+    Chrome ``trace_event`` JSON (opens in Perfetto), JSONL, and a run
+    manifest, plus an ASCII rendering on the terminal.
+
+Global ``-v/--verbose`` and ``-q/--quiet`` flags control the
+``repro.*`` logger verbosity (default INFO; see :mod:`repro.obs.log`).
 """
 
 from __future__ import annotations
@@ -26,6 +33,13 @@ from pathlib import Path
 from .analysis import set_result_cache_default, write_csv
 from .core import ENGINE_CHOICES, SimulationConfig, set_default_engine, simulate
 from .experiments import EXPERIMENTS, experiment_ids, run_experiment
+from .obs import (
+    TimelineProbe,
+    ascii_timeline,
+    configure_logging,
+    write_chrome_trace,
+    write_timeline_jsonl,
+)
 from .traces import make_workload, workload_kinds
 
 __all__ = ["main", "build_parser"]
@@ -38,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Automatic HBM Management: Models and "
             "Algorithms' (SPAA 2022)."
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more logging (repeatable; -v enables DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less logging (repeatable; -q limits to warnings)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,7 +106,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", default=[], metavar="KEY=VALUE",
         help="workload generator parameter (repeatable)",
     )
+    sim_p.add_argument(
+        "--probe", action="store_true",
+        help="attach a timeline probe and print an ASCII timeline",
+    )
+    sim_p.add_argument(
+        "--probe-stride", type=int, default=1, metavar="N",
+        help="sample every N ticks when probing (default: 1)",
+    )
+    sim_p.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write a run manifest (JSON) to PATH",
+    )
     _add_engine_flags(sim_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a workload and export its timeline (Perfetto/JSONL)",
+    )
+    trace_p.add_argument("workload", help="workload kind (see 'workloads')")
+    trace_p.add_argument("--threads", type=int, default=8)
+    trace_p.add_argument("--hbm-slots", type=int, required=True)
+    trace_p.add_argument("--channels", type=int, default=1)
+    trace_p.add_argument("--arbitration", default="fifo")
+    trace_p.add_argument("--replacement", default="lru")
+    trace_p.add_argument(
+        "--remap-period", type=int, default=None,
+        help="T in ticks for remapping schemes",
+    )
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload generator parameter (repeatable)",
+    )
+    trace_p.add_argument(
+        "--probe-stride", type=int, default=1, metavar="N",
+        help="sample every N ticks (default: 1)",
+    )
+    trace_p.add_argument(
+        "--output-dir", default=None, metavar="DIR",
+        help="where to write trace.json / timeline.jsonl / manifest.json "
+        "(default: trace-<workload>/)",
+    )
+    trace_p.add_argument(
+        "--no-ascii", action="store_true",
+        help="skip the terminal timeline rendering",
+    )
+    _add_engine_flags(trace_p)
 
     prof_p = sub.add_parser(
         "profile", help="locality characterization of a workload"
@@ -211,6 +279,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = make_workload(
         args.workload, threads=args.threads, seed=args.seed, **params
     )
+    probe = TimelineProbe() if args.probe else None
     config = SimulationConfig(
         hbm_slots=args.hbm_slots,
         channels=args.channels,
@@ -218,10 +287,62 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         replacement=args.replacement,
         remap_period=args.remap_period,
         seed=args.seed,
+        probes=(probe,) if probe is not None else (),
+        probe_stride=args.probe_stride,
     )
     print(workload)
-    result = simulate(workload, config, engine=args.engine)
+    result = simulate(
+        workload, config, engine=args.engine, manifest_path=args.manifest
+    )
     print(result.summary())
+    if probe is not None:
+        print()
+        print(ascii_timeline(probe))
+    if args.manifest:
+        print(f"\nmanifest: {args.manifest}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    workload = make_workload(
+        args.workload, threads=args.threads, seed=args.seed, **params
+    )
+    probe = TimelineProbe()
+    config = SimulationConfig(
+        hbm_slots=args.hbm_slots,
+        channels=args.channels,
+        arbitration=args.arbitration,
+        replacement=args.replacement,
+        remap_period=args.remap_period,
+        seed=args.seed,
+        probes=(probe,),
+        probe_stride=args.probe_stride,
+    )
+    out_dir = Path(args.output_dir or f"trace-{args.workload}")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    print(workload)
+    result = simulate(
+        workload, config,
+        engine=args.engine,
+        manifest_path=out_dir / "manifest.json",
+    )
+    run_name = f"{args.workload} x {args.arbitration}/{args.replacement}"
+    trace_path = write_chrome_trace(
+        probe, out_dir / "trace.json", name=run_name,
+        metadata={"workload": args.workload},
+    )
+    jsonl_path = write_timeline_jsonl(probe, out_dir / "timeline.jsonl")
+    print(result.summary())
+    if not args.no_ascii:
+        print()
+        print(ascii_timeline(probe))
+    print(
+        f"\nwrote {trace_path} ({len(probe.samples)} samples; "
+        "open at https://ui.perfetto.dev or chrome://tracing)"
+    )
+    print(f"wrote {jsonl_path}")
+    print(f"wrote {out_dir / 'manifest.json'}")
     return 0
 
 
@@ -243,6 +364,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     if args.command == "list":
         return _cmd_list()
     if args.command == "workloads":
@@ -251,6 +373,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
     raise AssertionError(f"unhandled command {args.command}")

@@ -1,10 +1,11 @@
 """Sweep harness, statistics, and terminal rendering."""
 
-from .asciiplot import line_plot, scatter_plot
+from .asciiplot import line_plot, scatter_plot, sparkline
 from .report import markdown_table, render_report, write_report
 from .resultcache import ResultCache, sweep_result_key
 from .stats import fairness_summary, group_records, ratio_series
 from .sweep import (
+    CampaignStats,
     SweepJob,
     SweepRecord,
     SweepRunner,
@@ -15,6 +16,7 @@ from .sweep import (
 from .tables import format_table, to_csv, write_csv
 
 __all__ = [
+    "CampaignStats",
     "SweepJob",
     "SweepRecord",
     "SweepRunner",
@@ -28,6 +30,7 @@ __all__ = [
     "write_csv",
     "line_plot",
     "scatter_plot",
+    "sparkline",
     "ratio_series",
     "group_records",
     "fairness_summary",

@@ -11,9 +11,37 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
-__all__ = ["line_plot", "scatter_plot"]
+__all__ = ["line_plot", "scatter_plot", "sparkline"]
 
 _MARKERS = "ox+*#@%&"
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """One-line magnitude rendering of a series (telemetry digests).
+
+    Values are bucketed down to ``width`` columns (mean per bucket) and
+    mapped onto a 10-level character ramp scaled to the series range.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # mean-pool into exactly `width` buckets
+        pooled = []
+        for col in range(width):
+            lo = col * len(values) // width
+            hi = max((col + 1) * len(values) // width, lo + 1)
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    vmin, vmax = min(values), max(values)
+    if vmax == vmin:
+        level = _SPARK_LEVELS[-1] if vmax > 0 else _SPARK_LEVELS[0]
+        return level * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (vmax - vmin)
+    return "".join(_SPARK_LEVELS[round((v - vmin) * scale)] for v in values)
 
 
 def _nice_num(value: float) -> str:

@@ -21,7 +21,10 @@ Entries are one small JSON file per key (written atomically via
 ``os.replace``) in a ``results/`` directory next to the workload
 cache's ``.npz`` files, so ``--cache-dir`` governs both caches and
 deleting the directory resets both. Unreadable or truncated entries are
-treated as misses, never as errors.
+treated as misses, never as errors. Besides the metric payload, the
+sweep harness stores a run ``manifest`` in each entry (engine, host,
+wall-time phases — see :mod:`repro.obs.manifest`), so a cached record
+remains auditable long after the run that produced it.
 """
 
 from __future__ import annotations
@@ -106,3 +109,16 @@ class ResultCache:
         if not self.directory.exists():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    def stats(self) -> dict[str, int]:
+        """Entry count and on-disk footprint, for campaign telemetry."""
+        entries = 0
+        size = 0
+        if self.directory.exists():
+            for f in self.directory.glob("*.json"):
+                entries += 1
+                try:
+                    size += f.stat().st_size
+                except OSError:
+                    pass
+        return {"entries": entries, "bytes": size}

@@ -25,13 +25,16 @@ Two further levers make repeated campaigns cheap:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Sequence
 
 from ..core import SimulationConfig, SimulationResult
-from ..core.fastengine import default_engine, simulate
+from ..core.fastengine import default_engine, resolve_engine, simulate
+from ..obs.log import get_logger
+from ..obs.manifest import MANIFEST_SCHEMA, host_info
 from ..traces import Workload, WorkloadCache, make_workload
 from .resultcache import ResultCache, sweep_result_key
 
@@ -40,9 +43,12 @@ __all__ = [
     "SweepJob",
     "SweepRecord",
     "SweepRunner",
+    "CampaignStats",
     "run_sweep",
     "set_result_cache_default",
 ]
+
+log = get_logger("sweep")
 
 
 @dataclass(frozen=True)
@@ -80,7 +86,13 @@ class SweepJob:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """Flattened outcome of one job (CSV/table-friendly)."""
+    """Flattened outcome of one job (CSV/table-friendly).
+
+    ``cached`` distinguishes a replayed record from a fresh simulation:
+    on a cache hit, ``wall_time_s`` still reports the *original* run's
+    simulation time (the replay itself is near-free), so performance
+    analysis of warm campaigns must filter on ``cached``.
+    """
 
     job: SweepJob
     makespan: int
@@ -92,6 +104,7 @@ class SweepRecord:
     fetches: int
     evictions: int
     wall_time_s: float
+    cached: bool = False
 
     @classmethod
     def from_result(cls, job: SweepJob, result: SimulationResult) -> "SweepRecord":
@@ -129,6 +142,7 @@ class SweepRecord:
             "fetches": self.fetches,
             "evictions": self.evictions,
             "wall_time_s": round(self.wall_time_s, 6),
+            "cached": self.cached,
         }
 
 
@@ -143,16 +157,31 @@ def _pool_init(cache_dir: str | None, engine: str | None = None) -> None:
     _WORKER_ENGINE = engine
 
 
-def _run_job(job: SweepJob) -> SweepRecord:
+def _run_job(job: SweepJob) -> tuple[SweepRecord, dict[str, Any]]:
     cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
+    build_start = time.perf_counter()
     workload = job.workload.build(cache)
+    build_s = time.perf_counter() - build_start
     # Dispatch through the engine selector: eligible (LRU, protected,
     # disjoint) configs take the vectorized fast path, everything else
     # falls back to the reference engine with identical results. The
     # Workload object is passed whole so its build-time attestation
     # replaces the per-dispatch disjointness scan.
     result = simulate(workload, job.config, engine=_WORKER_ENGINE)
-    return SweepRecord.from_result(job, result)
+    record = SweepRecord.from_result(job, result)
+    # Run manifest stored alongside the metrics in the result cache, so
+    # a replayed record stays auditable: which engine produced it, on
+    # what host, and where the wall time went.
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "engine": resolve_engine(workload, job.config, _WORKER_ENGINE),
+        "host": host_info(),
+        "timings": {
+            "workload_build_s": round(build_s, 6),
+            "run_s": round(result.wall_time_s, 6),
+        },
+    }
+    return record, manifest
 
 
 #: SweepRecord fields persisted by the result cache (everything except
@@ -170,7 +199,11 @@ def _record_payload(record: SweepRecord) -> dict[str, Any]:
 def _record_from_payload(job: SweepJob, payload: dict[str, Any]) -> SweepRecord | None:
     if not all(name in payload for name in _RESULT_FIELDS):
         return None  # written by an older schema; treat as a miss
-    return SweepRecord(job=job, **{name: payload[name] for name in _RESULT_FIELDS})
+    values = {name: payload[name] for name in _RESULT_FIELDS}
+    # A replayed record is marked cached regardless of what was stored:
+    # wall_time_s is the *original* simulation time, not this replay's.
+    values["cached"] = True
+    return SweepRecord(job=job, **values)
 
 
 def _job_cost_hint(job: SweepJob) -> float:
@@ -187,6 +220,79 @@ def _job_cost_hint(job: SweepJob) -> float:
         if isinstance(value, (int, float)) and value > 1:
             size *= float(value)
     return job.workload.threads * size
+
+
+@dataclass
+class CampaignStats:
+    """Telemetry for one :meth:`SweepRunner.run` invocation.
+
+    ``wall_time_s`` is this campaign's wall clock; ``sim_time_s`` sums
+    only *fresh* records' simulation time (cache hits replay the
+    original ``wall_time_s``, which must not be double-counted — see
+    :attr:`SweepRecord.cached`).
+    """
+
+    total_jobs: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    wall_time_s: float = 0.0
+    sim_time_s: float = 0.0
+    #: (workload kind, arbitration policy) -> {jobs, cached, sim_wall_s}
+    by_group: dict[tuple[str, str], dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total_jobs if self.total_jobs else 0.0
+
+    @classmethod
+    def collect(
+        cls, records: Sequence["SweepRecord"], wall_time_s: float
+    ) -> "CampaignStats":
+        stats = cls(total_jobs=len(records), wall_time_s=wall_time_s)
+        for record in records:
+            key = (record.job.workload.kind, record.job.config.arbitration)
+            group = stats.by_group.setdefault(
+                key, {"jobs": 0, "cached": 0, "sim_wall_s": 0.0}
+            )
+            group["jobs"] += 1
+            if record.cached:
+                stats.cache_hits += 1
+                group["cached"] += 1
+            else:
+                stats.simulated += 1
+                stats.sim_time_s += record.wall_time_s
+                group["sim_wall_s"] += record.wall_time_s
+        return stats
+
+    def summary_table(self) -> str:
+        """Wall-time-by-(kind, policy) campaign digest."""
+        from .tables import format_table
+
+        rows = [
+            {
+                "workload": kind,
+                "arbitration": arb,
+                "jobs": group["jobs"],
+                "cached": group["cached"],
+                "sim_wall_s": round(group["sim_wall_s"], 4),
+            }
+            for (kind, arb), group in sorted(self.by_group.items())
+        ]
+        rows.append(
+            {
+                "workload": "TOTAL",
+                "arbitration": "",
+                "jobs": self.total_jobs,
+                "cached": self.cache_hits,
+                "sim_wall_s": round(self.sim_time_s, 4),
+            }
+        )
+        title = (
+            f"campaign: {self.total_jobs} jobs, {self.cache_hits} cache hits "
+            f"({self.cache_hit_rate:.0%}), wall {self.wall_time_s:.2f}s "
+            f"(simulation {self.sim_time_s:.2f}s)"
+        )
+        return format_table(rows, title=title)
 
 
 _RESULT_CACHE_DEFAULT = True
@@ -218,6 +324,11 @@ class SweepRunner:
     default, see :func:`set_result_cache_default`), finished records
     are persisted under ``<cache_dir>/results/`` and re-running a job
     list replays hits from disk without touching any engine.
+
+    Campaign telemetry flows through the ``repro.sweep`` logger (INFO:
+    start/summary, DEBUG: per-job completions) and the
+    :class:`CampaignStats` left in :attr:`last_campaign` after each
+    :meth:`run`.
     """
 
     def __init__(
@@ -233,13 +344,17 @@ class SweepRunner:
         self.result_cache = (
             result_cache if result_cache is not None else _RESULT_CACHE_DEFAULT
         )
+        #: telemetry from the most recent :meth:`run`
+        self.last_campaign: CampaignStats | None = None
 
     def prepare(self, jobs: Sequence[SweepJob]) -> None:
         """Warm the workload cache: generate each distinct spec once."""
         if self.cache_dir is None:
             return
         cache = WorkloadCache(self.cache_dir)
-        for spec in dict.fromkeys(job.workload for job in jobs):
+        specs = dict.fromkeys(job.workload for job in jobs)
+        log.debug("warming workload cache: %d distinct specs", len(specs))
+        for spec in specs:
             spec.build(cache)
 
     def _result_cache(self) -> ResultCache | None:
@@ -249,7 +364,9 @@ class SweepRunner:
 
     def run(self, jobs: Sequence[SweepJob]) -> list[SweepRecord]:
         if not jobs:
+            self.last_campaign = CampaignStats()
             return []
+        campaign_start = time.perf_counter()
         cache = self._result_cache()
         records: list[SweepRecord | None] = [None] * len(jobs)
         keys: list[str | None] = [None] * len(jobs)
@@ -265,10 +382,53 @@ class SweepRunner:
                         continue
             pending.append(idx)
 
+        hits = len(jobs) - len(pending)
+        log.info(
+            "campaign start: %d jobs (%d cache hits, %d to simulate) "
+            "engine=%s processes=%d cache=%s",
+            len(jobs),
+            hits,
+            len(pending),
+            self.engine,
+            self.processes,
+            "off" if cache is None else "on",
+        )
+        if cache is not None and log.isEnabledFor(10):  # DEBUG
+            cache_stats = cache.stats()
+            log.debug(
+                "result cache at %s: %d entries, %d bytes",
+                cache.directory,
+                cache_stats["entries"],
+                cache_stats["bytes"],
+            )
+
+        def _store(idx: int, record: SweepRecord, manifest: dict[str, Any]) -> None:
+            records[idx] = record
+            if cache is not None and keys[idx] is not None:
+                cache.put(
+                    keys[idx], {**_record_payload(record), "manifest": manifest}
+                )
+
+        def _progress(done: int, idx: int, record: SweepRecord) -> None:
+            job = jobs[idx]
+            log.debug(
+                "job %d/%d done: %s x %s/%s makespan=%d wall=%.3fs",
+                done,
+                len(pending),
+                job.workload.kind,
+                job.config.arbitration,
+                job.config.replacement,
+                record.makespan,
+                record.wall_time_s,
+            )
+
         if pending:
             if self.processes <= 1 or len(pending) == 1:
                 _pool_init(self.cache_dir, self.engine)
-                fresh = [(idx, _run_job(jobs[idx])) for idx in pending]
+                for done, idx in enumerate(pending, start=1):
+                    record, manifest = _run_job(jobs[idx])
+                    _store(idx, record, manifest)
+                    _progress(done, idx, record)
             else:
                 self.prepare([jobs[idx] for idx in pending])
                 # Longest-job-first: order submissions by the cost hint
@@ -282,12 +442,26 @@ class SweepRunner:
                     initializer=_pool_init,
                     initargs=(self.cache_dir, self.engine),
                 ) as pool:
-                    futures = {idx: pool.submit(_run_job, jobs[idx]) for idx in order}
-                    fresh = [(idx, futures[idx].result()) for idx in pending]
-            for idx, record in fresh:
-                records[idx] = record
-                if cache is not None and keys[idx] is not None:
-                    cache.put(keys[idx], _record_payload(record))
+                    futures = {pool.submit(_run_job, jobs[idx]): idx for idx in order}
+                    done = 0
+                    not_done = set(futures)
+                    while not_done:
+                        finished, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            idx = futures[future]
+                            record, manifest = future.result()
+                            done += 1
+                            _store(idx, record, manifest)
+                            _progress(done, idx, record)
+
+        stats = CampaignStats.collect(
+            records,  # type: ignore[arg-type]  # every slot filled
+            wall_time_s=time.perf_counter() - campaign_start,
+        )
+        self.last_campaign = stats
+        log.info("%s", stats.summary_table())
         return records  # type: ignore[return-value]  # every slot filled
 
 

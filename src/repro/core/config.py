@@ -17,7 +17,7 @@ run configurations in worker processes and cache results.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 __all__ = ["SimulationConfig", "REPLACEMENT_POLICIES", "ARBITRATION_POLICIES"]
@@ -49,6 +49,10 @@ ARBITRATION_POLICIES = (
     "round_robin",
     "fr_fcfs",
 )
+
+#: runtime-only observability fields, excluded from ``to_dict`` (and so
+#: from sweep result-cache keys) because they cannot affect results
+_OBS_ONLY_FIELDS = ("probes", "probe_stride")
 
 
 @dataclass(frozen=True)
@@ -100,6 +104,15 @@ class SimulationConfig:
         DRAM geometry for the FR-FCFS arbitration policy (pages
         interleave across ``dram_banks``; ``dram_row_pages`` consecutive
         same-bank pages share a row). Ignored by every other policy.
+    probes:
+        Tuple of :class:`repro.obs.Probe` objects both engines sample
+        into every ``probe_stride`` ticks. Probes are pure observers —
+        results are bit-identical with and without them — so they are
+        excluded from equality, hashing, and :meth:`to_dict` (and hence
+        from sweep result-cache keys).
+    probe_stride:
+        Ticks between probe samples (tick ``t`` is sampled when
+        ``t % probe_stride == 0``). Ignored when ``probes`` is empty.
     """
 
     hbm_slots: int
@@ -115,6 +128,8 @@ class SimulationConfig:
     max_ticks: int | None = None
     dram_banks: int = 16
     dram_row_pages: int = 8
+    probes: tuple = field(default=(), compare=False, repr=False)
+    probe_stride: int = field(default=1, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.hbm_slots < 1:
@@ -147,14 +162,30 @@ class SimulationConfig:
                 f"dram_banks and dram_row_pages must be >= 1, got "
                 f"{self.dram_banks}, {self.dram_row_pages}"
             )
+        if not isinstance(self.probes, tuple):
+            object.__setattr__(self, "probes", tuple(self.probes))
+        if self.probe_stride < 1:
+            raise ValueError(
+                f"probe_stride must be >= 1, got {self.probe_stride}"
+            )
 
     def replace(self, **changes: Any) -> "SimulationConfig":
         """Return a copy with ``changes`` applied (dataclasses.replace)."""
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form, e.g. for CSV/JSON result rows."""
-        return dataclasses.asdict(self)
+        """Plain-dict form, e.g. for CSV/JSON result rows.
+
+        Observability-only fields (``probes``, ``probe_stride``) are
+        excluded: they never alter simulation outputs, so serialized
+        configs — and the result-cache keys derived from them — stay
+        identical whether or not a run was probed.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in _OBS_ONLY_FIELDS
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":

@@ -170,6 +170,17 @@ class Simulator:
         timeline_stride = cfg.timeline_stride
         max_ticks = cfg.max_ticks
 
+        # Observability: probes are sampled every probe_stride ticks.
+        # With no probes attached this costs one falsy check per tick
+        # (the import and the run hooks never execute).
+        probes = cfg.probes
+        probe_stride = cfg.probe_stride
+        if probes:
+            from ..obs.probe import ProbeSample
+
+            for probe in probes:
+                probe.on_run_start(p, cfg)
+
         # Hot-loop bindings: every name below is read once per tick (or
         # once per served request), so local variables and C-level bound
         # methods replace attribute chains and Python-level dispatch.
@@ -280,6 +291,28 @@ class Simulator:
             if timeline is not None and t % timeline_stride == 0:
                 occupancy = len(residency)
                 timeline.append((t, queue_len, occupancy, len(ready)))
+            if probes and t % probe_stride == 0:
+                ready_set = set(ready)
+                blocked = np.zeros(p, dtype=bool)
+                stall_age = np.zeros(p, dtype=np.int64)
+                for i in range(p):
+                    if current[i] is not None and i not in ready_set:
+                        blocked[i] = True
+                        stall_age[i] = t - request_tick[i] + 1
+                sample = ProbeSample(
+                    tick=t,
+                    hbm_occupancy=len(residency),
+                    queue_depth=queue_len,
+                    ready_threads=len(ready),
+                    channels_busy=len(granted) if will_fetch else 0,
+                    channels_total=q,
+                    fetches=fetches,
+                    evictions=evictions,
+                    blocked=blocked,
+                    stall_age=stall_age,
+                )
+                for probe in probes:
+                    probe.on_sample(sample)
             t += 1
             if max_ticks is not None and t > max_ticks:
                 raise SimulationLimitError(
@@ -291,7 +324,7 @@ class Simulator:
 
         remap_count = getattr(arb, "remap_count", 0)
         wall = time.perf_counter() - start
-        return metrics.finalize(
+        result = metrics.finalize(
             makespan=makespan,
             ticks=t,
             remap_count=remap_count,
@@ -301,6 +334,9 @@ class Simulator:
                 np.asarray(timeline, dtype=np.int64) if timeline is not None else None
             ),
         )
+        for probe in probes:
+            probe.on_run_end(result)
+        return result
 
 
 def run_simulation(

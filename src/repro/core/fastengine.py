@@ -31,7 +31,10 @@ Scope restrictions (violations fall back to the reference engine via
   :class:`repro.traces.Workload` produces) — page state lives in dense
   arrays indexed by page id, and the protected-page test becomes
   ``current[owner[page]] == page``;
-* no Belady wiring, no timeline collection.
+* no Belady wiring, no timeline collection (``config.probes`` *are*
+  supported — samples are emitted from the vectorized state under the
+  same per-tick condition as the reference engine, so the two engines'
+  probe series are identical on shared sample ticks).
 
 ``record_responses=True`` *is* supported: the chronological serve
 buffers the engine keeps anyway hold exactly the per-thread response
@@ -72,6 +75,7 @@ __all__ = [
     "ENGINE_CHOICES",
     "FastSimulator",
     "default_engine",
+    "resolve_engine",
     "set_default_engine",
     "simulate",
 ]
@@ -259,6 +263,17 @@ class FastSimulator:
         arb_enqueue = arb.enqueue
         arb_select = arb.select
 
+        # Observability: identical sampling condition to the reference
+        # engine, so probe series agree tick for tick; samples are built
+        # from the dense arrays instead of per-core dicts.
+        probes = cfg.probes
+        probe_stride = cfg.probe_stride
+        if probes:
+            from ..obs.probe import ProbeSample
+
+            for probe in probes:
+                probe.on_run_start(p, cfg)
+
         def evict_one(tick_base: int) -> bool:
             """Pop the true LRU unprotected page; False if all protected."""
             nonlocal resident_count, evictions
@@ -409,6 +424,27 @@ class FastSimulator:
                     cont_list.sort()
                 ready = np.asarray(cont_list, dtype=np.int64)
 
+            if probes and t % probe_stride == 0:
+                ready_mask = np.zeros(p, dtype=bool)
+                ready_mask[ready] = True
+                blocked = (current >= 0) & ~ready_mask
+                stall_age = np.where(
+                    blocked, t + 1 - request_tick, 0
+                ).astype(np.int64)
+                sample = ProbeSample(
+                    tick=t,
+                    hbm_occupancy=resident_count,
+                    queue_depth=queue_len,
+                    ready_threads=len(ready),
+                    channels_busy=len(granted) if will_fetch else 0,
+                    channels_total=q,
+                    fetches=fetches,
+                    evictions=evictions,
+                    blocked=blocked,
+                    stall_age=stall_age,
+                )
+                for probe in probes:
+                    probe.on_sample(sample)
             t += 1
             if max_ticks is not None and t > max_ticks:
                 from .engine import SimulationLimitError
@@ -444,19 +480,67 @@ class FastSimulator:
                 for i in range(p):
                     metrics.response_logs[i] = sorted_w[bounds[i] : bounds[i + 1]]
         remap_count = getattr(arb, "remap_count", 0)
-        return metrics.finalize(
+        result = metrics.finalize(
             makespan=makespan,
             ticks=t,
             remap_count=remap_count,
             config=cfg,
             wall_time_s=time.perf_counter() - start,
         )
+        for probe in probes:
+            probe.on_run_end(result)
+        return result
+
+
+def _normalize_traces(traces):
+    """(arrays, attestation-or-None) for a Workload or raw sequence."""
+    attestation = getattr(traces, "attestation", None)
+    if attestation is not None:
+        return traces.traces, attestation
+    arrays = [
+        np.ascontiguousarray(np.asarray(t, dtype=np.int64)) for t in traces
+    ]
+    return arrays, None
+
+
+def _resolve(arrays, attestation, config: SimulationConfig, engine: str | None):
+    """Pick the engine for these inputs: ('fast'|'reference', attestation)."""
+    if engine is None:
+        engine = _default_engine
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(f"engine must be one of {ENGINE_CHOICES}, got {engine!r}")
+    if engine != "reference" and _config_supported(config) and len(arrays):
+        if attestation is None:
+            attestation = _attest_arrays(arrays)
+        if _attestation_ok(attestation):
+            return "fast", attestation
+    if engine == "fast":
+        raise ValueError(
+            "engine='fast' requested but the configuration is outside the "
+            "fast path (needs LRU, protect_pending, disjoint compact "
+            "traces, no timeline)"
+        )
+    return "reference", attestation
+
+
+def resolve_engine(
+    traces, config: SimulationConfig, engine: str | None = None
+) -> str:
+    """The engine :func:`simulate` would use: ``"fast"`` or ``"reference"``.
+
+    Raises exactly when :func:`simulate` would (unknown engine name, or
+    ``engine="fast"`` on an ineligible configuration). Used by run
+    manifests to record the engine that actually executes.
+    """
+    arrays, attestation = _normalize_traces(traces)
+    return _resolve(arrays, attestation, config, engine)[0]
 
 
 def simulate(
     traces,
     config: SimulationConfig,
     engine: str | None = None,
+    manifest_path=None,
 ) -> SimulationResult:
     """Run with the fast path when supported, else the reference engine.
 
@@ -474,27 +558,31 @@ def simulate(
         scalar engine, ``"fast"`` forces the vectorized engine (raising
         ``ValueError`` when the configuration is outside its scope).
         ``None`` uses the process default (:func:`set_default_engine`).
+    manifest_path:
+        When given, write a :class:`repro.obs.RunManifest` JSON there
+        after the run: config, workload identity, resolved engine,
+        semantics version, host info, and a wall-time breakdown.
     """
-    if engine is None:
-        engine = _default_engine
-    if engine not in ENGINE_CHOICES:
-        raise ValueError(f"engine must be one of {ENGINE_CHOICES}, got {engine!r}")
-    attestation = getattr(traces, "attestation", None)
-    if attestation is not None:
-        arrays = traces.traces
+    t0 = time.perf_counter()
+    arrays, attestation = _normalize_traces(traces)
+    chosen, attestation = _resolve(arrays, attestation, config, engine)
+    dispatch_s = time.perf_counter() - t0
+    if chosen == "fast":
+        result = FastSimulator(arrays, config, attestation=attestation).run()
     else:
-        arrays = [
-            np.ascontiguousarray(np.asarray(t, dtype=np.int64)) for t in traces
-        ]
-    if engine != "reference" and _config_supported(config) and len(arrays):
-        if attestation is None:
-            attestation = _attest_arrays(arrays)
-        if _attestation_ok(attestation):
-            return FastSimulator(arrays, config, attestation=attestation).run()
-    if engine == "fast":
-        raise ValueError(
-            "engine='fast' requested but the configuration is outside the "
-            "fast path (needs LRU, protect_pending, disjoint compact "
-            "traces, no timeline)"
-        )
-    return Simulator(arrays, config).run()
+        result = Simulator(arrays, config).run()
+    if manifest_path is not None:
+        from ..obs.manifest import RunManifest
+
+        RunManifest.build(
+            config=config,
+            engine=chosen,
+            traces=traces,
+            timings={
+                "dispatch_s": dispatch_s,
+                "run_s": result.wall_time_s,
+                "total_s": time.perf_counter() - t0,
+            },
+            result=result,
+        ).write(manifest_path)
+    return result

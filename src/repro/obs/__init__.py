@@ -1,0 +1,49 @@
+"""Observability: probes, run manifests, timeline export, logging.
+
+The paper's claims are statements about *time-resolved* behaviour —
+queue depth, channel occupancy, per-thread starvation over ticks — but
+a :class:`~repro.core.metrics.SimulationResult` is an end-of-run
+aggregate. This package makes individual runs explainable and sweep
+campaigns monitorable without perturbing either engine:
+
+* :class:`Probe` / :class:`ProbeSample` — the sampling protocol both
+  engines invoke at ``SimulationConfig.probe_stride``. Probes observe;
+  they can never change a result (enforced by differential tests).
+* :class:`TimelineProbe` — the built-in collector: dense time-series of
+  HBM occupancy, DRAM queue depth, channel busy counts, and per-thread
+  stall state.
+* :class:`RunManifest` — a JSON sidecar describing one run end to end:
+  config, workload attestation, resolved engine, semantics version,
+  host info, and a wall-time breakdown by phase.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
+  ``trace_event`` export; the file opens in Perfetto / about:tracing.
+* :func:`get_logger` / :func:`configure_logging` — the structured
+  logging spine used by the sweep harness and the CLI.
+
+See ``docs/OBSERVABILITY.md`` for the full guide.
+"""
+
+from .log import configure_logging, get_logger
+from .manifest import RunManifest, host_info
+from .probe import CallbackProbe, Probe, ProbeSample, TimelineProbe
+from .trace import (
+    ascii_timeline,
+    chrome_trace,
+    write_chrome_trace,
+    write_timeline_jsonl,
+)
+
+__all__ = [
+    "Probe",
+    "ProbeSample",
+    "TimelineProbe",
+    "CallbackProbe",
+    "RunManifest",
+    "host_info",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_timeline_jsonl",
+    "ascii_timeline",
+    "get_logger",
+    "configure_logging",
+]

@@ -1,0 +1,78 @@
+"""Structured logging spine for the repro package.
+
+Library modules obtain loggers with :func:`get_logger` and emit under
+the ``repro.*`` namespace; nothing in the library ever attaches
+handlers or changes levels, so embedding applications keep full
+control. The CLI (and tests that want readable output) call
+:func:`configure_logging` once, which is idempotent and maps the
+``-v/-q`` flags onto levels:
+
+===========  =========
+verbosity    level
+===========  =========
+``<= -1``    WARNING (quiet)
+``0``        INFO (default)
+``>= 1``     DEBUG (verbose)
+===========  =========
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["get_logger", "configure_logging", "verbosity_level"]
+
+#: root of the package's logger namespace
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: marker attribute so reconfiguration replaces only our own handler
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger in the ``repro`` namespace.
+
+    ``get_logger("sweep")`` and ``get_logger("repro.sweep")`` both
+    return the ``repro.sweep`` logger.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` count onto a logging level."""
+    if verbosity <= -1:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger (idempotent).
+
+    Returns the configured root ``repro`` logger. Calling again replaces
+    the previously installed handler (so tests and repeated CLI entry
+    points never stack duplicates) and leaves any handlers installed by
+    the embedding application untouched.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_level(verbosity))
+    # our handler is the terminus; don't duplicate into the root logger
+    logger.propagate = False
+    return logger

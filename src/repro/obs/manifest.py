@@ -1,0 +1,171 @@
+"""Run manifests: a JSON sidecar that makes every run reproducible.
+
+A manifest records everything needed to re-run and audit one
+``simulate()`` call: the full config, the workload identity (generator
+spec when known, page attestation and shape always), which engine
+actually executed, the ``ENGINE_SEMANTICS_VERSION`` the results are
+valid under, host information, and a wall-time breakdown by phase.
+``repro trace`` and ``simulate(..., manifest_path=...)`` write one next
+to their outputs; the sweep harness stores the same payload inside each
+result-cache entry so cached records stay auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["MANIFEST_SCHEMA", "RunManifest", "host_info"]
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA = "repro.obs.manifest/v1"
+
+
+def host_info() -> dict[str, Any]:
+    """Facts about the executing host (best-effort, never raises)."""
+    import numpy as np
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "hostname": platform.node(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _workload_info(traces: Any) -> dict[str, Any]:
+    """Identity/shape facts for a workload or raw trace list."""
+    info: dict[str, Any] = {}
+    attestation = getattr(traces, "attestation", None)
+    if attestation is not None:  # a repro.traces.Workload
+        info["name"] = getattr(traces, "name", None)
+        info["threads"] = traces.num_threads
+        info["total_references"] = traces.total_references
+        info["unique_pages"] = traces.total_unique_pages
+        info["attestation"] = {
+            "disjoint": attestation.disjoint,
+            "min_page": attestation.min_page,
+            "max_page": attestation.max_page,
+        }
+    else:
+        lengths = [len(t) for t in traces]
+        info["threads"] = len(lengths)
+        info["total_references"] = sum(lengths)
+    return info
+
+
+def _result_info(result: Any) -> dict[str, Any]:
+    """Headline metrics from a SimulationResult (wall time excluded —
+    it lives in the timings section)."""
+    return {
+        "makespan": result.makespan,
+        "ticks": result.ticks,
+        "total_requests": result.total_requests,
+        "hits": result.hits,
+        "fetches": result.fetches,
+        "evictions": result.evictions,
+        "mean_response": result.mean_response,
+        "inconsistency": result.inconsistency,
+        "max_response": result.max_response,
+        "remap_count": result.remap_count,
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class RunManifest:
+    """Frozen description of one completed (or described) run."""
+
+    schema: str
+    created_at: str
+    engine: str
+    engine_semantics_version: int
+    config: dict[str, Any]
+    workload: dict[str, Any]
+    host: dict[str, Any]
+    timings: dict[str, float]
+    result: dict[str, Any] | None = None
+    spec: dict[str, Any] | None = None
+
+    @classmethod
+    def build(
+        cls,
+        config: Any,
+        engine: str,
+        traces: Any = None,
+        timings: Mapping[str, float] | None = None,
+        result: Any = None,
+        spec: Any = None,
+    ) -> "RunManifest":
+        """Assemble a manifest from live objects.
+
+        Parameters
+        ----------
+        config:
+            The :class:`~repro.core.SimulationConfig` (or a plain dict).
+        engine:
+            The engine that actually ran (``"reference"``/``"fast"``).
+        traces:
+            The workload / trace list, for identity facts (optional).
+        timings:
+            Phase name -> seconds (e.g. ``dispatch_s``, ``run_s``,
+            ``total_s``).
+        result:
+            The finished :class:`~repro.core.metrics.SimulationResult`.
+        spec:
+            A :class:`~repro.analysis.sweep.WorkloadSpec` (or dict) when
+            the workload came from a generator spec.
+        """
+        from ..core.engine import ENGINE_SEMANTICS_VERSION
+
+        config_dict = config if isinstance(config, dict) else config.to_dict()
+        spec_dict: dict[str, Any] | None
+        if spec is None or isinstance(spec, dict):
+            spec_dict = spec
+        else:
+            spec_dict = {
+                "kind": spec.kind,
+                "threads": spec.threads,
+                "seed": spec.seed,
+                "params": dict(spec.params),
+            }
+        return cls(
+            schema=MANIFEST_SCHEMA,
+            created_at=datetime.now(timezone.utc).isoformat(),
+            engine=engine,
+            engine_semantics_version=ENGINE_SEMANTICS_VERSION,
+            config=config_dict,
+            workload=_workload_info(traces) if traces is not None else {},
+            host=host_info(),
+            timings=dict(timings or {}),
+            result=_result_info(result) if result is not None else None,
+            spec=spec_dict,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True, default=str)
+
+    def write(self, path: str | os.PathLike) -> Path:
+        """Write the manifest atomically; returns the final path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_text(self.to_json() + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def read(cls, path: str | os.PathLike) -> "RunManifest":
+        """Load a manifest written by :meth:`write`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})

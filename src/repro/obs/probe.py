@@ -1,0 +1,181 @@
+"""The probe protocol: tick-level sampling shared by both engines.
+
+A probe is attached via ``SimulationConfig.probes``. Every
+``probe_stride`` ticks each engine builds one :class:`ProbeSample` from
+its own state — the reference engine from its dict/list bookkeeping,
+the fast engine from its dense arrays — and hands it to every attached
+probe. The two engines emit samples under the identical condition
+(``tick % probe_stride == 0``, evaluated after the paper's step 5), so
+on any fast-eligible config the reference and fast sample series agree
+tick for tick; ``tests/test_obs.py`` enforces this differentially.
+
+Probes are observers only. They never touch engine state or the RNG,
+so a run with probes attached produces a bit-identical
+:class:`~repro.core.metrics.SimulationResult` to the same run without
+them (also enforced differentially). When ``config.probes`` is empty
+the engines skip the sampling branch entirely — the only residual cost
+is one falsy check per tick (bounded <2% by
+``benchmarks/test_bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ProbeSample", "Probe", "TimelineProbe", "CallbackProbe", "emit"]
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One tick-level observation, identical across engines.
+
+    All quantities are read at the *end* of the sampled tick, after the
+    paper's step 5 (fetch) completes.
+
+    Attributes
+    ----------
+    tick:
+        The sampled tick (0-based).
+    hbm_occupancy:
+        Resident pages in HBM.
+    queue_depth:
+        Requests waiting in the DRAM queue.
+    ready_threads:
+        Cores that will issue or retry a request next tick.
+    channels_busy:
+        Far channels that carried a page this tick (= pages fetched
+        this tick; at most ``channels_total``).
+    channels_total:
+        The configured channel count ``q``.
+    fetches / evictions:
+        Cumulative counters up to and including this tick.
+    blocked:
+        Boolean array, one slot per core: True while the core's current
+        request waits in the DRAM queue.
+    stall_age:
+        Int64 array: for blocked cores, ticks waited so far on the
+        outstanding miss (>= 1); 0 for unblocked or finished cores.
+    """
+
+    tick: int
+    hbm_occupancy: int
+    queue_depth: int
+    ready_threads: int
+    channels_busy: int
+    channels_total: int
+    fetches: int
+    evictions: int
+    blocked: np.ndarray
+    stall_age: np.ndarray
+
+    @property
+    def blocked_threads(self) -> int:
+        """Number of cores currently stalled on DRAM."""
+        return int(self.blocked.sum())
+
+    @property
+    def max_stall_age(self) -> int:
+        """Longest outstanding stall at this tick (0 if none)."""
+        return int(self.stall_age.max()) if len(self.stall_age) else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly flat dict (thread arrays become lists)."""
+        return {
+            "tick": self.tick,
+            "hbm_occupancy": self.hbm_occupancy,
+            "queue_depth": self.queue_depth,
+            "ready_threads": self.ready_threads,
+            "channels_busy": self.channels_busy,
+            "channels_total": self.channels_total,
+            "fetches": self.fetches,
+            "evictions": self.evictions,
+            "blocked": self.blocked.astype(int).tolist(),
+            "stall_age": self.stall_age.tolist(),
+        }
+
+
+class Probe:
+    """Base class / protocol for engine probes.
+
+    Subclasses override any of the three hooks; every hook is optional
+    and a no-op by default, so a probe only pays for what it observes.
+    """
+
+    def on_run_start(self, num_threads: int, config: Any) -> None:
+        """Called once before tick 0."""
+
+    def on_sample(self, sample: ProbeSample) -> None:
+        """Called every ``probe_stride`` ticks."""
+
+    def on_run_end(self, result: Any) -> None:
+        """Called once with the finalized SimulationResult."""
+
+
+class TimelineProbe(Probe):
+    """Collects every sample; the input for timeline export.
+
+    >>> probe = TimelineProbe()
+    >>> # config = SimulationConfig(..., probes=(probe,), probe_stride=16)
+    >>> # after the run: probe.samples, probe.as_arrays(), len(probe)
+    """
+
+    def __init__(self) -> None:
+        self.samples: list[ProbeSample] = []
+        self.num_threads: int | None = None
+        self.config: Any = None
+        self.result: Any = None
+
+    def on_run_start(self, num_threads: int, config: Any) -> None:
+        self.samples.clear()
+        self.num_threads = num_threads
+        self.config = config
+        self.result = None
+
+    def on_sample(self, sample: ProbeSample) -> None:
+        self.samples.append(sample)
+
+    def on_run_end(self, result: Any) -> None:
+        self.result = result
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Column-oriented view: scalar series plus (samples, p) matrices."""
+        if not self.samples:
+            return {}
+        scalars = (
+            "tick",
+            "hbm_occupancy",
+            "queue_depth",
+            "ready_threads",
+            "channels_busy",
+            "fetches",
+            "evictions",
+        )
+        out: dict[str, np.ndarray] = {
+            name: np.array([getattr(s, name) for s in self.samples], dtype=np.int64)
+            for name in scalars
+        }
+        out["blocked"] = np.stack([s.blocked for s in self.samples])
+        out["stall_age"] = np.stack([s.stall_age for s in self.samples])
+        return out
+
+
+class CallbackProbe(Probe):
+    """Adapts a plain callable ``fn(sample)`` into a probe."""
+
+    def __init__(self, fn: Callable[[ProbeSample], None]) -> None:
+        self.fn = fn
+
+    def on_sample(self, sample: ProbeSample) -> None:
+        self.fn(sample)
+
+
+def emit(probes: Sequence[Any], sample: ProbeSample) -> None:
+    """Deliver one sample to every attached probe (engine helper)."""
+    for probe in probes:
+        probe.on_sample(sample)

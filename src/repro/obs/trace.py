@@ -1,0 +1,183 @@
+"""Timeline export: Chrome ``trace_event`` JSON, JSONL, ASCII.
+
+The Chrome trace format (one JSON object with a ``traceEvents`` list)
+is understood by Perfetto (https://ui.perfetto.dev) and Chrome's
+``about:tracing``. One simulation tick maps to one microsecond of trace
+time, so a 50k-tick run renders as a 50 ms timeline.
+
+Layout of the exported trace:
+
+* process 0 (``hbm-model``) — counter tracks (``ph: "C"``) for HBM
+  occupancy, DRAM queue depth, ready/blocked core counts, and busy
+  channels;
+* process 1 (``cores``) — one thread row per simulated core with a
+  duration slice (``ph: "X"``) for every DRAM stall, reconstructed
+  exactly from the per-sample ``stall_age`` (starts are exact at any
+  probe stride; a stall's end is resolved to the last sample at which
+  it was still observed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .probe import ProbeSample, TimelineProbe
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_timeline_jsonl",
+    "ascii_timeline",
+]
+
+#: trace time per simulation tick, in microseconds (ts units)
+TICK_US = 1
+
+#: counter tracks exported from each sample, name -> attribute
+_COUNTER_TRACKS = (
+    ("HBM occupancy", "hbm_occupancy"),
+    ("DRAM queue depth", "queue_depth"),
+    ("ready cores", "ready_threads"),
+    ("blocked cores", "blocked_threads"),
+    ("channels busy", "channels_busy"),
+)
+
+
+def _samples_of(source: TimelineProbe | Sequence[ProbeSample]) -> list[ProbeSample]:
+    if isinstance(source, TimelineProbe):
+        return list(source.samples)
+    return list(source)
+
+
+def _stall_slices(samples: list[ProbeSample]) -> list[tuple[int, int, int]]:
+    """Per-core stall intervals as (thread, start_tick, duration_ticks).
+
+    ``stall_age`` gives each stall's exact start tick even under sparse
+    sampling; two samples belong to the same stall iff they resolve to
+    the same start. Duration extends to the last sample that still
+    observed the stall (exact for stride 1).
+    """
+    slices: list[tuple[int, int, int]] = []
+    open_stalls: dict[int, tuple[int, int]] = {}  # thread -> (start, last_seen)
+    for sample in samples:
+        ages = sample.stall_age
+        for thread in range(len(ages)):
+            age = int(ages[thread])
+            if age > 0:
+                start = sample.tick - age + 1
+                prev = open_stalls.get(thread)
+                if prev is not None and prev[0] != start:
+                    slices.append((thread, prev[0], prev[1] - prev[0] + 1))
+                    prev = None
+                open_stalls[thread] = (start, sample.tick)
+            else:
+                prev = open_stalls.pop(thread, None)
+                if prev is not None:
+                    slices.append((thread, prev[0], prev[1] - prev[0] + 1))
+    for thread, (start, last_seen) in sorted(open_stalls.items()):
+        slices.append((thread, start, last_seen - start + 1))
+    return slices
+
+
+def chrome_trace(
+    source: TimelineProbe | Sequence[ProbeSample],
+    name: str = "hbm-repro run",
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from probe samples."""
+    samples = _samples_of(source)
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "hbm-model"}},
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "cores"}},
+    ]
+    num_threads = len(samples[0].blocked) if samples else 0
+    for thread in range(num_threads):
+        events.append(
+            {"ph": "M", "pid": 1, "tid": thread, "name": "thread_name",
+             "args": {"name": f"core {thread}"}}
+        )
+    for sample in samples:
+        ts = sample.tick * TICK_US
+        for track, attr in _COUNTER_TRACKS:
+            events.append(
+                {"ph": "C", "pid": 0, "tid": 0, "ts": ts, "name": track,
+                 "args": {"value": int(getattr(sample, attr))}}
+            )
+    for thread, start, duration in _stall_slices(samples):
+        events.append(
+            {"ph": "X", "pid": 1, "tid": thread, "ts": start * TICK_US,
+             "dur": duration * TICK_US, "name": "DRAM stall",
+             "cat": "stall", "args": {"ticks": duration}}
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": name, "samples": len(samples), **(metadata or {})},
+    }
+
+
+def write_chrome_trace(
+    source: TimelineProbe | Sequence[ProbeSample],
+    path: str | os.PathLike,
+    name: str = "hbm-repro run",
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write :func:`chrome_trace` output as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = chrome_trace(source, name=name, metadata=metadata)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def write_timeline_jsonl(
+    source: TimelineProbe | Sequence[ProbeSample], path: str | os.PathLike
+) -> Path:
+    """One JSON object per sample, one per line (stream-friendly)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for sample in _samples_of(source):
+            fh.write(json.dumps(sample.to_dict()) + "\n")
+    return path
+
+
+def ascii_timeline(
+    source: TimelineProbe | Sequence[ProbeSample],
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """Terminal rendering of a run: sparkline digest plus a shared plot."""
+    from ..analysis.asciiplot import line_plot, sparkline
+
+    samples = _samples_of(source)
+    if not samples:
+        return "(no samples)"
+    ticks = [s.tick for s in samples]
+    series: dict[str, list[tuple[float, float]]] = {}
+    lines = []
+    for track, attr in _COUNTER_TRACKS:
+        values: Iterable[int] = [int(getattr(s, attr)) for s in samples]
+        values = list(values)
+        series[track] = list(zip(map(float, ticks), map(float, values)))
+        label = track.ljust(max(len(t) for t, _ in _COUNTER_TRACKS))
+        lines.append(
+            f"{label}  {sparkline(values, width=min(width, 48))}"
+            f"  min={min(values)} max={max(values)}"
+        )
+    plot = line_plot(
+        series,
+        title=f"timeline ({len(samples)} samples, ticks {ticks[0]}..{ticks[-1]})",
+        xlabel="tick",
+        ylabel="count",
+        width=width,
+        height=height,
+    )
+    return "\n".join(lines) + "\n\n" + plot

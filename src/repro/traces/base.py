@@ -15,10 +15,15 @@ seeds spawned from a root seed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
+
+from ..obs.log import get_logger
+
+log = get_logger("traces")
 
 __all__ = [
     "PageAttestation",
@@ -297,7 +302,14 @@ def make_workload(kind: str, threads: int, seed: int = 0, **params: Any) -> Work
         raise ValueError(
             f"unknown workload kind {kind!r}; expected one of {workload_kinds()}"
         ) from None
-    return generator(threads=threads, seed=seed, **params)
+    start = time.perf_counter()
+    workload = generator(threads=threads, seed=seed, **params)
+    log.debug(
+        "generated %s threads=%d seed=%d params=%s: %d refs, %d pages in %.3fs",
+        kind, threads, seed, params, workload.total_references,
+        workload.total_unique_pages, time.perf_counter() - start,
+    )
+    return workload
 
 
 def spawn_thread_seeds(seed: int, threads: int) -> list[np.random.Generator]:

@@ -16,7 +16,10 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..obs.log import get_logger
 from .base import Trace
+
+log = get_logger("traces.instrument")
 
 __all__ = [
     "AccessLogger",
@@ -107,6 +110,10 @@ class AccessLogger:
         """Map the address log to a page-reference trace."""
         addresses = np.asarray(self.addresses, dtype=np.int64)
         pages = addresses // self.page_bytes
+        log.debug(
+            "preprocess %s: %d raw accesses -> %d page refs (%d distinct pages)",
+            source, len(self), len(pages), len(np.unique(pages)),
+        )
         return Trace(
             pages,
             source=source,

@@ -23,7 +23,10 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.log import get_logger
 from .base import Trace, Workload, make_workload
+
+log = get_logger("traces.io")
 
 __all__ = [
     "save_workload_npz",
@@ -137,7 +140,9 @@ class WorkloadCache:
         """Load the workload from cache, generating and storing on miss."""
         path = self.path_for(kind, threads, seed=seed, **params)
         if path.exists():
+            log.debug("workload cache hit: %s", path.name)
             return load_workload_npz(path)
+        log.debug("workload cache miss: %s (generating)", path.name)
         workload = make_workload(kind, threads, seed=seed, **params)
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp.npz")

@@ -1,5 +1,7 @@
 """Tests for repro.analysis (sweep, tables, plots, stats)."""
 
+import dataclasses
+
 import numpy as np
 
 from repro.analysis import (
@@ -168,7 +170,10 @@ class TestResultCache:
 
         monkeypatch.setattr(sweep_mod, "simulate", boom)
         second = run_sweep(jobs, processes=1, cache_dir=tmp_path)
-        assert second == first  # includes replayed wall_time_s
+        assert all(not r.cached for r in first)
+        assert all(r.cached for r in second)
+        # Replays carry the original measurements; only `cached` differs.
+        assert [dataclasses.replace(r, cached=False) for r in second] == first
 
     def test_disabled_cache_recomputes(self, tmp_path, monkeypatch):
         jobs = demo_jobs(threads=(2,))
@@ -333,3 +338,68 @@ class TestStats:
         assert summary["makespan"] == result.makespan
         assert summary["worst_thread_max_wait"] >= summary["median_thread_max_wait"]
         assert summary["mean_wait_ratio_worst_to_best"] >= 1.0
+
+
+class TestCampaignStats:
+    def test_collect_splits_fresh_and_cached(self, tmp_path):
+        from repro.analysis import CampaignStats
+
+        jobs = demo_jobs()
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        runner.run(jobs)
+        cold = runner.last_campaign
+        assert cold is not None
+        assert cold.total_jobs == len(jobs)
+        assert cold.cache_hits == 0
+        assert cold.simulated == len(jobs)
+        assert cold.cache_hit_rate == 0.0
+        assert cold.sim_time_s > 0.0
+        assert set(cold.by_group) == {
+            ("adversarial_cycle", "fifo"),
+            ("adversarial_cycle", "priority"),
+        }
+
+        runner.run(jobs)
+        warm = runner.last_campaign
+        assert warm.cache_hits == len(jobs)
+        assert warm.simulated == 0
+        assert warm.cache_hit_rate == 1.0
+        # Replayed wall times must not be double-counted as sim time.
+        assert warm.sim_time_s == 0.0
+
+    def test_summary_table_has_total_row(self, tmp_path):
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        runner.run(demo_jobs())
+        table = runner.last_campaign.summary_table()
+        assert "TOTAL" in table
+        assert "workload" in table
+        assert "cached" in table
+
+    def test_empty_campaign(self):
+        runner = SweepRunner(processes=1)
+        assert runner.run([]) == []
+        assert runner.last_campaign is not None
+        assert runner.last_campaign.total_jobs == 0
+        assert runner.last_campaign.cache_hit_rate == 0.0
+
+    def test_cached_flag_in_rows(self, tmp_path):
+        jobs = demo_jobs(threads=(2,))
+        runner = SweepRunner(processes=1, cache_dir=tmp_path)
+        first = runner.run(jobs)
+        second = runner.run(jobs)
+        assert [r.row()["cached"] for r in first] == [False] * len(jobs)
+        assert [r.row()["cached"] for r in second] == [True] * len(jobs)
+
+    def test_cache_entries_carry_manifest(self, tmp_path):
+        import json
+
+        jobs = demo_jobs(threads=(2,), arbs=("fifo",))
+        SweepRunner(processes=1, cache_dir=tmp_path).run(jobs)
+        entries = list((tmp_path / "results").glob("*.json"))
+        assert entries
+        payload = json.loads(entries[0].read_text())
+        manifest = payload["manifest"]
+        assert manifest["schema"] == "repro.obs.manifest/v1"
+        assert manifest["engine"] in ("fast", "reference")
+        assert "workload_build_s" in manifest["timings"]
+        assert "run_s" in manifest["timings"]

@@ -151,3 +151,77 @@ class TestRunCommands:
         monkeypatch.setitem(registry.EXPERIMENTS, "thm4", (fake, "fake"))
         assert main(["run", "thm4"]) == 1
         assert "FAILED shape checks" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    TRACE_ARGV = [
+        "trace",
+        "adversarial_cycle",
+        "--threads",
+        "4",
+        "--hbm-slots",
+        "32",
+        "--param",
+        "pages=16",
+        "--param",
+        "repeats=2",
+    ]
+
+    def test_trace_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(self.TRACE_ARGV + ["--output-dir", str(out_dir)])
+        assert code == 0
+        import json
+
+        doc = json.loads((out_dir / "trace.json").read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "C", "X"}
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["schema"] == "repro.obs.manifest/v1"
+        assert manifest["engine"] in ("fast", "reference")
+        assert (out_dir / "timeline.jsonl").read_text().count("\n") == len(
+            [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        ) // 5
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        assert "timeline" in out
+
+    def test_trace_no_ascii_and_stride(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main(
+            self.TRACE_ARGV
+            + ["--output-dir", str(out_dir), "--no-ascii", "--probe-stride", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HBM occupancy" not in out
+        import json
+
+        lines = (out_dir / "timeline.jsonl").read_text().splitlines()
+        assert all(json.loads(line)["tick"] % 8 == 0 for line in lines)
+
+    def test_simulate_probe_prints_timeline(self, capsys):
+        argv = TestRunCommands.SIMULATE_ARGV + ["--probe", "--probe-stride", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "HBM occupancy" in out
+        assert "timeline" in out
+
+    def test_simulate_manifest_flag(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        argv = TestRunCommands.SIMULATE_ARGV + ["--manifest", str(path)]
+        assert main(argv) == 0
+        import json
+
+        assert json.loads(path.read_text())["engine"] in ("fast", "reference")
+        assert str(path) in capsys.readouterr().out
+
+    def test_verbosity_flags(self):
+        import logging
+
+        assert main(["-v", "workloads"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        assert main(["-q", "workloads"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+        assert main(["workloads"]) == 0
+        assert logging.getLogger("repro").level == logging.INFO

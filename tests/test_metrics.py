@@ -9,7 +9,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.metrics import (
+    HistogramStats,
     MetricsCollector,
+    ThreadStats,
     histogram_stats,
     merge_histograms,
 )
@@ -71,6 +73,54 @@ class TestMergeAndPercentile:
             histogram_percentile({1: 1}, 1.5)
         with pytest.raises(ValueError):
             histogram_percentile({}, 0.5)
+
+    def test_percentile_extreme_fractions(self):
+        hist = {2: 3, 7: 4, 11: 1}
+        # fraction 0.0: the smallest value trivially covers >= 0 mass
+        assert histogram_percentile(hist, 0.0) == 2
+        # fraction 1.0: must reach the largest value exactly, with no
+        # floating-point shortfall from threshold = 1.0 * total
+        assert histogram_percentile(hist, 1.0) == 11
+
+    def test_percentile_single_bucket(self):
+        hist = {5: 9}
+        for fraction in (0.0, 0.25, 0.5, 1.0):
+            assert histogram_percentile(hist, fraction) == 5
+
+    def test_single_bucket_stats_are_degenerate(self):
+        stats = histogram_stats({4: 7})
+        assert stats.count == 7
+        assert stats.mean == 4.0
+        assert stats.std == 0.0
+        assert stats.min == stats.max == 4
+
+    def test_merge_with_empty_inputs(self):
+        # Empty member dicts contribute nothing and never corrupt counts.
+        assert merge_histograms([{}, {}]) == {}
+        assert merge_histograms([{}, {1: 2}, {}]) == {1: 2}
+        # Merging must not mutate its inputs.
+        left = {1: 1}
+        merge_histograms([left, {1: 4}])
+        assert left == {1: 1}
+
+
+class TestThreadStats:
+    def test_hit_rate_zero_requests(self):
+        stats = ThreadStats(
+            thread=0, requests=0, hits=0, completion_tick=0,
+            response=HistogramStats(0, 0.0, 0.0, 0, 0),
+        )
+        assert stats.hit_rate == 0.0
+        assert stats.misses == 0
+        assert stats.starvation == 0
+
+    def test_hit_rate_all_hits(self):
+        stats = ThreadStats(
+            thread=1, requests=10, hits=10, completion_tick=9,
+            response=HistogramStats(10, 1.0, 0.0, 1, 1),
+        )
+        assert stats.hit_rate == 1.0
+        assert stats.misses == 0
 
 
 class TestMetricsCollector:
