@@ -6,7 +6,9 @@ from .resultcache import ResultCache, sweep_result_key
 from .stats import fairness_summary, group_records, ratio_series
 from .sweep import (
     CampaignStats,
+    PayloadRequest,
     SweepJob,
+    SweepPayload,
     SweepRecord,
     SweepRunner,
     WorkloadSpec,
@@ -17,7 +19,9 @@ from .tables import format_table, to_csv, write_csv
 
 __all__ = [
     "CampaignStats",
+    "PayloadRequest",
     "SweepJob",
+    "SweepPayload",
     "SweepRecord",
     "SweepRunner",
     "WorkloadSpec",

@@ -40,27 +40,33 @@ from ..core.engine import ENGINE_SEMANTICS_VERSION
 __all__ = ["ResultCache", "sweep_result_key"]
 
 
-def sweep_result_key(workload_spec, config) -> str:
+def sweep_result_key(workload_spec, config, payload=None) -> str:
     """Stable content hash of one sweep job's inputs.
 
     ``workload_spec`` needs ``kind``/``threads``/``seed``/``params``
     attributes (:class:`~repro.analysis.sweep.WorkloadSpec`); ``config``
-    needs ``to_dict()`` (:class:`~repro.core.SimulationConfig`).
+    needs ``to_dict()`` (:class:`~repro.core.SimulationConfig`);
+    ``payload`` is an optional
+    :class:`~repro.analysis.sweep.PayloadRequest`. A truthy payload
+    request is hashed into the key so fat records (carrying response
+    distributions, raw series, or probe samples) never collide with
+    slim records of the same (spec, config); an empty/absent request
+    leaves the key bit-identical to the historical slim format, so
+    caches written before payloads existed stay warm.
     """
-    blob = json.dumps(
-        {
-            "workload": {
-                "kind": workload_spec.kind,
-                "threads": workload_spec.threads,
-                "seed": workload_spec.seed,
-                "params": list(workload_spec.params),
-            },
-            "config": config.to_dict(),
-            "engine_semantics": ENGINE_SEMANTICS_VERSION,
+    blob_dict = {
+        "workload": {
+            "kind": workload_spec.kind,
+            "threads": workload_spec.threads,
+            "seed": workload_spec.seed,
+            "params": list(workload_spec.params),
         },
-        sort_keys=True,
-        default=str,
-    )
+        "config": config.to_dict(),
+        "engine_semantics": ENGINE_SEMANTICS_VERSION,
+    }
+    if payload:
+        blob_dict["payload"] = payload.to_dict()
+    blob = json.dumps(blob_dict, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 

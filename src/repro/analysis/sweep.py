@@ -29,10 +29,15 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..core import SimulationConfig, SimulationResult
 from ..core.fastengine import default_engine, resolve_engine, simulate
+from ..core.metrics import (
+    histogram_from_json,
+    histogram_percentile,
+    histogram_to_json,
+)
 from ..obs.log import get_logger
 from ..obs.manifest import MANIFEST_SCHEMA, host_info
 from ..traces import Workload, WorkloadCache, make_workload
@@ -40,6 +45,8 @@ from .resultcache import ResultCache, sweep_result_key
 
 __all__ = [
     "WorkloadSpec",
+    "PayloadRequest",
+    "SweepPayload",
     "SweepJob",
     "SweepRecord",
     "SweepRunner",
@@ -76,12 +83,174 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class PayloadRequest:
+    """What extra data a job asks its record to carry beyond the metrics.
+
+    A slim record (the default) holds scalar metrics only. A *fat*
+    record additionally carries the requested payloads, which the
+    result cache persists and replays like any other field:
+
+    * ``response_histogram`` — the run's global response-time
+      distribution plus per-thread summary statistics (the raw material
+      of the paper's inconsistency/fairness analysis, Figures 4-5);
+    * ``response_series`` — the exact per-thread response-time
+      sequences (sets ``record_responses`` on the engine; memory-heavy,
+      meant for small runs and tests);
+    * ``probe_samples`` — a :class:`~repro.obs.TimelineProbe` attached
+      at ``probe_stride``, its samples stored as flat dicts.
+
+    The request is part of the result-cache key (see
+    :func:`repro.analysis.resultcache.sweep_result_key`), so slim and
+    fat records of the same (spec, config) never collide; an empty
+    request leaves the key unchanged from the slim-era format, keeping
+    existing caches warm.
+    """
+
+    response_histogram: bool = False
+    response_series: bool = False
+    probe_samples: bool = False
+    probe_stride: int = 1024
+
+    def __bool__(self) -> bool:
+        return self.response_histogram or self.response_series or self.probe_samples
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical dict for cache-key hashing."""
+        return {
+            "response_histogram": self.response_histogram,
+            "response_series": self.response_series,
+            "probe_samples": self.probe_samples,
+            # the stride changes what gets sampled, so it is part of
+            # the key — but only when sampling is actually requested
+            "probe_stride": self.probe_stride if self.probe_samples else None,
+        }
+
+
+@dataclass(frozen=True)
+class SweepPayload:
+    """The payload data carried by a fat record (JSON round-trippable)."""
+
+    #: global response-time distribution (``response -> count``)
+    response_histogram: dict[int, int] | None = None
+    #: per-thread summaries: thread, requests, hits, completion_tick,
+    #: mean/std/max response
+    thread_stats: tuple[dict[str, Any], ...] | None = None
+    #: exact per-thread response-time sequences
+    response_series: tuple[tuple[int, ...], ...] | None = None
+    #: flat-dict probe samples (see ``ProbeSample.to_dict``)
+    probe_samples: tuple[dict[str, Any], ...] | None = None
+    probe_stride: int | None = None
+
+    def response_percentile(self, fraction: float) -> int:
+        """Percentile of the carried response distribution."""
+        if self.response_histogram is None:
+            raise ValueError("record does not carry a response histogram")
+        return histogram_percentile(self.response_histogram, fraction)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Encode for the result cache (histogram keys stringified)."""
+        return {
+            "response_histogram": (
+                histogram_to_json(self.response_histogram)
+                if self.response_histogram is not None
+                else None
+            ),
+            "thread_stats": (
+                list(self.thread_stats) if self.thread_stats is not None else None
+            ),
+            "response_series": (
+                [list(series) for series in self.response_series]
+                if self.response_series is not None
+                else None
+            ),
+            "probe_samples": (
+                list(self.probe_samples) if self.probe_samples is not None else None
+            ),
+            "probe_stride": self.probe_stride,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepPayload":
+        """Inverse of :meth:`to_json_dict`."""
+        histogram = data.get("response_histogram")
+        thread_stats = data.get("thread_stats")
+        series = data.get("response_series")
+        samples = data.get("probe_samples")
+        return cls(
+            response_histogram=(
+                histogram_from_json(histogram) if histogram is not None else None
+            ),
+            thread_stats=(
+                tuple(thread_stats) if thread_stats is not None else None
+            ),
+            response_series=(
+                tuple(tuple(int(v) for v in s) for s in series)
+                if series is not None
+                else None
+            ),
+            probe_samples=tuple(samples) if samples is not None else None,
+            probe_stride=data.get("probe_stride"),
+        )
+
+    @classmethod
+    def from_result(
+        cls,
+        request: PayloadRequest,
+        result: SimulationResult,
+        probe: Any = None,
+    ) -> "SweepPayload | None":
+        """Extract the requested payloads from a finished simulation."""
+        if not request:
+            return None
+        histogram = None
+        thread_stats = None
+        if request.response_histogram:
+            histogram = dict(result.response_histogram)
+            thread_stats = tuple(
+                {
+                    "thread": t.thread,
+                    "requests": t.requests,
+                    "hits": t.hits,
+                    "completion_tick": t.completion_tick,
+                    "mean_response": t.response.mean,
+                    "std_response": t.response.std,
+                    "max_response": t.response.max,
+                }
+                for t in result.thread_stats
+            )
+        series = None
+        if request.response_series:
+            if result.response_log is None:
+                raise RuntimeError(
+                    "engine did not record responses despite the payload request"
+                )
+            series = tuple(
+                tuple(int(v) for v in log) for log in result.response_log
+            )
+        samples = None
+        if request.probe_samples:
+            samples = tuple(s.to_dict() for s in probe.samples) if probe else ()
+        return cls(
+            response_histogram=histogram,
+            thread_stats=thread_stats,
+            response_series=series,
+            probe_samples=samples,
+            probe_stride=request.probe_stride if request.probe_samples else None,
+        )
+
+
+@dataclass(frozen=True)
 class SweepJob:
-    """One simulation to run: a workload spec plus a config."""
+    """One simulation to run: a workload spec plus a config.
+
+    ``payload`` requests extra record contents (response distributions,
+    raw series, probe samples) — see :class:`PayloadRequest`.
+    """
 
     workload: WorkloadSpec
     config: SimulationConfig
     tag: str = ""
+    payload: PayloadRequest = PayloadRequest()
 
 
 @dataclass(frozen=True)
@@ -92,6 +261,9 @@ class SweepRecord:
     on a cache hit, ``wall_time_s`` still reports the *original* run's
     simulation time (the replay itself is near-free), so performance
     analysis of warm campaigns must filter on ``cached``.
+
+    ``payload`` holds the extra data the job requested (response
+    distributions, raw series, probe samples); ``None`` for slim jobs.
     """
 
     job: SweepJob
@@ -101,13 +273,24 @@ class SweepRecord:
     max_response: int
     hit_rate: float
     total_requests: int
+    hits: int
     fetches: int
     evictions: int
     wall_time_s: float
     cached: bool = False
+    payload: SweepPayload | None = None
+
+    @property
+    def misses(self) -> int:
+        return self.total_requests - self.hits
 
     @classmethod
-    def from_result(cls, job: SweepJob, result: SimulationResult) -> "SweepRecord":
+    def from_result(
+        cls,
+        job: SweepJob,
+        result: SimulationResult,
+        payload: SweepPayload | None = None,
+    ) -> "SweepRecord":
         return cls(
             job=job,
             makespan=result.makespan,
@@ -116,9 +299,11 @@ class SweepRecord:
             max_response=result.max_response,
             hit_rate=result.hit_rate,
             total_requests=result.total_requests,
+            hits=result.hits,
             fetches=result.fetches,
             evictions=result.evictions,
             wall_time_s=result.wall_time_s,
+            payload=payload,
         )
 
     def row(self) -> dict[str, Any]:
@@ -157,6 +342,31 @@ def _pool_init(cache_dir: str | None, engine: str | None = None) -> None:
     _WORKER_ENGINE = engine
 
 
+def _engine_config(job: SweepJob) -> tuple[SimulationConfig, Any]:
+    """The config actually handed to the engine, plus any probe.
+
+    Payload requests are satisfied by runtime-only switches: raw series
+    need ``record_responses``; probe samples need a TimelineProbe
+    attached. Neither changes simulation *results* (enforced by the
+    differential tests in ``tests/test_obs.py``), so the record stays a
+    pure function of (spec, config, payload request).
+    """
+    request = job.payload
+    if not request:
+        return job.config, None
+    changes: dict[str, Any] = {}
+    probe = None
+    if request.response_series and not job.config.record_responses:
+        changes["record_responses"] = True
+    if request.probe_samples:
+        from ..obs.probe import TimelineProbe
+
+        probe = TimelineProbe()
+        changes["probes"] = job.config.probes + (probe,)
+        changes["probe_stride"] = request.probe_stride
+    return (job.config.replace(**changes) if changes else job.config), probe
+
+
 def _run_job(job: SweepJob) -> tuple[SweepRecord, dict[str, Any]]:
     cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
     build_start = time.perf_counter()
@@ -167,14 +377,16 @@ def _run_job(job: SweepJob) -> tuple[SweepRecord, dict[str, Any]]:
     # falls back to the reference engine with identical results. The
     # Workload object is passed whole so its build-time attestation
     # replaces the per-dispatch disjointness scan.
-    result = simulate(workload, job.config, engine=_WORKER_ENGINE)
-    record = SweepRecord.from_result(job, result)
+    config, probe = _engine_config(job)
+    result = simulate(workload, config, engine=_WORKER_ENGINE)
+    payload = SweepPayload.from_result(job.payload, result, probe)
+    record = SweepRecord.from_result(job, result, payload)
     # Run manifest stored alongside the metrics in the result cache, so
     # a replayed record stays auditable: which engine produced it, on
     # what host, and where the wall time went.
     manifest = {
         "schema": MANIFEST_SCHEMA,
-        "engine": resolve_engine(workload, job.config, _WORKER_ENGINE),
+        "engine": resolve_engine(workload, config, _WORKER_ENGINE),
         "host": host_info(),
         "timings": {
             "workload_build_s": round(build_s, 6),
@@ -184,22 +396,36 @@ def _run_job(job: SweepJob) -> tuple[SweepRecord, dict[str, Any]]:
     return record, manifest
 
 
-#: SweepRecord fields persisted by the result cache (everything except
-#: the job itself, which the caller supplies on a hit).
-_RESULT_FIELDS = tuple(f.name for f in fields(SweepRecord) if f.name != "job")
+#: SweepRecord fields persisted by the result cache as plain scalars
+#: (the job is supplied by the caller on a hit; the payload has its own
+#: JSON encoding).
+_RESULT_FIELDS = tuple(
+    f.name for f in fields(SweepRecord) if f.name not in ("job", "payload")
+)
 
 #: spec params that scale simulated work, for the scheduling cost hint
 _SIZE_PARAM_KEYS = ("n", "length", "repeats", "vertices", "iters")
 
 
 def _record_payload(record: SweepRecord) -> dict[str, Any]:
-    return {name: getattr(record, name) for name in _RESULT_FIELDS}
+    entry = {name: getattr(record, name) for name in _RESULT_FIELDS}
+    if record.payload is not None:
+        entry["payload"] = record.payload.to_json_dict()
+    return entry
 
 
 def _record_from_payload(job: SweepJob, payload: dict[str, Any]) -> SweepRecord | None:
     if not all(name in payload for name in _RESULT_FIELDS):
         return None  # written by an older schema; treat as a miss
     values = {name: payload[name] for name in _RESULT_FIELDS}
+    if job.payload:
+        # A fat job must replay a fat entry. The payload request is part
+        # of the cache key, so a missing payload here means corruption
+        # or a hand-edited entry — recompute rather than degrade.
+        stored = payload.get("payload")
+        if stored is None:
+            return None
+        values["payload"] = SweepPayload.from_json_dict(stored)
     # A replayed record is marked cached regardless of what was stored:
     # wall_time_s is the *original* simulation time, not this replay's.
     values["cached"] = True
@@ -373,7 +599,7 @@ class SweepRunner:
         pending: list[int] = []
         for idx, job in enumerate(jobs):
             if cache is not None:
-                keys[idx] = sweep_result_key(job.workload, job.config)
+                keys[idx] = sweep_result_key(job.workload, job.config, job.payload)
                 payload = cache.get(keys[idx])
                 if payload is not None:
                     record = _record_from_payload(job, payload)

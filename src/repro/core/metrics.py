@@ -30,6 +30,9 @@ import numpy as np
 __all__ = [
     "HistogramStats",
     "histogram_stats",
+    "histogram_percentile",
+    "histogram_to_json",
+    "histogram_from_json",
     "merge_histograms",
     "ThreadStats",
     "SimulationResult",
@@ -94,6 +97,21 @@ def histogram_percentile(hist: Mapping[int, int], fraction: float) -> int:
         if running >= threshold:
             return value
     return last
+
+
+def histogram_to_json(hist: Mapping[int, int]) -> dict[str, int]:
+    """JSON-object form of a ``value -> count`` map (keys stringified).
+
+    JSON objects only carry string keys, so persisting a response
+    histogram (e.g. in a sweep result-cache entry) needs an explicit
+    round-trip; :func:`histogram_from_json` is the inverse.
+    """
+    return {str(value): count for value, count in sorted(hist.items())}
+
+
+def histogram_from_json(data: Mapping[str, int]) -> dict[int, int]:
+    """Inverse of :func:`histogram_to_json`."""
+    return {int(value): int(count) for value, count in data.items()}
 
 
 @dataclass(frozen=True)

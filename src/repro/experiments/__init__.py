@@ -1,6 +1,21 @@
 """Experiment suite: one runnable per paper table/figure/theorem."""
 
-from .base import ExperimentOutput
+from .base import (
+    Campaign,
+    CampaignContext,
+    ExperimentOutput,
+    Reduction,
+    save_experiment_output,
+)
 from .registry import EXPERIMENTS, experiment_ids, run_experiment
 
-__all__ = ["ExperimentOutput", "EXPERIMENTS", "experiment_ids", "run_experiment"]
+__all__ = [
+    "Campaign",
+    "CampaignContext",
+    "ExperimentOutput",
+    "Reduction",
+    "save_experiment_output",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+]

@@ -26,22 +26,17 @@ These experiments cover the rest of that grid:
   (section 1.3): being a FIFO variant, it inherits FIFO's Omega(p)
   pathology on the adversarial workload, which is exactly why the paper
   argues for priority-based controller hardware.
+
+All six are sweep campaigns: each declares its job grid and reduces
+the resulting records, so every ablation shares the process pool and
+the persistent result cache with the figure experiments.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..analysis import (
-    SweepJob,
-    WorkloadSpec,
-    format_table,
-    line_plot,
-    run_sweep,
-)
-from ..core import SimulationConfig, simulate
-from ..traces import make_workload
-from .base import ExperimentOutput, require_scale
+from ..analysis import SweepJob, WorkloadSpec, format_table, line_plot
+from ..core import SimulationConfig
+from .base import Campaign, CampaignContext, ExperimentOutput, Reduction
 
 __all__ = [
     "channels_ablation",
@@ -53,34 +48,31 @@ __all__ = [
 ]
 
 
-def channels_ablation(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
-    """FIFO vs Priority as the far-channel count q grows from 1 to 10.
-
-    Findings at paper scale: FIFO improves proportionally to q (its
-    makespan is serialized transfer time), closing the gap Theorem 2
-    predicts bandwidth augmentation should divide; Priority improves
-    little and can even degrade slightly at large q, because concurrent
-    fetchers from many threads pollute the leaders' LRU working sets —
-    the empirical face of Theorem 3's O(q) competitive ratio.
-    """
-    require_scale(scale)
+def _channels_settings(scale: str):
     if scale == "smoke":
-        p, pages, repeats, qs = 16, 32, 10, (1, 2, 4, 8, 10)
-    else:
-        p, pages, repeats, qs = 64, 64, 30, tuple(range(1, 11))
+        return 16, 32, 10, (1, 2, 4, 8, 10)
+    return 64, 64, 30, tuple(range(1, 11))
+
+
+def _channels_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    p, pages, repeats, qs = _channels_settings(ctx.scale)
     spec = WorkloadSpec.make(
-        "adversarial_cycle", threads=p, seed=seed, pages=pages, repeats=repeats
+        "adversarial_cycle", threads=p, seed=ctx.seed, pages=pages, repeats=repeats
     )
     k = p * pages // 4
-    jobs = [
+    return [
         SweepJob(
             spec,
-            SimulationConfig(hbm_slots=k, channels=q, arbitration=arb, seed=seed),
+            SimulationConfig(hbm_slots=k, channels=q, arbitration=arb, seed=ctx.seed),
+            tag="ablation_channels",
         )
         for q in qs
         for arb in ("fifo", "priority")
     ]
-    records = run_sweep(jobs, processes=processes, cache_dir=cache_dir)
+
+
+def _channels_reduce(ctx: CampaignContext, records) -> Reduction:
+    _, _, _, qs = _channels_settings(ctx.scale)
     by = {(r.job.config.channels, r.job.config.arbitration): r for r in records}
     rows = [
         {
@@ -115,49 +107,67 @@ def channels_ablation(scale="smoke", processes=None, cache_dir=None, seed=0) -> 
         xlabel="channels q",
         ylabel="makespan",
     )
-    return ExperimentOutput(
-        experiment_id="ablation_channels",
-        title="Ablation: far-channel count q in 1..10",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="q ablation") + "\n\n" + plot,
         checks=checks,
-        data={},
+        text=format_table(rows, title="q ablation") + "\n\n" + plot,
     )
 
 
-def permutation_scheme_ablation(
-    scale="smoke", processes=None, cache_dir=None, seed=0
-) -> ExperimentOutput:
-    """All permutation schemes at a contended point (balanced work)."""
-    require_scale(scale)
-    if scale == "smoke":
+CHANNELS = Campaign.sweep(
+    "ablation_channels",
+    "Ablation: far-channel count q in 1..10",
+    _channels_jobs,
+    _channels_reduce,
+)
+
+
+def channels_ablation(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
+    """FIFO vs Priority as the far-channel count q grows from 1 to 10.
+
+    Findings at paper scale: FIFO improves proportionally to q (its
+    makespan is serialized transfer time), closing the gap Theorem 2
+    predicts bandwidth augmentation should divide; Priority improves
+    little and can even degrade slightly at large q, because concurrent
+    fetchers from many threads pollute the leaders' LRU working sets —
+    the empirical face of Theorem 3's O(q) competitive ratio.
+    """
+    return CHANNELS.run(scale, processes, cache_dir, seed)
+
+
+_SCHEME_REMAPPERS = (
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+)
+
+
+def _schemes_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    if ctx.scale == "smoke":
         wl_kwargs = dict(n=1000, page_bytes=256, coalesce=True)
         p, k = 48, 48
     else:
         wl_kwargs = dict(n=1500, page_bytes=256, coalesce=True)
         p, k = 64, 96
-    spec = WorkloadSpec.make("sort", threads=p, seed=seed, **wl_kwargs)
+    spec = WorkloadSpec.make("sort", threads=p, seed=ctx.seed, **wl_kwargs)
     T = 10 * k
-    schemes = [
-        ("fifo", None),
-        ("priority", None),
-        ("random", None),
-        ("dynamic_priority", T),
-        ("cycle_priority", T),
-        ("cycle_reverse_priority", T),
-        ("interleave_priority", T),
+    schemes = [("fifo", None), ("priority", None), ("random", None)] + [
+        (arb, T) for arb in _SCHEME_REMAPPERS
     ]
-    jobs = [
+    return [
         SweepJob(
             spec,
             SimulationConfig(
-                hbm_slots=k, arbitration=arb, remap_period=period, seed=seed
+                hbm_slots=k, arbitration=arb, remap_period=period, seed=ctx.seed
             ),
+            tag="ablation_schemes",
         )
         for arb, period in schemes
     ]
-    records = run_sweep(jobs, processes=processes, cache_dir=cache_dir)
+
+
+def _schemes_reduce(ctx: CampaignContext, records) -> Reduction:
     rows = [
         {
             "scheme": r.job.config.arbitration,
@@ -169,56 +179,51 @@ def permutation_scheme_ablation(
         for r in records
     ]
     by = {r.job.config.arbitration: r for r in records}
-    remappers = [
-        "dynamic_priority",
-        "cycle_priority",
-        "cycle_reverse_priority",
-        "interleave_priority",
-    ]
     checks = {
         # "The results for deterministic remapping are similar for
         # balanced workloads" — all remapping schemes within ~1/3 of
         # each other on makespan.
         "remapping_schemes_agree_on_balanced_work": max(
-            by[s].makespan for s in remappers
+            by[s].makespan for s in _SCHEME_REMAPPERS
         )
-        < 1.35 * min(by[s].makespan for s in remappers),
+        < 1.35 * min(by[s].makespan for s in _SCHEME_REMAPPERS),
         # remapping never blows inconsistency up beyond Priority's, and
         # the randomized scheme cuts it substantially
         "remapping_bounded_by_priority_inconsistency": all(
             by[s].inconsistency < 1.2 * by["priority"].inconsistency
-            for s in remappers
+            for s in _SCHEME_REMAPPERS
         ),
         "dynamic_cuts_inconsistency": by["dynamic_priority"].inconsistency
         < 0.7 * by["priority"].inconsistency,
         # and none loses to FIFO on makespan
         "remapping_beats_fifo": all(
-            by[s].makespan <= 1.05 * by["fifo"].makespan for s in remappers
+            by[s].makespan <= 1.05 * by["fifo"].makespan for s in _SCHEME_REMAPPERS
         ),
     }
-    return ExperimentOutput(
-        experiment_id="ablation_schemes",
-        title="Ablation: priority permutation schemes (balanced work)",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="permutation schemes"),
         checks=checks,
-        data={},
+        text=format_table(rows, title="permutation schemes"),
     )
 
 
-def asymmetric_work_ablation(
+SCHEMES = Campaign.sweep(
+    "ablation_schemes",
+    "Ablation: priority permutation schemes (balanced work)",
+    _schemes_jobs,
+    _schemes_reduce,
+)
+
+
+def permutation_scheme_ablation(
     scale="smoke", processes=None, cache_dir=None, seed=0
 ) -> ExperimentOutput:
-    """Unequal work distribution: Dynamic vs Cycle starvation.
+    """All permutation schemes at a contended point (balanced work)."""
+    return SCHEMES.run(scale, processes, cache_dir, seed)
 
-    The paper (section 4): "When the work is asymmetric, Cycle Priority
-    continuously places the same thread behind the most demanding
-    thread, causing small amounts of starvation." We give thread 0 a
-    several-times-larger instance and compare worst-thread starvation.
-    """
-    require_scale(scale)
-    if scale == "smoke":
+
+def _asymmetric_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    if ctx.scale == "smoke":
         p, n = 8, 600
     else:
         p, n = 16, 1200
@@ -226,7 +231,7 @@ def asymmetric_work_ablation(
     spec = WorkloadSpec.make(
         "sort",
         threads=p,
-        seed=seed,
+        seed=ctx.seed,
         n=n,
         page_bytes=256,
         coalesce=True,
@@ -234,16 +239,19 @@ def asymmetric_work_ablation(
     )
     k = 24 * p // 4
     T = 5 * k
-    jobs = [
+    return [
         SweepJob(
             spec,
             SimulationConfig(
-                hbm_slots=k, arbitration=arb, remap_period=T, seed=seed
+                hbm_slots=k, arbitration=arb, remap_period=T, seed=ctx.seed
             ),
+            tag="ablation_asymmetric",
         )
         for arb in ("dynamic_priority", "cycle_priority")
     ]
-    records = run_sweep(jobs, processes=processes, cache_dir=cache_dir)
+
+
+def _asymmetric_reduce(ctx: CampaignContext, records) -> Reduction:
     by = {r.job.config.arbitration: r for r in records}
     rows = [
         {
@@ -261,15 +269,100 @@ def asymmetric_work_ablation(
         # ...and both complete the asymmetric workload at all
         "both_complete": all(r.total_requests > 0 for r in records),
     }
-    return ExperimentOutput(
-        experiment_id="ablation_asymmetric",
-        title="Ablation: asymmetric work (Dynamic vs Cycle Priority)",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="asymmetric work"),
         checks=checks,
         data={"records": records},
+        text=format_table(rows, title="asymmetric work"),
     )
+
+
+ASYMMETRIC = Campaign.sweep(
+    "ablation_asymmetric",
+    "Ablation: asymmetric work (Dynamic vs Cycle Priority)",
+    _asymmetric_jobs,
+    _asymmetric_reduce,
+)
+
+
+def asymmetric_work_ablation(
+    scale="smoke", processes=None, cache_dir=None, seed=0
+) -> ExperimentOutput:
+    """Unequal work distribution: Dynamic vs Cycle starvation.
+
+    The paper (section 4): "When the work is asymmetric, Cycle Priority
+    continuously places the same thread behind the most demanding
+    thread, causing small amounts of starvation." We give thread 0 a
+    several-times-larger instance and compare worst-thread starvation.
+    """
+    return ASYMMETRIC.run(scale, processes, cache_dir, seed)
+
+
+_REPLACEMENTS = ("lru", "fifo", "clock", "random", "mru", "belady")
+
+
+def _replacement_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    if ctx.scale == "smoke":
+        p, length, pages, k = 8, 1500, 64, 128
+    else:
+        p, length, pages, k = 32, 5000, 96, 512
+    spec = WorkloadSpec.make(
+        "zipf", threads=p, seed=ctx.seed, length=length, pages=pages
+    )
+    return [
+        SweepJob(
+            spec,
+            SimulationConfig(
+                hbm_slots=k,
+                arbitration="priority",
+                replacement=replacement,
+                seed=ctx.seed,
+            ),
+            tag="ablation_replacement",
+        )
+        for replacement in _REPLACEMENTS
+    ]
+
+
+def _replacement_reduce(ctx: CampaignContext, records) -> Reduction:
+    by = {r.job.config.replacement: r for r in records}
+    rows = [
+        {
+            "replacement": replacement,
+            "makespan": by[replacement].makespan,
+            "hit_rate": round(by[replacement].hit_rate, 4),
+            "misses": by[replacement].misses,
+        }
+        for replacement in _REPLACEMENTS
+    ]
+    checks = {
+        # Belady approximates the per-stream miss optimum
+        "belady_minimizes_misses": by["belady"].misses
+        <= min(by[r].misses for r in ("lru", "fifo", "clock", "random")),
+        # the classical policies are mutually close (replacement is not
+        # the problem)
+        "classical_policies_close": max(
+            by[r].makespan for r in ("lru", "fifo", "clock")
+        )
+        < 1.3 * min(by[r].makespan for r in ("lru", "fifo", "clock")),
+        # fewer misses does not linearly buy makespan: LRU's makespan is
+        # within a modest factor of Belady's despite more misses
+        "misses_are_not_makespan": by["lru"].makespan
+        < 1.5 * by["belady"].makespan,
+    }
+    return Reduction(
+        rows=rows,
+        checks=checks,
+        text=format_table(rows, title="replacement policies"),
+    )
+
+
+REPLACEMENT = Campaign.sweep(
+    "ablation_replacement",
+    "Ablation: HBM replacement policies",
+    _replacement_jobs,
+    _replacement_reduce,
+)
 
 
 def replacement_ablation(
@@ -282,54 +375,92 @@ def replacement_ablation(
     stream yet does not necessarily minimize makespan, while LRU-family
     policies all land close together (replacement "is not the problem").
     """
-    require_scale(scale)
+    return REPLACEMENT.run(scale, processes, cache_dir, seed)
+
+
+_SHARED_FRACTIONS = (0.0, 0.25, 0.5, 0.9)
+_SHARED_POLICIES = ("fifo", "priority", "dynamic_priority")
+
+
+def _shared_settings(scale: str):
     if scale == "smoke":
-        p, length, pages, k = 8, 1500, 64, 128
-    else:
-        p, length, pages, k = 32, 5000, 96, 512
-    workload = make_workload(
-        "zipf", threads=p, seed=seed, length=length, pages=pages
-    )
-    rows = []
-    results = {}
-    for replacement in ("lru", "fifo", "clock", "random", "mru", "belady"):
-        cfg = SimulationConfig(
-            hbm_slots=k, arbitration="priority", replacement=replacement, seed=seed
+        return 8, 2000, 48, 48, 96
+    return 32, 5000, 64, 64, 256
+
+
+def _shared_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    p, length, private_pages, shared_pages, k = _shared_settings(ctx.scale)
+    jobs = []
+    for fraction in _SHARED_FRACTIONS:
+        spec = WorkloadSpec.make(
+            "shared",
+            threads=p,
+            seed=ctx.seed,
+            length=length,
+            private_pages=private_pages,
+            shared_pages=shared_pages,
+            shared_fraction=fraction,
         )
-        result = simulate(workload, cfg)
-        results[replacement] = result
+        for arb in _SHARED_POLICIES:
+            jobs.append(
+                SweepJob(
+                    spec,
+                    SimulationConfig(
+                        hbm_slots=k,
+                        arbitration=arb,
+                        remap_period=10 * k if arb == "dynamic_priority" else None,
+                        seed=ctx.seed,
+                    ),
+                    tag="ablation_shared",
+                )
+            )
+    return jobs
+
+
+def _shared_reduce(ctx: CampaignContext, records) -> Reduction:
+    rows = []
+    fetch_by_fraction: dict[float, int] = {}
+    for record in records:
+        fraction = dict(record.job.workload.params)["shared_fraction"]
+        arb = record.job.config.arbitration
+        if arb == "priority":
+            fetch_by_fraction[fraction] = record.fetches
         rows.append(
             {
-                "replacement": replacement,
-                "makespan": result.makespan,
-                "hit_rate": round(result.hit_rate, 4),
-                "misses": result.misses,
+                "shared_fraction": fraction,
+                "arbitration": arb,
+                "makespan": record.makespan,
+                "fetches": record.fetches,
+                "hit_rate": round(record.hit_rate, 4),
+                "max_response": record.max_response,
             }
         )
+    priority_rows = [r for r in rows if r["arbitration"] == "priority"]
     checks = {
-        # Belady approximates the per-stream miss optimum
-        "belady_minimizes_misses": results["belady"].misses
-        <= min(results[r].misses for r in ("lru", "fifo", "clock", "random")),
-        # the classical policies are mutually close (replacement is not
-        # the problem)
-        "classical_policies_close": max(
-            results[r].makespan for r in ("lru", "fifo", "clock")
-        )
-        < 1.3 * min(results[r].makespan for r in ("lru", "fifo", "clock")),
-        # fewer misses does not linearly buy makespan: LRU's makespan is
-        # within a modest factor of Belady's despite more misses
-        "misses_are_not_makespan": results["lru"].makespan
-        < 1.5 * results["belady"].makespan,
+        # every run completes and conserves requests (simulator is
+        # well-defined without Property 1)
+        "all_policies_complete": len(rows)
+        == len(_SHARED_FRACTIONS) * len(_SHARED_POLICIES),
+        # sharing amortizes far-channel traffic
+        "sharing_reduces_fetches": fetch_by_fraction[0.9]
+        < fetch_by_fraction[0.0],
+        # shared prefetching softens Priority's worst stall
+        "sharing_softens_priority_starvation": priority_rows[-1]["max_response"]
+        <= priority_rows[0]["max_response"],
     }
-    return ExperimentOutput(
-        experiment_id="ablation_replacement",
-        title="Ablation: HBM replacement policies",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="replacement policies"),
         checks=checks,
-        data={},
+        text=format_table(rows, title="shared pages"),
     )
+
+
+SHARED = Campaign.sweep(
+    "ablation_shared",
+    "Ablation: non-disjoint access sequences (section 6.1)",
+    _shared_jobs,
+    _shared_reduce,
+)
 
 
 def shared_pages_ablation(
@@ -344,100 +475,47 @@ def shared_pages_ablation(
     policy still completes — the simulator is well-defined outside
     Property 1 even though the theory is not.
     """
-    require_scale(scale)
+    return SHARED.run(scale, processes, cache_dir, seed)
+
+
+def _frfcfs_settings(scale: str):
     if scale == "smoke":
-        p, length, private_pages, shared_pages, k = 8, 2000, 48, 48, 96
-    else:
-        p, length, private_pages, shared_pages, k = 32, 5000, 64, 64, 256
-    fractions = (0.0, 0.25, 0.5, 0.9)
-    rows = []
-    fetch_by_fraction: dict[float, int] = {}
-    for fraction in fractions:
-        workload = make_workload(
-            "shared",
-            threads=p,
-            seed=seed,
-            length=length,
-            private_pages=private_pages,
-            shared_pages=shared_pages,
-            shared_fraction=fraction,
-        )
-        for arb in ("fifo", "priority", "dynamic_priority"):
-            cfg = SimulationConfig(
-                hbm_slots=k,
-                arbitration=arb,
-                remap_period=10 * k if arb == "dynamic_priority" else None,
-                seed=seed,
-            )
-            result = simulate(workload, cfg)
-            if arb == "priority":
-                fetch_by_fraction[fraction] = result.fetches
-            rows.append(
-                {
-                    "shared_fraction": fraction,
-                    "arbitration": arb,
-                    "makespan": result.makespan,
-                    "fetches": result.fetches,
-                    "hit_rate": round(result.hit_rate, 4),
-                    "max_response": result.max_response,
-                }
-            )
-    priority_rows = [r for r in rows if r["arbitration"] == "priority"]
-    checks = {
-        # every run completes and conserves requests (simulator is
-        # well-defined without Property 1)
-        "all_policies_complete": len(rows) == len(fractions) * 3,
-        # sharing amortizes far-channel traffic
-        "sharing_reduces_fetches": fetch_by_fraction[0.9]
-        < fetch_by_fraction[0.0],
-        # shared prefetching softens Priority's worst stall
-        "sharing_softens_priority_starvation": priority_rows[-1]["max_response"]
-        <= priority_rows[0]["max_response"],
-    }
-    return ExperimentOutput(
-        experiment_id="ablation_shared",
-        title="Ablation: non-disjoint access sequences (section 6.1)",
-        scale=scale,
-        rows=rows,
-        text=format_table(rows, title="shared pages"),
-        checks=checks,
-        data={},
-    )
+        return (8, 16, 32), 32, 12
+    return (8, 16, 32, 64), 64, 30
 
 
-def frfcfs_ablation(
-    scale="smoke", processes=None, cache_dir=None, seed=0
-) -> ExperimentOutput:
-    """FR-FCFS (real-hardware FCFS variant) vs FIFO vs Priority.
-
-    Section 1.3: Intel's far-channel arbitration is "likely a solution
-    based on [49] ... first-ready first-come-first-served. As the name
-    implies, this is a variant of FCFS". On the Dataset 3 adversary the
-    measurement is nuanced and supports the paper's core thesis from an
-    unexpected direction: because a DRAM row spans several threads'
-    page blocks, the open-row preference *clusters* service on a few
-    threads at a time — an implicit, locality-driven priority — so
-    FR-FCFS beats pure FIFO at scale. Reordering is exactly what
-    matters (the paper's point); but the accidental clustering is far
-    weaker than an explicit pecking order, so FR-FCFS still trails
-    Priority by a growing factor.
-    """
-    require_scale(scale)
-    if scale == "smoke":
-        threads_list, pages, repeats = (8, 16, 32), 32, 12
-    else:
-        threads_list, pages, repeats = (8, 16, 32, 64), 64, 30
-    rows = []
-    gaps = {"fifo": [], "fr_fcfs": []}
+def _frfcfs_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    threads_list, pages, repeats = _frfcfs_settings(ctx.scale)
+    jobs = []
     for p in threads_list:
         spec = WorkloadSpec.make(
-            "adversarial_cycle", threads=p, seed=seed, pages=pages, repeats=repeats
+            "adversarial_cycle",
+            threads=p,
+            seed=ctx.seed,
+            pages=pages,
+            repeats=repeats,
         )
         k = p * pages // 4
-        results = {}
         for arb in ("fifo", "fr_fcfs", "priority"):
-            cfg = SimulationConfig(hbm_slots=k, arbitration=arb, seed=seed)
-            results[arb] = run_sweep([SweepJob(spec, cfg)], processes=1)[0]
+            jobs.append(
+                SweepJob(
+                    spec,
+                    SimulationConfig(hbm_slots=k, arbitration=arb, seed=ctx.seed),
+                    tag="ablation_fr_fcfs",
+                )
+            )
+    return jobs
+
+
+def _frfcfs_reduce(ctx: CampaignContext, records) -> Reduction:
+    threads_list, _, _ = _frfcfs_settings(ctx.scale)
+    by = {
+        (r.job.workload.threads, r.job.config.arbitration): r for r in records
+    }
+    rows = []
+    gaps: dict[str, list[float]] = {"fifo": [], "fr_fcfs": []}
+    for p in threads_list:
+        results = {arb: by[(p, arb)] for arb in ("fifo", "fr_fcfs", "priority")}
         for arb in ("fifo", "fr_fcfs"):
             gaps[arb].append(
                 results[arb].makespan / results["priority"].makespan
@@ -464,12 +542,37 @@ def frfcfs_ablation(
             gap >= 1.0 for gap in gaps["fr_fcfs"]
         ),
     }
-    return ExperimentOutput(
-        experiment_id="ablation_fr_fcfs",
-        title="Ablation: FR-FCFS (real-controller FCFS variant)",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="FR-FCFS vs FIFO vs Priority"),
         checks=checks,
         data={"gaps": gaps},
+        text=format_table(rows, title="FR-FCFS vs FIFO vs Priority"),
     )
+
+
+FRFCFS = Campaign.sweep(
+    "ablation_fr_fcfs",
+    "Ablation: FR-FCFS (real-controller FCFS variant)",
+    _frfcfs_jobs,
+    _frfcfs_reduce,
+)
+
+
+def frfcfs_ablation(
+    scale="smoke", processes=None, cache_dir=None, seed=0
+) -> ExperimentOutput:
+    """FR-FCFS (real-hardware FCFS variant) vs FIFO vs Priority.
+
+    Section 1.3: Intel's far-channel arbitration is "likely a solution
+    based on [49] ... first-ready first-come-first-served. As the name
+    implies, this is a variant of FCFS". On the Dataset 3 adversary the
+    measurement is nuanced and supports the paper's core thesis from an
+    unexpected direction: because a DRAM row spans several threads'
+    page blocks, the open-row preference *clusters* service on a few
+    threads at a time — an implicit, locality-driven priority — so
+    FR-FCFS beats pure FIFO at scale. Reordering is exactly what
+    matters (the paper's point); but the accidental clustering is far
+    weaker than an explicit pecking order, so FR-FCFS still trails
+    Priority by a growing factor.
+    """
+    return FRFCFS.run(scale, processes, cache_dir, seed)

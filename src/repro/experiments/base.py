@@ -1,7 +1,7 @@
-"""Experiment infrastructure: uniform output type and scale presets.
+"""Experiment infrastructure: the campaign pipeline and output types.
 
-Every paper table/figure is an :class:`Experiment`: a callable
-producing an :class:`ExperimentOutput` with
+Every paper table/figure is an :class:`Experiment` producing an
+:class:`ExperimentOutput` with
 
 * ``rows`` — the regenerated table/series data (dict rows),
 * ``text`` — terminal rendering (ASCII table + plot),
@@ -16,18 +16,63 @@ Each experiment supports two scales:
 * ``"paper"`` — the largest configuration practical in pure Python,
   with the same structure as the paper's setup (minutes; used to
   produce the numbers recorded in EXPERIMENTS.md).
+
+The campaign pipeline
+---------------------
+
+Experiments are declared as :class:`Campaign` objects — a *jobs
+builder* (context -> :class:`~repro.analysis.SweepJob` list), a
+*reducer* (records -> :class:`Reduction` of rows/checks/data), and an
+optional *renderer* (reduction -> terminal text). :meth:`Campaign.run`
+executes the jobs through the one shared
+:class:`~repro.analysis.SweepRunner`, so every experiment — makespan
+sweeps, fairness/response-time studies, theory harnesses — gets the
+process pool, persistent result cache, payload replay, run manifests,
+and campaign telemetry without touching an engine directly. Experiments
+with no simulation at all (machine-model microbenchmarks, PRAM step
+counts) use :meth:`Campaign.local`, which skips the sweep stage but
+keeps the same output/persistence contract.
+
+:func:`save_experiment_output` persists a finished output to
+``<base_dir>/<experiment_id>/`` as ``rows.csv`` + ``report.txt`` +
+``checks.json`` + a provenance ``manifest.json`` (scale, seed, engine
+semantics version, host, cache-hit telemetry) — the ``results/``
+layout the CLI's ``--save`` flag writes.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Any
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
-__all__ = ["ExperimentOutput", "Scale", "require_scale"]
+from ..analysis.sweep import CampaignStats, SweepJob, SweepRecord, SweepRunner
+from ..core.engine import ENGINE_SEMANTICS_VERSION
+from ..core.fastengine import default_engine
+from ..obs.manifest import host_info
+from ..traces import Workload, WorkloadCache
+
+__all__ = [
+    "CAMPAIGN_MANIFEST_SCHEMA",
+    "Campaign",
+    "CampaignContext",
+    "ExperimentOutput",
+    "Reduction",
+    "Scale",
+    "merge_campaign_stats",
+    "require_scale",
+    "save_experiment_output",
+]
 
 Scale = str  # "smoke" | "paper"
 
 _VALID_SCALES = ("smoke", "paper")
+
+#: bump when the results/<id>/manifest.json layout changes incompatibly
+CAMPAIGN_MANIFEST_SCHEMA = "repro.experiments.campaign/v1"
 
 
 def require_scale(scale: str) -> str:
@@ -55,6 +100,16 @@ class ExperimentOutput:
     def failed_checks(self) -> list[str]:
         return [name for name, ok in self.checks.items() if not ok]
 
+    @property
+    def campaign(self) -> CampaignStats | None:
+        """Sweep telemetry for the run that produced this output.
+
+        ``None`` for outputs assembled outside the campaign pipeline.
+        Composite experiments (e.g. both Figure 2 panels) carry the
+        merged stats of their parts.
+        """
+        return self.data.get("campaign")
+
     def render(self) -> str:
         """Full text report including check outcomes."""
         lines = [f"== {self.experiment_id}: {self.title} (scale={self.scale}) =="]
@@ -65,3 +120,247 @@ class ExperimentOutput:
             for name, ok in self.checks.items():
                 lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CampaignContext:
+    """Everything a jobs builder or reducer may depend on.
+
+    Builders derive the job grid from ``scale`` and ``seed``; reducers
+    occasionally need the workload itself (e.g. to compute certified
+    lower bounds from the traces) and use :meth:`build_workload`, which
+    routes through the on-disk workload cache when one is configured so
+    the traces are generated at most once per campaign.
+    """
+
+    experiment_id: str
+    scale: str
+    seed: int = 0
+    processes: int | None = None
+    cache_dir: str | None = None
+
+    def build_workload(self, spec: Any) -> Workload:
+        """Materialize a :class:`~repro.analysis.WorkloadSpec`."""
+        cache = WorkloadCache(self.cache_dir) if self.cache_dir else None
+        return spec.build(cache)
+
+
+@dataclass
+class Reduction:
+    """A reducer's distilled view of the campaign's records.
+
+    ``text`` is optional when the campaign has a separate renderer;
+    when both are present the renderer wins.
+    """
+
+    rows: list[dict[str, Any]]
+    checks: dict[str, bool] = field(default_factory=dict)
+    data: dict[str, Any] = field(default_factory=dict)
+    text: str | None = None
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One declarative experiment: jobs builder -> reducer -> renderer.
+
+    Use :meth:`sweep` for simulation-backed experiments and
+    :meth:`local` for analytic/microbenchmark experiments with no sweep
+    jobs. Campaigns are callable with the classic experiment signature
+    ``(scale, processes, cache_dir, seed)`` so the registry and every
+    existing call site treat them exactly like the plain functions they
+    replace.
+    """
+
+    experiment_id: str
+    title: str
+    build_jobs: Callable[[CampaignContext], Sequence[SweepJob]] | None = None
+    reduce: Callable[[CampaignContext, list[SweepRecord]], Reduction] | None = None
+    render: Callable[[CampaignContext, Reduction], str] | None = None
+    compute: Callable[[CampaignContext], Reduction] | None = None
+
+    @classmethod
+    def sweep(
+        cls,
+        experiment_id: str,
+        title: str,
+        build_jobs: Callable[[CampaignContext], Sequence[SweepJob]],
+        reduce: Callable[[CampaignContext, list[SweepRecord]], Reduction],
+        render: Callable[[CampaignContext, Reduction], str] | None = None,
+    ) -> "Campaign":
+        """A campaign whose work is a sweep-job grid."""
+        return cls(
+            experiment_id=experiment_id,
+            title=title,
+            build_jobs=build_jobs,
+            reduce=reduce,
+            render=render,
+        )
+
+    @classmethod
+    def local(
+        cls,
+        experiment_id: str,
+        title: str,
+        compute: Callable[[CampaignContext], Reduction],
+        render: Callable[[CampaignContext, Reduction], str] | None = None,
+    ) -> "Campaign":
+        """A campaign with no simulation jobs (analytic experiments)."""
+        return cls(
+            experiment_id=experiment_id,
+            title=title,
+            compute=compute,
+            render=render,
+        )
+
+    def run(
+        self,
+        scale: str = "smoke",
+        processes: int | None = None,
+        cache_dir=None,
+        seed: int = 0,
+    ) -> ExperimentOutput:
+        ctx = CampaignContext(
+            experiment_id=self.experiment_id,
+            scale=require_scale(scale),
+            seed=seed,
+            processes=processes,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+        )
+        if self.build_jobs is not None:
+            if self.reduce is None:
+                raise TypeError(
+                    f"campaign {self.experiment_id!r} has jobs but no reducer"
+                )
+            runner = SweepRunner(processes=processes, cache_dir=cache_dir)
+            records = runner.run(list(self.build_jobs(ctx)))
+            reduction = self.reduce(ctx, records)
+            stats = runner.last_campaign or CampaignStats()
+        elif self.compute is not None:
+            reduction = self.compute(ctx)
+            stats = CampaignStats()
+        else:
+            raise TypeError(
+                f"campaign {self.experiment_id!r} defines neither jobs nor compute"
+            )
+        if self.render is not None:
+            text = self.render(ctx, reduction)
+        elif reduction.text is not None:
+            text = reduction.text
+        else:
+            raise TypeError(
+                f"campaign {self.experiment_id!r} produced no text and has "
+                "no renderer"
+            )
+        data = dict(reduction.data)
+        data["campaign"] = stats
+        return ExperimentOutput(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            scale=ctx.scale,
+            rows=reduction.rows,
+            text=text,
+            checks=reduction.checks,
+            data=data,
+        )
+
+    def __call__(
+        self,
+        scale: str = "smoke",
+        processes: int | None = None,
+        cache_dir=None,
+        seed: int = 0,
+    ) -> ExperimentOutput:
+        return self.run(scale=scale, processes=processes, cache_dir=cache_dir, seed=seed)
+
+
+def merge_campaign_stats(
+    parts: Sequence[CampaignStats | None],
+) -> CampaignStats:
+    """Combine per-panel telemetry into one composite-experiment view."""
+    merged = CampaignStats()
+    for stats in parts:
+        if stats is None:
+            continue
+        merged.total_jobs += stats.total_jobs
+        merged.cache_hits += stats.cache_hits
+        merged.simulated += stats.simulated
+        merged.wall_time_s += stats.wall_time_s
+        merged.sim_time_s += stats.sim_time_s
+        for key, group in stats.by_group.items():
+            target = merged.by_group.setdefault(
+                key, {"jobs": 0, "cached": 0, "sim_wall_s": 0.0}
+            )
+            target["jobs"] += group["jobs"]
+            target["cached"] += group["cached"]
+            target["sim_wall_s"] += group["sim_wall_s"]
+    return merged
+
+
+def _campaign_manifest(out: ExperimentOutput, seed: int | None) -> dict[str, Any]:
+    stats = out.campaign
+    manifest: dict[str, Any] = {
+        "schema": CAMPAIGN_MANIFEST_SCHEMA,
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "experiment_id": out.experiment_id,
+        "title": out.title,
+        "scale": out.scale,
+        "seed": seed,
+        "engine": default_engine(),
+        "engine_semantics_version": ENGINE_SEMANTICS_VERSION,
+        "host": host_info(),
+        # plain bool: numpy bools from vectorized reducers are not
+        # JSON-serializable
+        "checks": {name: bool(ok) for name, ok in out.checks.items()},
+        "all_checks_pass": out.all_checks_pass,
+        "row_count": len(out.rows),
+    }
+    if stats is not None:
+        manifest["campaign"] = {
+            "total_jobs": stats.total_jobs,
+            "cache_hits": stats.cache_hits,
+            "simulated": stats.simulated,
+            "wall_time_s": round(stats.wall_time_s, 6),
+            "sim_time_s": round(stats.sim_time_s, 6),
+        }
+    return manifest
+
+
+def save_experiment_output(
+    out: ExperimentOutput,
+    base_dir: str | os.PathLike,
+    seed: int | None = None,
+) -> Path:
+    """Persist one output under ``<base_dir>/<experiment_id>/``.
+
+    Written artifacts: ``rows.csv`` (when the experiment has rows),
+    ``report.txt`` (the rendered terminal report), ``checks.json``
+    (shape-check outcomes), and ``manifest.json`` — provenance enough
+    to audit a recorded number later: what ran, at what scale/seed, on
+    which host, under which engine-semantics version, and how much of
+    it replayed from the result cache.
+    """
+    from ..analysis.tables import write_csv
+
+    target = Path(base_dir) / out.experiment_id
+    target.mkdir(parents=True, exist_ok=True)
+    if out.rows:
+        write_csv(out.rows, target / "rows.csv")
+    (target / "report.txt").write_text(out.render() + "\n", encoding="utf-8")
+    (target / "checks.json").write_text(
+        json.dumps(
+            {
+                "checks": {name: bool(ok) for name, ok in out.checks.items()},
+                "all_checks_pass": bool(out.all_checks_pass),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    (target / "manifest.json").write_text(
+        json.dumps(_campaign_manifest(out, seed), indent=2, sort_keys=True, default=str)
+        + "\n",
+        encoding="utf-8",
+    )
+    return target

@@ -14,11 +14,16 @@ thread-count axis therefore crosses over at different absolute p, but
 the same three regimes appear in order: parity while the far channel is
 idle, FIFO ahead under moderate contention, Priority dominant once FIFO
 thrashes.
+
+Both panels (and Figure 4's, which reuses the grid with Dynamic
+Priority) are :class:`~repro.experiments.base.Campaign` s built by
+:func:`ratio_campaign`: one jobs builder for the policy-pair grid, one
+reducer for the ratio rows, a parameterizable check set.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from ..analysis import (
     SweepJob,
@@ -26,12 +31,18 @@ from ..analysis import (
     format_table,
     line_plot,
     ratio_series,
-    run_sweep,
 )
 from ..core import SimulationConfig
-from .base import ExperimentOutput, require_scale
+from .base import (
+    Campaign,
+    CampaignContext,
+    ExperimentOutput,
+    Reduction,
+    merge_campaign_stats,
+    require_scale,
+)
 
-__all__ = ["figure2", "figure2a", "figure2b", "FIG2_SETTINGS"]
+__all__ = ["figure2", "figure2a", "figure2b", "FIG2_SETTINGS", "ratio_campaign"]
 
 #: workload generator settings per dataset and scale
 FIG2_SETTINGS: dict[str, dict[str, dict[str, Any]]] = {
@@ -102,53 +113,13 @@ def _build_jobs(
     return jobs
 
 
-def _ratio_experiment(
-    experiment_id: str,
-    title: str,
-    dataset: str,
-    numerator: str,
-    denominator: str,
-    scale: str,
-    processes: int | None,
-    cache_dir,
-    seed: int,
-    remap_multiplier: int | None = None,
-) -> ExperimentOutput:
-    settings = FIG2_SETTINGS[dataset][require_scale(scale)]
-    jobs = _build_jobs(
-        dataset, settings, seed, (numerator, denominator), remap_multiplier
-    )
-    records = run_sweep(jobs, processes=processes, cache_dir=cache_dir)
-
-    by_k: dict[int, list[tuple[int, float]]] = {}
-    for k in settings["hbm_slots"]:
-        subset = [r for r in records if r.job.config.hbm_slots == k]
-        by_k[k] = ratio_series(subset, numerator, denominator)
-
-    rows = []
-    makespans = {
-        (r.job.workload.threads, r.job.config.hbm_slots, r.job.config.arbitration): r
-        for r in records
-    }
-    for k, series in by_k.items():
-        for p, ratio in series:
-            num = makespans[(p, k, numerator)]
-            den = makespans[(p, k, denominator)]
-            rows.append(
-                {
-                    "threads": p,
-                    "hbm_slots": k,
-                    f"{numerator}_makespan": num.makespan,
-                    f"{denominator}_makespan": den.makespan,
-                    "ratio": round(ratio, 4),
-                    f"{numerator}_hit_rate": round(num.hit_rate, 4),
-                    f"{denominator}_hit_rate": round(den.hit_rate, 4),
-                }
-            )
-
+def _default_ratio_checks(
+    by_k: dict[int, list[tuple[int, float]]],
+) -> dict[str, bool]:
+    """Figure 2's claim set (who wins at which end of the thread axis)."""
     all_ratios = [ratio for series in by_k.values() for _, ratio in series]
     high_p_ratios = [series[-1][1] for series in by_k.values() if series]
-    checks = {
+    return {
         # Priority dominates at the highest thread count (the paper's
         # headline: up to 3.3x on SpGEMM).
         "priority_wins_at_high_threads": max(high_p_ratios, default=0) > 1.05,
@@ -161,22 +132,94 @@ def _ratio_experiment(
         ),
     }
 
-    plot = line_plot(
-        {f"k={k}": series for k, series in by_k.items()},
-        title=f"{title} — makespan ratio {numerator}/{denominator}",
-        xlabel="threads",
-        ylabel="ratio",
-    )
-    text = format_table(rows, title=title) + "\n\n" + plot
-    return ExperimentOutput(
-        experiment_id=experiment_id,
-        title=title,
-        scale=scale,
-        rows=rows,
-        text=text,
-        checks=checks,
-        data={"ratio_series": by_k},
-    )
+
+def ratio_campaign(
+    experiment_id: str,
+    title: str,
+    dataset: str,
+    numerator: str,
+    denominator: str,
+    remap_multiplier: int | None = None,
+    checks_fn: Callable[[dict[int, list[tuple[int, float]]]], dict[str, bool]]
+    | None = None,
+) -> Campaign:
+    """The makespan-ratio campaign shared by Figures 2 and 4.
+
+    Jobs: the dataset's (threads x hbm_slots) grid under both policies.
+    Reducer: per-k ratio series, one row per (p, k) point, the claim
+    set from ``checks_fn`` (Figure 2's by default).
+    """
+    checks_fn = checks_fn or _default_ratio_checks
+
+    def build(ctx: CampaignContext) -> list[SweepJob]:
+        settings = FIG2_SETTINGS[dataset][ctx.scale]
+        return _build_jobs(
+            dataset, settings, ctx.seed, (numerator, denominator), remap_multiplier
+        )
+
+    def reduce(ctx: CampaignContext, records) -> Reduction:
+        settings = FIG2_SETTINGS[dataset][ctx.scale]
+        by_k: dict[int, list[tuple[int, float]]] = {}
+        for k in settings["hbm_slots"]:
+            subset = [r for r in records if r.job.config.hbm_slots == k]
+            by_k[k] = ratio_series(subset, numerator, denominator)
+
+        rows = []
+        makespans = {
+            (
+                r.job.workload.threads,
+                r.job.config.hbm_slots,
+                r.job.config.arbitration,
+            ): r
+            for r in records
+        }
+        for k, series in by_k.items():
+            for p, ratio in series:
+                num = makespans[(p, k, numerator)]
+                den = makespans[(p, k, denominator)]
+                rows.append(
+                    {
+                        "threads": p,
+                        "hbm_slots": k,
+                        f"{numerator}_makespan": num.makespan,
+                        f"{denominator}_makespan": den.makespan,
+                        "ratio": round(ratio, 4),
+                        f"{numerator}_hit_rate": round(num.hit_rate, 4),
+                        f"{denominator}_hit_rate": round(den.hit_rate, 4),
+                    }
+                )
+
+        plot = line_plot(
+            {f"k={k}": series for k, series in by_k.items()},
+            title=f"{title} — makespan ratio {numerator}/{denominator}",
+            xlabel="threads",
+            ylabel="ratio",
+        )
+        return Reduction(
+            rows=rows,
+            checks=checks_fn(by_k),
+            data={"ratio_series": by_k},
+            text=format_table(rows, title=title) + "\n\n" + plot,
+        )
+
+    return Campaign.sweep(experiment_id, title, build, reduce)
+
+
+FIG2A = ratio_campaign(
+    "fig2a",
+    "Figure 2a: FIFO/Priority makespan ratio, SpGEMM",
+    "spgemm",
+    "fifo",
+    "priority",
+)
+
+FIG2B = ratio_campaign(
+    "fig2b",
+    "Figure 2b: FIFO/Priority makespan ratio, GNU sort",
+    "sort",
+    "fifo",
+    "priority",
+)
 
 
 def figure2a(
@@ -186,17 +229,7 @@ def figure2a(
     seed: int = 0,
 ) -> ExperimentOutput:
     """Figure 2a: FIFO vs Priority on SpGEMM."""
-    return _ratio_experiment(
-        "fig2a",
-        "Figure 2a: FIFO/Priority makespan ratio, SpGEMM",
-        "spgemm",
-        "fifo",
-        "priority",
-        scale,
-        processes,
-        cache_dir,
-        seed,
-    )
+    return FIG2A.run(scale, processes, cache_dir, seed)
 
 
 def figure2b(
@@ -206,16 +239,37 @@ def figure2b(
     seed: int = 0,
 ) -> ExperimentOutput:
     """Figure 2b: FIFO vs Priority on GNU sort."""
-    return _ratio_experiment(
-        "fig2b",
-        "Figure 2b: FIFO/Priority makespan ratio, GNU sort",
-        "sort",
-        "fifo",
-        "priority",
-        scale,
-        processes,
-        cache_dir,
-        seed,
+    return FIG2B.run(scale, processes, cache_dir, seed)
+
+
+def combine_panels(
+    experiment_id: str,
+    title: str,
+    scale: str,
+    panels: dict[str, ExperimentOutput],
+) -> ExperimentOutput:
+    """Concatenate per-panel outputs into one composite experiment.
+
+    Check names are prefixed with the panel label; campaign telemetry
+    is merged so a composite's manifest still reports total jobs and
+    cache hits across every panel it ran.
+    """
+    require_scale(scale)
+    outputs = list(panels.values())
+    checks: dict[str, bool] = {}
+    for label, out in panels.items():
+        checks.update({f"{label}_{name}": ok for name, ok in out.checks.items()})
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title=title,
+        scale=scale,
+        rows=[row for out in outputs for row in out.rows],
+        text="\n\n".join(out.render() for out in outputs),
+        checks=checks,
+        data={
+            **{out.experiment_id: out.data for out in outputs},
+            "campaign": merge_campaign_stats([out.campaign for out in outputs]),
+        },
     )
 
 
@@ -226,17 +280,12 @@ def figure2(
     seed: int = 0,
 ) -> ExperimentOutput:
     """Both panels of Figure 2, concatenated."""
-    a = figure2a(scale, processes, cache_dir, seed)
-    b = figure2b(scale, processes, cache_dir, seed)
-    return ExperimentOutput(
-        experiment_id="fig2",
-        title="Figure 2: FIFO vs Priority",
-        scale=scale,
-        rows=a.rows + b.rows,
-        text=a.render() + "\n\n" + b.render(),
-        checks={
-            **{f"2a_{k}": v for k, v in a.checks.items()},
-            **{f"2b_{k}": v for k, v in b.checks.items()},
+    return combine_panels(
+        "fig2",
+        "Figure 2: FIFO vs Priority",
+        scale,
+        {
+            "2a": figure2a(scale, processes, cache_dir, seed),
+            "2b": figure2b(scale, processes, cache_dir, seed),
         },
-        data={"fig2a": a.data, "fig2b": b.data},
     )

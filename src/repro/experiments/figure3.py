@@ -6,6 +6,11 @@ across all threads. FIFO "misses every page" (the re-reference always
 arrives after eviction) while Priority parks low-priority threads and
 lets high-priority threads run from HBM, so FIFO's makespan is up to
 40x larger and the gap scales linearly with thread count.
+
+The sweep grid comes from :func:`repro.theory.fcfs_gap_jobs`; the
+reducer rebuilds :class:`~repro.theory.GapPoint` s (with the certified
+lower bound recomputed from the cached traces) via
+:func:`repro.theory.fcfs_gap_points`.
 """
 
 from __future__ import annotations
@@ -13,8 +18,8 @@ from __future__ import annotations
 from typing import Any
 
 from ..analysis import format_table, line_plot
-from ..theory import fcfs_gap_experiment, fit_linear
-from .base import ExperimentOutput, require_scale
+from ..theory import fcfs_gap_jobs, fcfs_gap_points, fit_linear
+from .base import Campaign, CampaignContext, ExperimentOutput, Reduction
 
 __all__ = ["figure3", "FIG3_SETTINGS"]
 
@@ -32,21 +37,19 @@ FIG3_SETTINGS: dict[str, dict[str, Any]] = {
 }
 
 
-def figure3(
-    scale: str = "smoke",
-    processes: int | None = None,  # noqa: ARG001 - runs are sequential per point
-    cache_dir=None,  # noqa: ARG001 - workloads are cheap to regenerate
-    seed: int = 0,
-) -> ExperimentOutput:
-    """Regenerate Figure 3 (FIFO vs Priority on Dataset 3)."""
-    settings = FIG3_SETTINGS[require_scale(scale)]
-    points = fcfs_gap_experiment(
+def _build_jobs(ctx: CampaignContext):
+    settings = FIG3_SETTINGS[ctx.scale]
+    return fcfs_gap_jobs(
         settings["thread_counts"],
         pages_per_thread=settings["pages_per_thread"],
         repeats=settings["repeats"],
         hbm_fraction=0.25,
-        seed=seed,
+        seed=ctx.seed,
     )
+
+
+def _reduce(ctx: CampaignContext, records) -> Reduction:
+    points = fcfs_gap_points(records, build_workload=ctx.build_workload)
     rows = [
         {
             "threads": pt.threads,
@@ -90,12 +93,27 @@ def figure3(
         + f"\n\nlinear fit: gap = {slope:.3f} * p + {intercept:.3f} (r^2 = {r2:.3f})\n\n"
         + plot
     )
-    return ExperimentOutput(
-        experiment_id="fig3",
-        title="Figure 3: FIFO vs Priority on Dataset 3",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=text,
         checks=checks,
         data={"points": points, "fit": (slope, intercept, r2)},
+        text=text,
     )
+
+
+FIG3 = Campaign.sweep(
+    "fig3",
+    "Figure 3: FIFO vs Priority on Dataset 3",
+    _build_jobs,
+    _reduce,
+)
+
+
+def figure3(
+    scale: str = "smoke",
+    processes: int | None = None,
+    cache_dir=None,
+    seed: int = 0,
+) -> ExperimentOutput:
+    """Regenerate Figure 3 (FIFO vs Priority on Dataset 3)."""
+    return FIG3.run(scale, processes, cache_dir, seed)

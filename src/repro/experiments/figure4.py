@@ -6,12 +6,15 @@ static Priority. Randomized remapping "has mitigated any advantages
 that FIFO held in Figure 2": at every tested point Dynamic Priority's
 makespan is at least as good as FIFO's, while keeping Priority's
 high-thread-count dominance.
+
+Both panels reuse Figure 2's :func:`~repro.experiments.figure2.ratio_campaign`
+with Figure 4's own claim set swapped in via ``checks_fn``.
 """
 
 from __future__ import annotations
 
 from .base import ExperimentOutput
-from .figure2 import _ratio_experiment
+from .figure2 import combine_panels, ratio_campaign
 
 __all__ = ["figure4", "figure4a", "figure4b", "REMAP_MULTIPLIER"]
 
@@ -19,41 +22,41 @@ __all__ = ["figure4", "figure4a", "figure4b", "REMAP_MULTIPLIER"]
 REMAP_MULTIPLIER = 10
 
 
-def _figure4_panel(
-    experiment_id: str,
-    title: str,
-    dataset: str,
-    scale: str,
-    processes,
-    cache_dir,
-    seed: int,
-) -> ExperimentOutput:
-    out = _ratio_experiment(
-        experiment_id,
-        title,
-        dataset,
-        "fifo",
-        "dynamic_priority",
-        scale,
-        processes,
-        cache_dir,
-        seed,
-        remap_multiplier=REMAP_MULTIPLIER,
-    )
-    series = out.data["ratio_series"]
-    all_ratios = [r for s in series.values() for _, r in s]
-    # Replace the generic checks with Figure 4's specific claim set.
-    out.checks = {
+def _figure4_checks(
+    by_k: dict[int, list[tuple[int, float]]],
+) -> dict[str, bool]:
+    all_ratios = [ratio for series in by_k.values() for _, ratio in series]
+    return {
         # Dynamic Priority is "either as good as FIFO or outperforms
         # FIFO on makespan" everywhere (small tolerance for ties).
         "dynamic_never_loses_to_fifo": min(all_ratios, default=0) >= 0.97,
         # and still wins big at high thread counts
         "dynamic_wins_at_high_threads": max(
-            (s[-1][1] for s in series.values() if s), default=0
+            (series[-1][1] for series in by_k.values() if series), default=0
         )
         > 1.05,
     }
-    return out
+
+
+FIG4A = ratio_campaign(
+    "fig4a",
+    "Figure 4a: FIFO/DynamicPriority makespan ratio, SpGEMM",
+    "spgemm",
+    "fifo",
+    "dynamic_priority",
+    remap_multiplier=REMAP_MULTIPLIER,
+    checks_fn=_figure4_checks,
+)
+
+FIG4B = ratio_campaign(
+    "fig4b",
+    "Figure 4b: FIFO/DynamicPriority makespan ratio, GNU sort",
+    "sort",
+    "fifo",
+    "dynamic_priority",
+    remap_multiplier=REMAP_MULTIPLIER,
+    checks_fn=_figure4_checks,
+)
 
 
 def figure4a(
@@ -63,15 +66,7 @@ def figure4a(
     seed: int = 0,
 ) -> ExperimentOutput:
     """Figure 4a: FIFO vs Dynamic Priority on SpGEMM."""
-    return _figure4_panel(
-        "fig4a",
-        "Figure 4a: FIFO/DynamicPriority makespan ratio, SpGEMM",
-        "spgemm",
-        scale,
-        processes,
-        cache_dir,
-        seed,
-    )
+    return FIG4A.run(scale, processes, cache_dir, seed)
 
 
 def figure4b(
@@ -81,15 +76,7 @@ def figure4b(
     seed: int = 0,
 ) -> ExperimentOutput:
     """Figure 4b: FIFO vs Dynamic Priority on GNU sort."""
-    return _figure4_panel(
-        "fig4b",
-        "Figure 4b: FIFO/DynamicPriority makespan ratio, GNU sort",
-        "sort",
-        scale,
-        processes,
-        cache_dir,
-        seed,
-    )
+    return FIG4B.run(scale, processes, cache_dir, seed)
 
 
 def figure4(
@@ -99,17 +86,12 @@ def figure4(
     seed: int = 0,
 ) -> ExperimentOutput:
     """Both panels of Figure 4, concatenated."""
-    a = figure4a(scale, processes, cache_dir, seed)
-    b = figure4b(scale, processes, cache_dir, seed)
-    return ExperimentOutput(
-        experiment_id="fig4",
-        title="Figure 4: Dynamic Priority vs FIFO",
-        scale=scale,
-        rows=a.rows + b.rows,
-        text=a.render() + "\n\n" + b.render(),
-        checks={
-            **{f"4a_{k}": v for k, v in a.checks.items()},
-            **{f"4b_{k}": v for k, v in b.checks.items()},
+    return combine_panels(
+        "fig4",
+        "Figure 4: Dynamic Priority vs FIFO",
+        scale,
+        {
+            "4a": figure4a(scale, processes, cache_dir, seed),
+            "4b": figure4b(scale, processes, cache_dir, seed),
         },
-        data={"fig4a": a.data, "fig4b": b.data},
     )

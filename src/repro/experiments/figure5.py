@@ -15,6 +15,12 @@ Paper findings reproduced as checks:
 * the cycling schemes' inconsistency grows with T (toward Priority's)
   while mean response time falls; a broad mid range of T keeps
   Priority-like makespan at far lower inconsistency.
+
+The response-time side is where fat records earn their keep: every job
+requests ``PayloadRequest(response_histogram=True)``, so each record
+carries the full response-time distribution (plus per-thread summary
+stats) and the panels report tail percentiles straight from the cached
+payload — no re-simulation, no separate instrumented run.
 """
 
 from __future__ import annotations
@@ -22,20 +28,24 @@ from __future__ import annotations
 from typing import Any
 
 from ..analysis import (
+    PayloadRequest,
     SweepJob,
     SweepRecord,
     WorkloadSpec,
     format_table,
-    run_sweep,
     scatter_plot,
 )
 from ..core import SimulationConfig
-from .base import ExperimentOutput, require_scale
+from .base import Campaign, CampaignContext, ExperimentOutput, Reduction
+from .figure2 import combine_panels
 
 __all__ = ["figure5", "figure5a", "figure5b", "table1", "FIG5_SETTINGS"]
 
 #: permutation-interval multipliers of the paper (T = mult * k)
 T_MULTIPLIERS = (1, 5, 10, 100)
+
+#: every tradeoff record carries its response-time distribution
+_PAYLOAD = PayloadRequest(response_histogram=True)
 
 FIG5_SETTINGS: dict[str, dict[str, dict[str, Any]]] = {
     "spgemm": {
@@ -76,23 +86,23 @@ def _policy_label(record: SweepRecord, k: int) -> str:
     return f"{name} T={mult}k"
 
 
-def _tradeoff_records(
-    dataset: str,
-    scale: str,
-    processes,
-    cache_dir,
-    seed: int,
-) -> tuple[list[SweepRecord], int, dict[str, Any]]:
-    settings = FIG5_SETTINGS[dataset][require_scale(scale)]
+def _tradeoff_jobs(dataset: str, ctx: CampaignContext) -> list[SweepJob]:
+    settings = FIG5_SETTINGS[dataset][ctx.scale]
     k = settings["hbm_slots"]
     kind = "sort" if dataset == "sort" else "spgemm"
     spec = WorkloadSpec.make(
-        kind, threads=settings["threads"], seed=seed, **settings["workload"]
+        kind, threads=settings["threads"], seed=ctx.seed, **settings["workload"]
     )
     jobs = [
-        SweepJob(spec, SimulationConfig(hbm_slots=k, arbitration="fifo", seed=seed)),
         SweepJob(
-            spec, SimulationConfig(hbm_slots=k, arbitration="priority", seed=seed)
+            spec,
+            SimulationConfig(hbm_slots=k, arbitration="fifo", seed=ctx.seed),
+            payload=_PAYLOAD,
+        ),
+        SweepJob(
+            spec,
+            SimulationConfig(hbm_slots=k, arbitration="priority", seed=ctx.seed),
+            payload=_PAYLOAD,
         ),
     ]
     for mult in T_MULTIPLIERS:
@@ -104,12 +114,12 @@ def _tradeoff_records(
                         hbm_slots=k,
                         arbitration=arb,
                         remap_period=mult * k,
-                        seed=seed,
+                        seed=ctx.seed,
                     ),
+                    payload=_PAYLOAD,
                 )
             )
-    records = run_sweep(jobs, processes=processes, cache_dir=cache_dir)
-    return records, k, settings
+    return jobs
 
 
 def _tradeoff_checks(records: list[SweepRecord], k: int) -> dict[str, bool]:
@@ -159,96 +169,101 @@ def _tradeoff_checks(records: list[SweepRecord], k: int) -> dict[str, bool]:
     }
 
 
-def _panel(
-    experiment_id: str,
-    title: str,
-    dataset: str,
-    scale: str,
-    processes,
-    cache_dir,
-    seed: int,
-) -> ExperimentOutput:
-    records, k, settings = _tradeoff_records(
-        dataset, scale, processes, cache_dir, seed
-    )
-    rows = [
-        {
-            "policy": _policy_label(r, k),
-            "makespan": r.makespan,
-            "inconsistency": round(r.inconsistency, 3),
-            "mean_response": round(r.mean_response, 3),
-            "max_response": r.max_response,
-            "hit_rate": round(r.hit_rate, 4),
-        }
-        for r in records
-    ]
-    plot = scatter_plot(
-        {
-            "fifo": [(r.makespan, r.inconsistency) for r in records
-                     if _policy_label(r, k) == "fifo"],
-            "priority": [(r.makespan, r.inconsistency) for r in records
-                         if _policy_label(r, k) == "priority"],
-            "dynamic": [(r.makespan, r.inconsistency) for r in records
-                        if _policy_label(r, k).startswith("dynamic")],
-            "cycle": [(r.makespan, r.inconsistency) for r in records
-                      if _policy_label(r, k).startswith("cycle")],
-        },
-        title=f"{title} (threads={settings['threads']}, k={k})",
-        xlabel="makespan",
-        ylabel="inconsistency",
-    )
-    return ExperimentOutput(
-        experiment_id=experiment_id,
-        title=title,
-        scale=scale,
-        rows=rows,
-        text=format_table(rows, title=title) + "\n\n" + plot,
-        checks=_tradeoff_checks(records, k),
-        data={"records": records, "hbm_slots": k},
-    )
+def _tail_rows(records: list[SweepRecord], k: int) -> list[dict[str, Any]]:
+    """Response-time tail percentiles from the carried histograms."""
+    rows = []
+    for r in records:
+        if r.payload is None or r.payload.response_histogram is None:
+            continue
+        rows.append(
+            {
+                "policy": _policy_label(r, k),
+                "p50_response": r.payload.response_percentile(0.50),
+                "p95_response": r.payload.response_percentile(0.95),
+                "p99_response": r.payload.response_percentile(0.99),
+                "max_response": r.max_response,
+            }
+        )
+    return rows
+
+
+def _panel_campaign(experiment_id: str, title: str, dataset: str) -> Campaign:
+    def build(ctx: CampaignContext) -> list[SweepJob]:
+        return _tradeoff_jobs(dataset, ctx)
+
+    def reduce(ctx: CampaignContext, records) -> Reduction:
+        settings = FIG5_SETTINGS[dataset][ctx.scale]
+        k = settings["hbm_slots"]
+        rows = [
+            {
+                "policy": _policy_label(r, k),
+                "makespan": r.makespan,
+                "inconsistency": round(r.inconsistency, 3),
+                "mean_response": round(r.mean_response, 3),
+                "max_response": r.max_response,
+                "hit_rate": round(r.hit_rate, 4),
+            }
+            for r in records
+        ]
+        plot = scatter_plot(
+            {
+                "fifo": [(r.makespan, r.inconsistency) for r in records
+                         if _policy_label(r, k) == "fifo"],
+                "priority": [(r.makespan, r.inconsistency) for r in records
+                             if _policy_label(r, k) == "priority"],
+                "dynamic": [(r.makespan, r.inconsistency) for r in records
+                            if _policy_label(r, k).startswith("dynamic")],
+                "cycle": [(r.makespan, r.inconsistency) for r in records
+                          if _policy_label(r, k).startswith("cycle")],
+            },
+            title=f"{title} (threads={settings['threads']}, k={k})",
+            xlabel="makespan",
+            ylabel="inconsistency",
+        )
+        tails = _tail_rows(records, k)
+        text = format_table(rows, title=title) + "\n\n" + plot
+        if tails:
+            text += "\n\n" + format_table(
+                tails, title=f"{title} — response-time tails (payload histograms)"
+            )
+        return Reduction(
+            rows=rows,
+            checks=_tradeoff_checks(records, k),
+            data={"records": records, "hbm_slots": k, "response_tails": tails},
+            text=text,
+        )
+
+    return Campaign.sweep(experiment_id, title, build, reduce)
+
+
+FIG5A = _panel_campaign(
+    "fig5a", "Figure 5a / Table 1a: inconsistency vs makespan, SpGEMM", "spgemm"
+)
+FIG5B = _panel_campaign(
+    "fig5b", "Figure 5b / Table 1b: inconsistency vs makespan, GNU sort", "sort"
+)
 
 
 def figure5a(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
     """Figure 5a / Table 1a: tradeoff on SpGEMM."""
-    return _panel(
-        "fig5a",
-        "Figure 5a / Table 1a: inconsistency vs makespan, SpGEMM",
-        "spgemm",
-        scale,
-        processes,
-        cache_dir,
-        seed,
-    )
+    return FIG5A.run(scale, processes, cache_dir, seed)
 
 
 def figure5b(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
     """Figure 5b / Table 1b: tradeoff on GNU sort."""
-    return _panel(
-        "fig5b",
-        "Figure 5b / Table 1b: inconsistency vs makespan, GNU sort",
-        "sort",
-        scale,
-        processes,
-        cache_dir,
-        seed,
-    )
+    return FIG5B.run(scale, processes, cache_dir, seed)
 
 
 def figure5(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
     """Both panels of Figure 5."""
-    a = figure5a(scale, processes, cache_dir, seed)
-    b = figure5b(scale, processes, cache_dir, seed)
-    return ExperimentOutput(
-        experiment_id="fig5",
-        title="Figure 5: inconsistency-makespan tradeoff",
-        scale=scale,
-        rows=a.rows + b.rows,
-        text=a.render() + "\n\n" + b.render(),
-        checks={
-            **{f"5a_{k}": v for k, v in a.checks.items()},
-            **{f"5b_{k}": v for k, v in b.checks.items()},
+    return combine_panels(
+        "fig5",
+        "Figure 5: inconsistency-makespan tradeoff",
+        scale,
+        {
+            "5a": figure5a(scale, processes, cache_dir, seed),
+            "5b": figure5b(scale, processes, cache_dir, seed),
         },
-        data={"fig5a": a.data, "fig5b": b.data},
     )
 
 
@@ -258,6 +273,8 @@ def table1(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentO
     Same sweep as Figure 5; rendered in the paper's table layout
     (policy, inconsistency, response time) for both datasets.
     """
+    from .base import merge_campaign_stats
+
     outputs = {
         "a (SpGEMM)": figure5a(scale, processes, cache_dir, seed),
         "b (GNU sort)": figure5b(scale, processes, cache_dir, seed),
@@ -285,5 +302,10 @@ def table1(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentO
         rows=rows,
         text="\n\n".join(texts),
         checks=checks,
-        data={k: v.data for k, v in outputs.items()},
+        data={
+            **{k: v.data for k, v in outputs.items()},
+            "campaign": merge_campaign_stats(
+                [out.campaign for out in outputs.values()]
+            ),
+        },
     )

@@ -7,6 +7,7 @@ ids.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from .ablations import (
@@ -89,12 +90,24 @@ def run_experiment(
     processes: int | None = None,
     cache_dir=None,
     seed: int = 0,
+    save_dir: str | os.PathLike | None = None,
 ) -> ExperimentOutput:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    With ``save_dir``, the output is also persisted to
+    ``<save_dir>/<experiment_id>/`` (rows.csv, report.txt, checks.json,
+    manifest.json) via
+    :func:`~repro.experiments.base.save_experiment_output`.
+    """
     try:
         fn, _ = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
         ) from None
-    return fn(scale=scale, processes=processes, cache_dir=cache_dir, seed=seed)
+    out = fn(scale=scale, processes=processes, cache_dir=cache_dir, seed=seed)
+    if save_dir is not None:
+        from .base import save_experiment_output
+
+        save_experiment_output(out, save_dir, seed=seed)
+    return out

@@ -12,6 +12,11 @@ on; each gets an empirical check:
   direct-mapped transformation costs O(1) expected accesses per
   reference and O(1) misses per original miss, independent of cache
   size; the concurrent front-insert primitive takes O(log x) steps.
+
+The simulation-backed harnesses (thm1_3, thm2, response_bound) run as
+sweep campaigns, so theory validation shares the experiments' process
+pool, result cache, and engine dispatch; the analytic ones (lemma1,
+thm4) are local campaigns with no sweep stage.
 """
 
 from __future__ import annotations
@@ -20,81 +25,93 @@ import math
 
 import numpy as np
 
-from ..analysis import format_table
+from ..analysis import SweepJob, WorkloadSpec, format_table
+from ..core import SimulationConfig
 from ..core.directmapped import concurrent_front_insert, transform_overhead
 from ..theory import (
     check_cycle_response_bound,
-    check_priority_competitiveness,
     cycle_response_time_bound,
-    fcfs_gap_experiment,
+    fcfs_gap_jobs,
+    fcfs_gap_points,
     fit_linear,
 )
-from ..core import SimulationConfig, simulate
-from ..traces import make_workload
-from .base import ExperimentOutput, require_scale
+from .base import Campaign, CampaignContext, ExperimentOutput, Reduction
 
 __all__ = ["theorem1_3", "theorem2", "lemma1", "theorem4", "response_bound"]
 
+#: arbitration policies raced against Priority in the thm1_3 portfolio
+_PORTFOLIO = ("fifo", "priority", "dynamic_priority", "cycle_priority", "random")
 
-def theorem1_3(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
-    """Priority's empirical competitive ratio across workloads, k, and q.
 
-    Two yardsticks, because OPT is intractable:
+def _thm1_3_specs(ctx: CampaignContext):
+    """(workload specs, hbm sizes, channel counts) for the thm1_3 grid.
 
-    * the **certified lower bound** (serial / channel / per-stream
-      Belady capacity) — sound but loose exactly where parallel paging
-      is hard (many working sets that cannot fit concurrently), so its
-      ratio is reported, not asserted against a constant;
-    * a **best-of-portfolio** proxy — the minimum makespan over every
-      implemented arbitration policy on the same instance. Priority
-      staying within a small factor of the best-known schedule across
-      the whole grid is the falsifiable form of Theorem 1/3 here (FIFO
-      fails it by a factor that grows with p, see thm2/fig3).
+    The cyclic and streaming families are seed-independent generators;
+    their specs pin seed=0 so records stay shared across campaign seeds.
     """
-    require_scale(scale)
-    if scale == "smoke":
-        workloads = [
-            make_workload("random", threads=8, seed=seed, length=1500, pages=48),
-            make_workload("adversarial_cycle", threads=8, pages=32, repeats=10),
-            make_workload("zipf", threads=8, seed=seed, length=1500, pages=48),
+    if ctx.scale == "smoke":
+        specs = [
+            WorkloadSpec.make("random", threads=8, seed=ctx.seed, length=1500, pages=48),
+            WorkloadSpec.make("adversarial_cycle", threads=8, seed=0, pages=32, repeats=10),
+            WorkloadSpec.make("zipf", threads=8, seed=ctx.seed, length=1500, pages=48),
         ]
         hbm_slots = [32, 128]
         channels = [1, 2, 4]
     else:
-        workloads = [
-            make_workload("random", threads=32, seed=seed, length=5000, pages=96),
-            make_workload("adversarial_cycle", threads=32, pages=64, repeats=30),
-            make_workload("zipf", threads=32, seed=seed, length=5000, pages=96),
-            make_workload("stream", threads=32, length=5000, pages=96),
+        specs = [
+            WorkloadSpec.make("random", threads=32, seed=ctx.seed, length=5000, pages=96),
+            WorkloadSpec.make("adversarial_cycle", threads=32, seed=0, pages=64, repeats=30),
+            WorkloadSpec.make("zipf", threads=32, seed=ctx.seed, length=5000, pages=96),
+            WorkloadSpec.make("stream", threads=32, seed=0, length=5000, pages=96),
         ]
         hbm_slots = [64, 256, 1024]
         channels = [1, 2, 4, 8, 10]
+    return specs, hbm_slots, channels
 
+
+def _thm1_3_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    specs, hbm_slots, channels = _thm1_3_specs(ctx)
+    jobs = []
+    for spec in specs:
+        for k in hbm_slots:
+            for q in channels:
+                for arb in _PORTFOLIO:
+                    jobs.append(
+                        SweepJob(
+                            spec,
+                            SimulationConfig(
+                                hbm_slots=k,
+                                channels=q,
+                                arbitration=arb,
+                                remap_period=(
+                                    10 * k
+                                    if arb in ("dynamic_priority", "cycle_priority")
+                                    else None
+                                ),
+                                seed=ctx.seed,
+                            ),
+                            tag="thm1_3",
+                        )
+                    )
+    return jobs
+
+
+def _thm1_3_reduce(ctx: CampaignContext, records) -> Reduction:
     from ..theory import competitive_ratio, makespan_lower_bound
 
-    portfolio = ("fifo", "priority", "dynamic_priority", "cycle_priority", "random")
+    specs, hbm_slots, channels = _thm1_3_specs(ctx)
+    workloads = {spec: ctx.build_workload(spec) for spec in specs}
+    it = iter(records)
     rows = []
     worst_vs_bound = 0.0
     worst_vs_best = 0.0
     worst_per_q: dict[int, float] = {}
-    for workload in workloads:
+    for spec in specs:
+        workload = workloads[spec]
         for k in hbm_slots:
             for q in channels:
                 bound = makespan_lower_bound(workload.traces, k, q)
-                makespans = {}
-                for arb in portfolio:
-                    cfg = SimulationConfig(
-                        hbm_slots=k,
-                        channels=q,
-                        arbitration=arb,
-                        remap_period=(
-                            10 * k
-                            if arb in ("dynamic_priority", "cycle_priority")
-                            else None
-                        ),
-                        seed=seed,
-                    )
-                    makespans[arb] = simulate(workload, cfg).makespan
+                makespans = {arb: next(it).makespan for arb in _PORTFOLIO}
                 best = min(makespans.values())
                 prio = makespans["priority"]
                 ratio_bound = competitive_ratio(prio, bound)
@@ -126,33 +143,61 @@ def theorem1_3(scale="smoke", processes=None, cache_dir=None, seed=0) -> Experim
             for q in worst_per_q
         ),
     }
-    return ExperimentOutput(
-        experiment_id="thm1_3",
-        title="Theorems 1 & 3: Priority competitiveness vs lower bounds",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(
-            rows, title="Priority vs certified bound and best-of-portfolio"
-        ),
         checks=checks,
         data={
             "worst_ratio": worst_vs_bound,
             "worst_vs_best": worst_vs_best,
             "worst_per_q": worst_per_q,
         },
+        text=format_table(
+            rows, title="Priority vs certified bound and best-of-portfolio"
+        ),
     )
 
 
-def theorem2(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
-    """The FCFS Omega(p) gap grows linearly in p."""
-    require_scale(scale)
+THM1_3 = Campaign.sweep(
+    "thm1_3",
+    "Theorems 1 & 3: Priority competitiveness vs lower bounds",
+    _thm1_3_jobs,
+    _thm1_3_reduce,
+)
+
+
+def theorem1_3(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
+    """Priority's empirical competitive ratio across workloads, k, and q.
+
+    Two yardsticks, because OPT is intractable:
+
+    * the **certified lower bound** (serial / channel / per-stream
+      Belady capacity) — sound but loose exactly where parallel paging
+      is hard (many working sets that cannot fit concurrently), so its
+      ratio is reported, not asserted against a constant;
+    * a **best-of-portfolio** proxy — the minimum makespan over every
+      implemented arbitration policy on the same instance. Priority
+      staying within a small factor of the best-known schedule across
+      the whole grid is the falsifiable form of Theorem 1/3 here (FIFO
+      fails it by a factor that grows with p, see thm2/fig3).
+    """
+    return THM1_3.run(scale, processes, cache_dir, seed)
+
+
+def _thm2_settings(scale: str):
     if scale == "smoke":
-        threads, pages, repeats = (4, 8, 16, 32), 32, 16
-    else:
-        threads, pages, repeats = (4, 8, 16, 32, 64, 128), 64, 50
-    points = fcfs_gap_experiment(
-        threads, pages_per_thread=pages, repeats=repeats, seed=seed
+        return (4, 8, 16, 32), 32, 16
+    return (4, 8, 16, 32, 64, 128), 64, 50
+
+
+def _thm2_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    threads, pages, repeats = _thm2_settings(ctx.scale)
+    return fcfs_gap_jobs(
+        threads, pages_per_thread=pages, repeats=repeats, seed=ctx.seed
     )
+
+
+def _thm2_reduce(ctx: CampaignContext, records) -> Reduction:
+    points = fcfs_gap_points(records, build_workload=ctx.build_workload)
     slope, intercept, r2 = fit_linear(
         [pt.threads for pt in points], [pt.gap for pt in points]
     )
@@ -178,28 +223,38 @@ def theorem2(scale="smoke", processes=None, cache_dir=None, seed=0) -> Experimen
         format_table(rows, title="Theorem 2: FCFS adversary family")
         + f"\nfit: gap = {slope:.3f} p + {intercept:.3f} (r^2={r2:.3f})"
     )
-    return ExperimentOutput(
-        experiment_id="thm2",
-        title="Theorem 2: FCFS lower-bound family",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=text,
         checks=checks,
         data={"fit": (slope, intercept, r2), "points": points},
+        text=text,
     )
 
 
-def lemma1(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
-    """Direct-mapped simulation overhead is O(1), independent of k."""
-    require_scale(scale)
-    capacities = (32, 64, 128) if scale == "smoke" else (32, 64, 128, 256, 512)
-    trace_len = 4000 if scale == "smoke" else 20000
-    rng = np.random.default_rng(seed)
+THM2 = Campaign.sweep(
+    "thm2",
+    "Theorem 2: FCFS lower-bound family",
+    _thm2_jobs,
+    _thm2_reduce,
+)
+
+
+def theorem2(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
+    """The FCFS Omega(p) gap grows linearly in p."""
+    return THM2.run(scale, processes, cache_dir, seed)
+
+
+def _lemma1_compute(ctx: CampaignContext) -> Reduction:
+    capacities = (32, 64, 128) if ctx.scale == "smoke" else (32, 64, 128, 256, 512)
+    trace_len = 4000 if ctx.scale == "smoke" else 20000
+    rng = np.random.default_rng(ctx.seed)
     rows = []
     for replacement in ("lru", "fifo"):
         for k in capacities:
             trace = rng.integers(0, 4 * k, size=trace_len)
-            report = transform_overhead(trace, k, replacement=replacement, seed=seed)
+            report = transform_overhead(
+                trace, k, replacement=replacement, seed=ctx.seed
+            )
             rows.append(
                 {
                     "replacement": replacement,
@@ -227,21 +282,31 @@ def lemma1(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentO
         # 2-universal hashing keeps expected chains short
         "chains_short": max(r["max_chain"] for r in rows) <= 12,
     }
-    return ExperimentOutput(
-        experiment_id="lemma1",
-        title="Lemma 1: fully-associative -> direct-mapped transformation",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="Lemma 1 transformation overhead"),
         checks=checks,
-        data={},
+        text=format_table(rows, title="Lemma 1 transformation overhead"),
     )
 
 
-def theorem4(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
-    """Concurrent front-insert takes O(log x) parallel steps."""
-    require_scale(scale)
-    xs = (1, 2, 4, 16, 64, 256) if scale == "smoke" else (1, 2, 4, 16, 64, 256, 1024, 4096)
+LEMMA1 = Campaign.local(
+    "lemma1",
+    "Lemma 1: fully-associative -> direct-mapped transformation",
+    _lemma1_compute,
+)
+
+
+def lemma1(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
+    """Direct-mapped simulation overhead is O(1), independent of k."""
+    return LEMMA1.run(scale, processes, cache_dir, seed)
+
+
+def _thm4_compute(ctx: CampaignContext) -> Reduction:
+    xs = (
+        (1, 2, 4, 16, 64, 256)
+        if ctx.scale == "smoke"
+        else (1, 2, 4, 16, 64, 256, 1024, 4096)
+    )
     rows = []
     for x in xs:
         _, steps = concurrent_front_insert(list(range(5)), list(range(x)))
@@ -256,49 +321,81 @@ def theorem4(scale="smoke", processes=None, cache_dir=None, seed=0) -> Experimen
         "steps_within_log_bound": all(r["steps"] <= r["log2_bound"] for r in rows),
         "steps_grow_sublinearly": rows[-1]["steps"] < xs[-1] / 4,
     }
-    return ExperimentOutput(
-        experiment_id="thm4",
-        title="Theorem 4: concurrent list-front insertion",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="Theorem 4 PRAM step counts"),
         checks=checks,
-        data={},
+        text=format_table(rows, title="Theorem 4 PRAM step counts"),
     )
 
 
-def response_bound(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
-    """Section 4's p*T response-time bound for Cycle Priority."""
-    require_scale(scale)
-    p = 8 if scale == "smoke" else 32
-    repeats = 10 if scale == "smoke" else 40
-    workload = make_workload("adversarial_cycle", threads=p, pages=32, repeats=repeats)
+THM4 = Campaign.local(
+    "thm4",
+    "Theorem 4: concurrent list-front insertion",
+    _thm4_compute,
+)
+
+
+def theorem4(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
+    """Concurrent front-insert takes O(log x) parallel steps."""
+    return THM4.run(scale, processes, cache_dir, seed)
+
+
+def _response_bound_jobs(ctx: CampaignContext) -> list[SweepJob]:
+    p = 8 if ctx.scale == "smoke" else 32
+    repeats = 10 if ctx.scale == "smoke" else 40
+    spec = WorkloadSpec.make(
+        "adversarial_cycle", threads=p, seed=0, pages=32, repeats=repeats
+    )
     k = p * 8
+    return [
+        SweepJob(
+            spec,
+            SimulationConfig(
+                hbm_slots=k,
+                arbitration="cycle_priority",
+                remap_period=mult * k,
+                seed=ctx.seed,
+            ),
+            tag="response_bound",
+        )
+        for mult in (1, 5, 10)
+    ]
+
+
+def _response_bound_reduce(ctx: CampaignContext, records) -> Reduction:
     rows = []
     ok = True
-    for mult in (1, 5, 10):
-        T = mult * k
-        cfg = SimulationConfig(
-            hbm_slots=k, arbitration="cycle_priority", remap_period=T, seed=seed
-        )
-        result = simulate(workload, cfg)
+    for record in records:
+        p = record.job.workload.threads
+        T = record.job.config.remap_period
         bound = cycle_response_time_bound(p, T)
-        holds = check_cycle_response_bound(result, p, T)
+        # records expose max_response just like SimulationResult, so the
+        # theory-side checker applies unchanged
+        holds = check_cycle_response_bound(record, p, T)
         ok = ok and holds
         rows.append(
             {
                 "T": T,
-                "max_response": result.max_response,
+                "max_response": record.max_response,
                 "bound_pT_plus_2": bound,
                 "holds": holds,
             }
         )
-    return ExperimentOutput(
-        experiment_id="response_bound",
-        title="Section 4: Cycle Priority response-time bound p*T",
-        scale=scale,
+    return Reduction(
         rows=rows,
-        text=format_table(rows, title="Cycle Priority response bound"),
         checks={"response_bound_holds": ok},
-        data={},
+        text=format_table(rows, title="Cycle Priority response bound"),
     )
+
+
+RESPONSE_BOUND = Campaign.sweep(
+    "response_bound",
+    "Section 4: Cycle Priority response-time bound p*T",
+    _response_bound_jobs,
+    _response_bound_reduce,
+)
+
+
+def response_bound(scale="smoke", processes=None, cache_dir=None, seed=0) -> ExperimentOutput:
+    """Section 4's p*T response-time bound for Cycle Priority."""
+    return RESPONSE_BOUND.run(scale, processes, cache_dir, seed)

@@ -1,6 +1,12 @@
 """Theory toolbox: lower bounds, adversaries, and guarantee validation."""
 
-from .adversary import GapPoint, fcfs_gap_experiment, fit_linear
+from .adversary import (
+    GapPoint,
+    fcfs_gap_experiment,
+    fcfs_gap_jobs,
+    fcfs_gap_points,
+    fit_linear,
+)
 from .bounds import (
     LowerBoundReport,
     belady_misses,
@@ -23,6 +29,8 @@ __all__ = [
     "competitive_ratio",
     "GapPoint",
     "fcfs_gap_experiment",
+    "fcfs_gap_jobs",
+    "fcfs_gap_points",
     "fit_linear",
     "CompetitivenessRow",
     "check_priority_competitiveness",

@@ -10,24 +10,37 @@ bread" — by the time a thread revisits a page it has been evicted, so
 serialized over q channels. Priority instead parks low threads and lets
 high threads run from HBM.
 
-:func:`fcfs_gap_experiment` sweeps thread count holding per-thread
+:func:`fcfs_gap_jobs` builds the thread-count sweep holding per-thread
 memory constant (the paper's Figure 3 protocol: k = fraction * total
-unique pages) and reports both policies' makespans; :func:`fit_linear`
-quantifies the paper's "linearly worse" claim.
+unique pages); :func:`fcfs_gap_points` distills the resulting sweep
+records — plus the certified lower bound recomputed from the traces —
+into :class:`GapPoint` s; :func:`fit_linear` quantifies the paper's
+"linearly worse" claim. :func:`fcfs_gap_experiment` is the one-call
+convenience wrapper chaining the two through the sweep harness, so
+theory harnesses share the experiments' result cache and engine
+dispatch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..core import SimulationConfig, simulate
-from ..traces.adversarial import fifo_adversarial_hbm_slots, theorem2_workload
+from ..analysis.sweep import SweepJob, SweepRecord, WorkloadSpec, run_sweep
+from ..core import SimulationConfig
+from ..traces import Workload
+from ..traces.adversarial import fifo_adversarial_hbm_slots
 from .bounds import competitive_ratio, makespan_lower_bound
 
-__all__ = ["GapPoint", "fcfs_gap_experiment", "fit_linear"]
+__all__ = [
+    "GapPoint",
+    "fcfs_gap_experiment",
+    "fcfs_gap_jobs",
+    "fcfs_gap_points",
+    "fit_linear",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +61,86 @@ class GapPoint:
         return self.fifo_makespan / self.priority_makespan
 
 
+def fcfs_gap_jobs(
+    thread_counts: Sequence[int],
+    pages_per_thread: int = 256,
+    repeats: int = 100,
+    hbm_fraction: float = 0.25,
+    channels: int = 1,
+    seed: int = 0,
+) -> list[SweepJob]:
+    """Sweep jobs for the Theorem 2 / Figure 3 protocol.
+
+    Per-thread memory is held constant: HBM holds ``hbm_fraction`` of
+    the total unique pages, so doubling p doubles both demand and k.
+    Two jobs per thread count (FIFO, Priority), over the Dataset-3
+    cyclic workload family.
+    """
+    jobs: list[SweepJob] = []
+    for p in thread_counts:
+        spec = WorkloadSpec.make(
+            "adversarial_cycle",
+            threads=p,
+            seed=seed,
+            pages=pages_per_thread,
+            repeats=repeats,
+        )
+        k = fifo_adversarial_hbm_slots(p, pages_per_thread, hbm_fraction)
+        for arb in ("fifo", "priority"):
+            jobs.append(
+                SweepJob(
+                    spec,
+                    SimulationConfig(
+                        hbm_slots=k, channels=channels, arbitration=arb, seed=seed
+                    ),
+                    tag="fcfs_gap",
+                )
+            )
+    return jobs
+
+
+def fcfs_gap_points(
+    records: Iterable[SweepRecord],
+    channels: int = 1,
+    build_workload: Callable[[WorkloadSpec], Workload] | None = None,
+) -> list[GapPoint]:
+    """Distill :func:`fcfs_gap_jobs` records into :class:`GapPoint` s.
+
+    The certified lower bound is recomputed from the workload traces;
+    ``build_workload`` lets callers route that rebuild through a
+    workload cache (e.g. ``CampaignContext.build_workload``).
+    """
+    build = build_workload or (lambda spec: spec.build(None))
+    by_p: dict[int, dict[str, SweepRecord]] = {}
+    order: list[int] = []
+    for record in records:
+        p = record.job.workload.threads
+        if p not in by_p:
+            by_p[p] = {}
+            order.append(p)
+        by_p[p][record.job.config.arbitration] = record
+    points: list[GapPoint] = []
+    for p in order:
+        fifo = by_p[p]["fifo"]
+        prio = by_p[p]["priority"]
+        k = fifo.job.config.hbm_slots
+        workload = build(fifo.job.workload)
+        bound = makespan_lower_bound(workload.traces, k, channels)
+        points.append(
+            GapPoint(
+                threads=p,
+                hbm_slots=k,
+                fifo_makespan=fifo.makespan,
+                priority_makespan=prio.makespan,
+                fifo_hit_rate=fifo.hit_rate,
+                priority_hit_rate=prio.hit_rate,
+                fifo_ratio_to_bound=competitive_ratio(fifo.makespan, bound),
+                priority_ratio_to_bound=competitive_ratio(prio.makespan, bound),
+            )
+        )
+    return points
+
+
 def fcfs_gap_experiment(
     thread_counts: Sequence[int],
     pages_per_thread: int = 256,
@@ -55,40 +148,22 @@ def fcfs_gap_experiment(
     hbm_fraction: float = 0.25,
     channels: int = 1,
     seed: int = 0,
+    cache_dir=None,
 ) -> list[GapPoint]:
     """Run the Theorem 2 / Figure 3 protocol over ``thread_counts``.
 
-    Per-thread memory is held constant: HBM holds ``hbm_fraction`` of
-    the total unique pages, so doubling p doubles both demand and k.
+    Convenience wrapper: builds :func:`fcfs_gap_jobs`, runs them through
+    the sweep harness (in-process, optionally against a persistent
+    result cache), and reduces with :func:`fcfs_gap_points`.
     """
-    points: list[GapPoint] = []
-    for p in thread_counts:
-        workload = theorem2_workload(p, pages_per_thread, repeats)
-        k = fifo_adversarial_hbm_slots(p, pages_per_thread, hbm_fraction)
-        bound = makespan_lower_bound(workload.traces, k, channels)
-        results = {}
-        for arb in ("fifo", "priority"):
-            cfg = SimulationConfig(
-                hbm_slots=k, channels=channels, arbitration=arb, seed=seed
-            )
-            results[arb] = simulate(workload, cfg)
-        points.append(
-            GapPoint(
-                threads=p,
-                hbm_slots=k,
-                fifo_makespan=results["fifo"].makespan,
-                priority_makespan=results["priority"].makespan,
-                fifo_hit_rate=results["fifo"].hit_rate,
-                priority_hit_rate=results["priority"].hit_rate,
-                fifo_ratio_to_bound=competitive_ratio(
-                    results["fifo"].makespan, bound
-                ),
-                priority_ratio_to_bound=competitive_ratio(
-                    results["priority"].makespan, bound
-                ),
-            )
-        )
-    return points
+    records = run_sweep(
+        fcfs_gap_jobs(
+            thread_counts, pages_per_thread, repeats, hbm_fraction, channels, seed
+        ),
+        processes=1,
+        cache_dir=cache_dir,
+    )
+    return fcfs_gap_points(records, channels=channels)
 
 
 def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:

@@ -46,6 +46,10 @@ def save_workload_npz(workload: Workload, path: str | os.PathLike) -> None:
     meta = {
         "name": workload.name,
         "threads": workload.num_threads,
+        # Without this flag a reloaded non-disjoint workload (namespace
+        # False, e.g. the shared-pages family) would be renumbered back
+        # into disjoint blocks, silently destroying the sharing.
+        "namespace": workload.namespaced,
         "sources": [t.source for t in workload.source_traces],
         "params": [dict(t.params) for t in workload.source_traces],
     }
@@ -67,7 +71,9 @@ def load_workload_npz(path: str | os.PathLike) -> Workload:
             )
             for i in range(meta["threads"])
         ]
-    return Workload(traces, name=meta["name"])
+    return Workload(
+        traces, name=meta["name"], namespace=meta.get("namespace", True)
+    )
 
 
 def save_workload_text(workload: Workload, path: str | os.PathLike) -> None:

@@ -1,0 +1,32 @@
+"""Shared helpers for the characterization snapshot (capture + assert).
+
+The snapshot pins ``rows`` and ``checks`` of every registry experiment
+at smoke scale so refactors of the execution pipeline can prove they
+did not change a single number. Values are normalized to plain JSON
+types (numpy scalars unwrapped, tuples listed) so a live run compares
+exactly against the JSON round-trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+SNAPSHOT_PATH = Path(__file__).parent / "data" / "characterization_smoke.json"
+
+
+def jsonify(value: Any) -> Any:
+    """Normalize to JSON-native types, preserving numeric exactness."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, np.generic):
+        return jsonify(value.item())
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise TypeError(f"non-JSON value in experiment rows/checks: {value!r}")

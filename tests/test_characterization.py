@@ -1,0 +1,42 @@
+"""Characterization suite: every registry experiment at smoke scale
+must reproduce the pre-campaign-migration snapshot bit for bit.
+
+``tests/data/characterization_smoke.json`` was captured from the
+pre-migration experiment implementations (seed 0, smoke scale). The
+campaign pipeline replaced every experiment's execution path, so this
+suite is the proof that the refactor changed *how* the numbers are
+computed without changing a single one of them. Regenerate the snapshot
+with ``scripts/capture_characterization.py`` only when a behavior
+change is intended.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import experiment_ids, run_experiment
+
+from .characterization_util import SNAPSHOT_PATH, jsonify
+
+SNAPSHOT = json.loads(SNAPSHOT_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def shared_cache(tmp_path_factory):
+    """One cache for the whole module, so composite experiments replay
+    their panels' records instead of simulating them twice."""
+    return tmp_path_factory.mktemp("characterization-cache")
+
+
+def test_snapshot_covers_registry():
+    assert sorted(SNAPSHOT) == sorted(experiment_ids())
+
+
+@pytest.mark.parametrize("experiment_id", sorted(SNAPSHOT))
+def test_output_matches_snapshot(experiment_id, shared_cache):
+    out = run_experiment(
+        experiment_id, scale="smoke", processes=1, cache_dir=shared_cache, seed=0
+    )
+    want = SNAPSHOT[experiment_id]
+    assert jsonify(out.rows) == want["rows"]
+    assert jsonify(out.checks) == want["checks"]

@@ -120,6 +120,28 @@ class TestIO:
             t.source for t in wl.source_traces
         ]
 
+    def test_npz_round_trip_preserves_shared_pages(self, tmp_path):
+        # regression: the namespace flag was not persisted, so reloading
+        # a non-disjoint workload renumbered its threads into disjoint
+        # blocks and silently destroyed the page sharing
+        wl = make_workload(
+            "shared",
+            threads=4,
+            seed=3,
+            length=60,
+            private_pages=8,
+            shared_pages=8,
+            shared_fraction=0.5,
+        )
+        path = tmp_path / "shared.npz"
+        save_workload_npz(wl, path)
+        loaded = load_workload_npz(path)
+        assert not loaded.namespaced
+        for a, b in zip(loaded.traces, wl.traces):
+            assert np.array_equal(a, b)
+        shared = set(loaded.traces[0].tolist()) & set(loaded.traces[1].tolist())
+        assert shared  # threads still overlap after the round trip
+
     def test_text_round_trip(self, tmp_path):
         wl = make_workload("stream", threads=2, length=10, pages=4)
         path = tmp_path / "wl.txt"
