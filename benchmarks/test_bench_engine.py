@@ -103,3 +103,70 @@ def test_fastengine_channel_bound(benchmark, miss_workload):
 
     result = benchmark(run_fast, miss_workload, hbm_slots=64, arbitration="fifo")
     assert result.hit_rate < 0.2
+
+
+def test_fast_forward_speedup_miss_bound():
+    """Quiescent-interval fast-forward on its target regime.
+
+    A miss-bound adversarial workload is one long DRAM-queue drain, so
+    the planner should elide nearly every tick. Times default dispatch
+    (the fast engine) with fast-forward off and on, checks the results
+    are bit-identical, and records the speedup in ``BENCH_engine.json``
+    at the repo root. The in-test floor is 3x to tolerate noisy CI
+    machines; a healthy run measures >=5x (see the committed JSON).
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.core import simulate
+    from repro.core.drain import set_fast_forward
+
+    repo_root = Path(__file__).resolve().parent.parent
+    workload = make_workload(
+        "adversarial_cycle", threads=32, pages=64, repeats=24
+    )
+    cfg = SimulationConfig(hbm_slots=512, channels=4, arbitration="fifo")
+
+    def timed(enabled):
+        previous = set_fast_forward(enabled)
+        try:
+            best, result = float("inf"), None
+            for _ in range(5):
+                start = time.perf_counter()
+                result = simulate(workload.traces, cfg)
+                best = min(best, time.perf_counter() - start)
+            return result, best
+        finally:
+            set_fast_forward(previous)
+
+    timed(True)  # warm caches/JIT-ish numpy paths before timing
+    off, off_s = timed(False)
+    on, on_s = timed(True)
+
+    assert on.makespan == off.makespan
+    assert on.ticks == off.ticks
+    assert on.response_histogram == off.response_histogram
+    assert on.evictions == off.evictions
+    assert list(on.completion_ticks) == list(off.completion_ticks)
+
+    assert off.ff_intervals == 0
+    assert on.ff_intervals > 0
+    assert on.ff_elided_fraction > 0.9
+
+    speedup = off_s / on_s if on_s > 0 else float("inf")
+    payload = {
+        "workload": "adversarial_cycle threads=32 pages=64 repeats=24",
+        "config": "hbm_slots=512 channels=4 arbitration=fifo",
+        "ticks": on.ticks,
+        "ff_intervals": on.ff_intervals,
+        "ff_elided_ticks": on.ff_elided_ticks,
+        "ff_elided_fraction": round(on.ff_elided_fraction, 4),
+        "ff_off_s": round(off_s, 6),
+        "ff_on_s": round(on_s, 6),
+        "ff_speedup": round(speedup, 2),
+    }
+    (repo_root / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert speedup >= 3.0, payload

@@ -308,6 +308,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workload, config, engine=args.engine, manifest_path=args.manifest
     )
     print(result.summary())
+    if args.verbose > 0:
+        print(
+            f"fast-forward    : {result.ff_intervals} intervals, "
+            f"{result.ff_elided_ticks} ticks elided "
+            f"({result.ff_elided_fraction:.1%} of {result.ticks} ticks)"
+        )
     if probe is not None:
         print()
         print(ascii_timeline(probe))

@@ -46,6 +46,7 @@ import numpy as np
 
 __all__ = [
     "ArbitrationPolicy",
+    "DrainPlan",
     "FIFOArbitration",
     "PriorityArbitration",
     "DynamicPriorityArbitration",
@@ -108,6 +109,152 @@ class ArbitrationPolicy(ABC):
         """Current thread-id -> rank map, or ``None`` for rankless policies."""
         return None
 
+    def drain_plan(self, limit: int, horizon: int) -> "DrainPlan | None":
+        """A committable snapshot of future grant order, or ``None``.
+
+        The engines' quiescent-interval fast-forward asks the policy to
+        predict its own ``select`` sequence: the returned plan must pop
+        and push exactly as the live policy would over ticks in
+        ``[now, plan.horizon)``, assuming ``begin_tick`` has no
+        observable effect in that range (the plan caps its ``horizon``
+        at the next remap boundary to guarantee this). ``limit`` is the
+        per-tick grant cap the engine will use.
+
+        The default is ``None``: the engine falls back to per-tick
+        execution, which is always correct. Stateless-per-tick policies
+        (FIFO, the priority family) override this; custom policies may
+        opt in the same way, and subclasses of an opted-in policy that
+        add per-tick ``begin_tick`` effects must override it back to
+        ``None``.
+        """
+        return None
+
+
+class DrainPlan:
+    """Interface of the object :meth:`ArbitrationPolicy.drain_plan` returns.
+
+    A plan owns a *copy* of the policy's queue state. The engine pops
+    and pushes against the copy while planning an interval; if the
+    interval is committed, :meth:`commit` installs the final state back
+    into the policy in one step, otherwise the plan is discarded and
+    the policy is untouched.
+    """
+
+    #: first tick (exclusive bound) the plan's grant order may be wrong
+    #: at — e.g. the policy's next remap boundary.
+    horizon: int = 0
+
+    #: True when the plan is a pure FIFO stream: grants come off the
+    #: front in stored order and arrival batches append at the back.
+    #: Enables the planner's vectorized steady-state segment
+    #: (:func:`repro.core.drain.plan_drain`), which then reads the
+    #: whole order via :meth:`snapshot` and installs the post-segment
+    #: order via :meth:`replace`. Rank-driven plans must leave this
+    #: False — their grant order is not a function of arrival order.
+    supports_bulk: bool = False
+
+    def __len__(self) -> int:  # pragma: no cover - interface default
+        raise NotImplementedError
+
+    def snapshot(self) -> "list[int] | None":
+        """The full pending order front-to-back (bulk-capable plans only)."""
+        return None
+
+    def replace(self, threads: "list[int]") -> None:
+        """Overwrite the pending order (bulk-capable plans only)."""
+        raise NotImplementedError
+
+    def pop(self, limit: int) -> list[int]:
+        """What ``select(limit)`` would return next."""
+        raise NotImplementedError
+
+    def push(self, threads: list[int]) -> None:
+        """Mirror of ``enqueue`` for a same-tick batch (core-id sorted)."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """Install the planned end state into the live policy."""
+        raise NotImplementedError
+
+
+class _FifoDrainPlan(DrainPlan):
+    """FIFO grants in queue order; arrival batches append."""
+
+    __slots__ = ("_policy", "_queue", "horizon")
+
+    supports_bulk = True
+
+    def __init__(self, policy: "FIFOArbitration", horizon: int) -> None:
+        self._policy = policy
+        self._queue: deque[int] = deque(policy._queue)
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pop(self, limit: int) -> list[int]:
+        queue = self._queue
+        n = min(limit, len(queue))
+        return [queue.popleft() for _ in range(n)]
+
+    def push(self, threads: list[int]) -> None:
+        self._queue.extend(threads)
+
+    def snapshot(self) -> list[int]:
+        return list(self._queue)
+
+    def replace(self, threads: list[int]) -> None:
+        self._queue = deque(threads)
+
+    def commit(self) -> None:
+        self._policy._queue = self._queue
+
+
+class _PriorityDrainPlan(DrainPlan):
+    """Priority-family grants in (rank, thread) order.
+
+    Built from the waiting set with a fresh heap, which is equivalent
+    to the policy's lazily-cleaned heap: stale entries only ever get
+    skipped. Valid while ranks do not change, which the horizon cap at
+    the next remap boundary guarantees.
+    """
+
+    __slots__ = ("_policy", "_waiting", "_heap", "_ranks", "horizon")
+
+    def __init__(self, policy: "PriorityArbitration", horizon: int) -> None:
+        self._policy = policy
+        self._ranks = policy._ranks
+        self._waiting = set(policy._waiting)
+        self._heap = [(int(self._ranks[t]), t) for t in self._waiting]
+        heapq.heapify(self._heap)
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def pop(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        heap, waiting = self._heap, self._waiting
+        while heap and len(granted) < limit:
+            _, thread = heapq.heappop(heap)
+            if thread in waiting:
+                waiting.discard(thread)
+                granted.append(thread)
+        return granted
+
+    def push(self, threads: list[int]) -> None:
+        heap, waiting, ranks = self._heap, self._waiting, self._ranks
+        for thread in threads:
+            waiting.add(thread)
+            heapq.heappush(heap, (int(ranks[thread]), thread))
+
+    def commit(self) -> None:
+        policy = self._policy
+        policy._waiting = self._waiting
+        heap = [(int(self._ranks[t]), t) for t in self._waiting]
+        heapq.heapify(heap)
+        policy._heap = heap
+
 
 class FIFOArbitration(ArbitrationPolicy):
     """First-Come-First-Served: grant channels in arrival order.
@@ -133,6 +280,9 @@ class FIFOArbitration(ArbitrationPolicy):
         n = min(limit, len(queue))
         return [queue.popleft() for _ in range(n)]
 
+    def drain_plan(self, limit: int, horizon: int) -> _FifoDrainPlan:
+        return _FifoDrainPlan(self, horizon)
+
 
 class PriorityArbitration(ArbitrationPolicy):
     """Static strict-priority arbitration (identity permutation).
@@ -157,6 +307,7 @@ class PriorityArbitration(ArbitrationPolicy):
         self._waiting: set[int] = set()
         self._heap: list[tuple[int, int]] = []
         self.remap_count = 0
+        self._last_tick = 0
 
     def __len__(self) -> int:
         return len(self._waiting)
@@ -179,9 +330,21 @@ class PriorityArbitration(ArbitrationPolicy):
         return granted
 
     def begin_tick(self, tick: int) -> None:
+        self._last_tick = tick
         period = self.remap_period
         if period is not None and tick % period == 0:
             self.remap()
+
+    def drain_plan(self, limit: int, horizon: int) -> _PriorityDrainPlan:
+        period = self.remap_period
+        if period is not None:
+            # Ranks are stable only until the next remap boundary
+            # strictly after the current tick (whose begin_tick,
+            # including any remap, has already run).
+            boundary = (self._last_tick // period + 1) * period
+            if boundary < horizon:
+                horizon = boundary
+        return _PriorityDrainPlan(self, horizon)
 
     def remap(self) -> None:
         """Permute ranks and rebuild the waiting heap.

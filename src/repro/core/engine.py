@@ -42,6 +42,7 @@ from typing import Sequence
 
 import numpy as np
 
+from . import drain
 from .arbitration import make_arbitration_policy
 from .config import SimulationConfig
 from .dram import DramGeometry
@@ -84,6 +85,244 @@ def _next_use_indices(trace: np.ndarray) -> np.ndarray:
         nxt[j] = last_seen.get(page, -1)
         last_seen[page] = j
     return nxt
+
+
+def _attempt_fast_forward(
+    plan,
+    arb,
+    t,
+    p,
+    q,
+    capacity,
+    traces,
+    lengths,
+    pos,
+    current,
+    request_tick,
+    ready,
+    residency,
+    protected,
+    track_protected,
+    queue_len,
+    fetches,
+    evictions,
+    done_count,
+    makespan,
+    metrics,
+    histograms,
+    response_logs,
+    probes,
+    probe_stride,
+):
+    """One quiescent-interval fast-forward attempt at tick ``t``.
+
+    Plans the whole queue drain (see :mod:`repro.core.drain`), and on
+    success applies it in bulk — serves, response times, completions,
+    evictions in exact LRU victim order, fetched-page inserts, probe
+    samples — mutating the engine's state containers in place. Returns
+    the updated scalars ``(t, ready, queue_len, fetches, evictions,
+    done_count, makespan)``, or ``None`` when the interval is too short
+    to be worth committing (the caller backs off and ticks normally).
+    """
+    # Entry classification: ready cores whose current reference is
+    # resident serve this tick (H); the rest enqueue this tick (B).
+    h_list: list[int] = []
+    b_list: list[int] = []
+    for i in ready:
+        if current[i] in residency:
+            h_list.append(i)
+        else:
+            b_list.append(i)
+    h_set = set(h_list)
+
+    # Guaranteed-miss windows: per live core, the prefix of upcoming
+    # references that are certain misses (non-resident at entry, no
+    # repeats within the window). The scan is capped for work-bounding
+    # and by the remap period (the plan horizon cannot exceed it).
+    scan_cap = drain.WINDOW_CAP
+    remap_period = getattr(arb, "remap_period", None)
+    if remap_period is not None and remap_period < scan_cap:
+        scan_cap = remap_period
+    avail: dict[int, int] = {}
+    completes: dict[int, bool] = {}
+    for i in range(p):
+        cur = current[i]
+        if cur is None:
+            continue
+        trace = traces[i]
+        length = lengths[i]
+        start_pos = pos[i]
+        seen = {cur}
+        j = start_pos + 1
+        j_max = start_pos + scan_cap
+        if j_max > length:
+            j_max = length
+        while j < j_max:
+            page = trace[j]
+            if page in residency or page in seen:
+                break
+            seen.add(page)
+            j += 1
+        window = j - start_pos
+        completes[i] = j >= length
+        # An H core's current serve is not a grant; everything else in
+        # the window (and a non-H core's whole window) needs a channel.
+        avail[i] = window - 1 if i in h_set else window
+
+    sched = drain.plan_drain(
+        plan,
+        start=t,
+        channels=q,
+        capacity=capacity,
+        resident0=len(residency),
+        queue0=queue_len,
+        h_threads=h_list,
+        b_threads=b_list,
+        grant_avail=avail,
+        completes=completes,
+    )
+    if sched is None:
+        return None
+    end = sched.end
+
+    # ---- read-only derivations (no state touched yet) ----------------
+    n_h = len(h_list)
+    h_pages = [current[i] for i in h_list]
+    next_idx = list(pos)
+    serve_pages: list[int] = []
+    for i in sched.serve_threads:
+        serve_pages.append(traces[i][next_idx[i]])
+        next_idx[i] += 1
+
+    total_evict = sched.total_evictions
+    resident0 = len(residency)
+    n_entry_victims = total_evict if total_evict < resident0 else resident0
+    m_fetched_victims = total_evict - n_entry_victims
+    if m_fetched_victims > len(serve_pages) - n_h:
+        return None  # planner drift; unreachable by construction
+
+    # Exact LRU victim order across the interval: entry-resident non-H
+    # pages front-to-back (their relative order survives per-tick
+    # protected stashing), then the entry hits in serve (core) order,
+    # then interval-fetched pages in serve order. Eviction feasibility
+    # in the plan guarantees per-tick eviction never needed a protected
+    # page, so consuming this sequence reproduces it exactly.
+    evict_list: list[int] = []
+    if n_entry_victims:
+        h_page_set = set(h_pages)
+        for page in residency:
+            if page in h_page_set:
+                continue
+            evict_list.append(page)
+            if len(evict_list) == n_entry_victims:
+                break
+        if len(evict_list) < n_entry_victims:
+            for page in h_pages:
+                evict_list.append(page)
+                if len(evict_list) == n_entry_victims:
+                    break
+
+    grant_ticks = sched.grant_ticks
+    g_idx = len(grant_ticks)
+    while g_idx > 0 and grant_ticks[g_idx - 1] == end - 1:
+        g_idx -= 1
+    inflight_threads = sched.grant_threads[g_idx:]
+
+    serve_ticks_list = sched.serve_ticks
+    s_idx = len(serve_ticks_list)
+    while s_idx > 0 and serve_ticks_list[s_idx - 1] == end - 1:
+        s_idx -= 1
+
+    serve_threads_np = np.asarray(sched.serve_threads, dtype=np.int64)
+    serve_ticks_np = np.asarray(sched.serve_ticks, dtype=np.int64)
+    entry_rt = np.asarray(request_tick, dtype=np.int64)
+    _, th_sorted, tk_sorted, w_sorted = drain.response_times(
+        serve_threads_np, serve_ticks_np, entry_rt
+    )
+    if probes:
+        entry_live = np.array([c is not None for c in current], dtype=bool)
+        probe_rt = entry_rt.copy()
+    fetches0 = fetches
+    evictions0 = evictions
+
+    # ---- commit -------------------------------------------------------
+    plan.commit()
+    drain.apply_serve_metrics(histograms, response_logs, th_sorted, w_sorted, p)
+
+    counts = np.bincount(serve_threads_np, minlength=p)
+    bounds = np.searchsorted(th_sorted, np.arange(p + 1))
+    completion_tick: dict[int, int] = {}
+    for i in np.flatnonzero(counts).tolist():
+        served = int(counts[i])
+        last_serve = int(tk_sorted[bounds[i + 1] - 1])
+        j = pos[i] + served
+        if j >= lengths[i]:
+            ct = last_serve + 1
+            metrics.record_completion(i, ct)
+            done_count += 1
+            if ct > makespan:
+                makespan = ct
+            completion_tick[i] = last_serve
+            current[i] = None
+            pos[i] = j - 1
+        else:
+            pos[i] = j
+            current[i] = traces[i][j]
+            request_tick[i] = last_serve + 1
+
+    for page in evict_list:
+        del residency[page]
+    if n_h:
+        evicted = set(evict_list)
+        for page in h_pages:
+            if page not in evicted:
+                residency.move_to_end(page)
+    fetched_pages = serve_pages[n_h:]
+    for page in fetched_pages[m_fetched_victims:]:
+        residency[page] = None
+    inflight_pages = [current[i] for i in inflight_threads]
+    for page in inflight_pages:
+        residency[page] = None
+
+    queue_len = sched.final_queue_len
+    fetches += len(sched.grant_threads)
+    evictions += total_evict
+
+    if track_protected:
+        protected.clear()
+        for cur in current:
+            if cur is not None:
+                protected.add(cur)
+
+    new_ready = [i for i in sched.serve_threads[s_idx:] if current[i] is not None]
+    new_ready.extend(inflight_threads)
+    new_ready.sort()
+
+    if probes:
+        from ..obs.probe import materialize_interval_samples
+
+        materialize_interval_samples(
+            probes,
+            start=t,
+            end=end,
+            stride=probe_stride,
+            channels=q,
+            fetches0=fetches0,
+            evictions0=evictions0,
+            grants_per_tick=sched.grants_per_tick,
+            evicts_per_tick=sched.evicts_per_tick,
+            queue_per_tick=sched.queue_per_tick,
+            resident_per_tick=sched.resident_per_tick,
+            serve_threads=sched.serve_threads,
+            serve_ticks=sched.serve_ticks,
+            grant_threads=sched.grant_threads,
+            grant_ticks=sched.grant_ticks,
+            request_tick=probe_rt,
+            live=entry_live,
+            completion_tick=completion_tick,
+        )
+
+    return end, new_ready, queue_len, fetches, evictions, done_count, makespan
 
 
 class Simulator:
@@ -198,6 +437,25 @@ class Simulator:
         # most one outstanding request), saving a len() call per tick.
         queue_len = 0
 
+        # Quiescent-interval fast-forward (repro.core.drain): exact only
+        # under LRU + protect_pending with disjoint traces and no
+        # Belady/timeline wiring. Trace disjointness is checked lazily
+        # at the first attempt; a policy without a drain plan disables
+        # it for the run. Results are bit-identical either way.
+        ff_eligible = (
+            drain.fast_forward_enabled()
+            and cfg.replacement == "lru"
+            and track_protected
+            and belady is None
+            and timeline is None
+        )
+        ff_checked_disjoint = not ff_eligible
+        ff_next_try = 0
+        ff_backoff = drain.BACKOFF_MIN
+        ff_horizon = (max_ticks + 1) if max_ticks is not None else drain.UNBOUNDED
+        ff_intervals = 0
+        ff_elided = 0
+
         t = 0
         makespan = 0
         evictions = 0
@@ -205,6 +463,40 @@ class Simulator:
         while done_count < p:
             # -- step 1: remap hook -------------------------------------
             arb_begin_tick(t)
+
+            if ff_eligible and t >= ff_next_try:
+                if not ff_checked_disjoint:
+                    ff_checked_disjoint = True
+                    if not drain.traces_disjoint(self.traces):
+                        ff_eligible = False
+                if ff_eligible:
+                    ff_plan = arb.drain_plan(q, ff_horizon)
+                    if ff_plan is None:
+                        ff_eligible = False
+                    else:
+                        ff = _attempt_fast_forward(
+                            ff_plan, arb, t, p, q, capacity, traces,
+                            lengths, pos, current, request_tick, ready,
+                            residency, protected, track_protected,
+                            queue_len, fetches, evictions, done_count,
+                            makespan, metrics, histograms, response_logs,
+                            probes, probe_stride,
+                        )
+                        if ff is None:
+                            ff_next_try = t + ff_backoff
+                            ff_backoff = min(ff_backoff * 2, drain.BACKOFF_MAX)
+                        else:
+                            ff_backoff = drain.BACKOFF_MIN
+                            ff_intervals += 1
+                            ff_elided += ff[0] - t
+                            (t, ready, queue_len, fetches, evictions,
+                             done_count, makespan) = ff
+                            if max_ticks is not None and t > max_ticks:
+                                raise SimulationLimitError(
+                                    f"simulation exceeded max_ticks={max_ticks} "
+                                    f"({done_count}/{p} threads complete)"
+                                )
+                            continue
 
             # -- step 2 (classify + enqueue misses) ----------------------
             # ``ready`` is kept sorted by core id, so classification,
@@ -333,6 +625,8 @@ class Simulator:
             timeline=(
                 np.asarray(timeline, dtype=np.int64) if timeline is not None else None
             ),
+            ff_intervals=ff_intervals,
+            ff_elided_ticks=ff_elided,
         )
         for probe in probes:
             probe.on_run_end(result)

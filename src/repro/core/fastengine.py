@@ -60,29 +60,121 @@ order, and the eviction heap pops its minimum.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from typing import Sequence
 
 import numpy as np
 
+from . import drain
 from .arbitration import make_arbitration_policy
 from .config import SimulationConfig
 from .dram import DramGeometry
-from .engine import Simulator
+from .engine import SimulationLimitError, Simulator
 from .metrics import MetricsCollector, SimulationResult
 
 __all__ = [
     "ENGINE_CHOICES",
+    "VECTOR_THRESHOLD",
     "FastSimulator",
     "default_engine",
     "resolve_engine",
     "set_default_engine",
+    "set_vector_threshold",
     "simulate",
+    "vector_threshold",
 ]
 
-#: below this many READY cores a tick is processed scalar; numpy call
-#: overhead (~1us each) only pays off beyond a couple dozen lanes.
+#: documented fallback for the scalar/vector crossover: below this many
+#: READY cores a tick is processed scalar, above it with numpy. The
+#: live value comes from :func:`vector_threshold` (override, then the
+#: ``REPRO_VECTOR_THRESHOLD`` env var, then a one-shot micro-benchmark
+#: clamped to [8, 96]); this constant is the documented ballpark and
+#: the value tests pin when they need a deterministic crossover.
 VECTOR_THRESHOLD = 24
+
+#: first-pass cap for the fast-forward window scan: attempts that fail
+#: (hit-heavy regimes, tiny windows) must not pay a full-trace scan per
+#: live core. Chosen above the adversarial families' cycle lengths so
+#: their windows resolve exactly in one pass.
+_SCAN_STAGE_CAP = 96
+
+_vector_threshold_override: int | None = None
+_calibrated_threshold: int | None = None
+
+
+def _calibrate_vector_threshold() -> int:
+    """Measure the scalar/vector crossover width on this host.
+
+    Times the hot-loop classify kernel (gather pages, test residency,
+    split hits/misses) both ways at increasing ready-set widths and
+    returns the first width where the numpy version wins. The result is
+    clamped to [8, 96]: outside that range the measurement is noise
+    (tiny widths) or irrelevant (the vector path always wins). Runs
+    once per process (~a few ms) unless the env var or an override
+    short-circuits it.
+    """
+    universe = 4096
+    resident = np.zeros(universe, dtype=bool)
+    resident[::2] = True
+    reps = 400
+    for width in (8, 12, 16, 24, 32, 48, 64, 96):
+        ready = np.arange(width, dtype=np.int64)
+        current = (np.arange(width, dtype=np.int64) * 7919) % universe
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            pages = current[ready]
+            flags = resident[pages]
+            _hits = ready[flags]
+            _miss = ready[~flags]
+        t_vec = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            hits = []
+            misses = []
+            for i in ready.tolist():
+                if resident[int(current[i])]:
+                    hits.append(i)
+                else:
+                    misses.append(i)
+        t_sca = time.perf_counter() - t0
+        if t_vec < t_sca:
+            return max(8, width)
+    return 96
+
+
+def vector_threshold() -> int:
+    """The ready-set width at which ticks switch to the vector path.
+
+    Resolution order: :func:`set_vector_threshold` override, then the
+    ``REPRO_VECTOR_THRESHOLD`` environment variable, then a cached
+    :func:`_calibrate_vector_threshold` measurement. Purely a
+    performance knob — both paths implement identical semantics.
+    """
+    if _vector_threshold_override is not None:
+        return _vector_threshold_override
+    env = os.environ.get("REPRO_VECTOR_THRESHOLD")
+    if env is not None:
+        return int(env)
+    global _calibrated_threshold
+    if _calibrated_threshold is None:
+        _calibrated_threshold = _calibrate_vector_threshold()
+    return _calibrated_threshold
+
+
+def set_vector_threshold(n: int | None) -> int | None:
+    """Force the scalar/vector crossover; returns the previous override.
+
+    ``None`` removes the override, restoring env-var/calibration
+    resolution. Used by differential tests to pin one path and by
+    benchmarks to measure both.
+    """
+    global _vector_threshold_override
+    if n is not None and n < 1:
+        raise ValueError(f"vector threshold must be >= 1, got {n}")
+    previous = _vector_threshold_override
+    _vector_threshold_override = None if n is None else int(n)
+    return previous
 
 #: dense page-state arrays must stay sane
 MAX_DENSE_PAGE = 50_000_000
@@ -170,6 +262,288 @@ def _supports(
     if attestation is None:
         attestation = _attest_arrays(traces)
     return _attestation_ok(attestation)
+
+
+def _attempt_fast_forward(
+    plan,
+    arb,
+    t,
+    p,
+    q,
+    capacity,
+    big_trace,
+    offsets,
+    lengths,
+    pos,
+    current,
+    request_tick,
+    ready,
+    resident,
+    resident_count,
+    last_stamp,
+    heap,
+    stamp_stride,
+    queue_len,
+    fetches,
+    evictions,
+    done_count,
+    makespan,
+    metrics,
+    served_threads,
+    served_w,
+    probes,
+    probe_stride,
+):
+    """One quiescent-interval fast-forward attempt at tick ``t``.
+
+    The fast engine's counterpart of the reference engine's attempt
+    (see :mod:`repro.core.drain` for the model): identical planning,
+    but the bulk apply speaks timestamp-LRU. Serve touches become one
+    scatter into ``last_stamp`` (per-tick-stale heap entries migrate
+    lazily, exactly as on the hit path), the exact LRU victim sequence
+    falls out of popping the heap minimum with *no* protection
+    predicate (plan feasibility already guarantees no protected page is
+    reached), and the response times land in the chronological serve
+    buffers the end-of-run aggregation consumes anyway. Returns the
+    updated scalars ``(t, ready, queue_len, fetches, evictions,
+    done_count, makespan, resident_count)`` or ``None`` when the
+    interval is too short to commit.
+    """
+    # Entry classification (H serves this tick, B enqueues this tick).
+    pages = current[ready]
+    flags = resident[pages]
+    h_arr = ready[flags]
+    b_arr = ready[~flags]
+    n_h = len(h_arr)
+    is_h = np.zeros(p, dtype=bool)
+    is_h[h_arr] = True
+
+    # Guaranteed-miss windows, vectorized per core: a window reference
+    # is bad if resident at entry or a repeat of an earlier window
+    # reference; the window ends at the first bad position.
+    full_cap = drain.WINDOW_CAP
+    remap_period = getattr(arb, "remap_period", None)
+    if remap_period is not None and remap_period < full_cap:
+        full_cap = remap_period
+    live = np.flatnonzero(current >= 0).tolist()
+
+    def scan_windows(scan_cap):
+        avail: dict[int, int] = {}
+        completes: dict[int, bool] = {}
+        truncated = False
+        for i in live:
+            start_pos = int(pos[i])
+            length = int(lengths[i])
+            off = int(offsets[i])
+            j_max = start_pos + scan_cap
+            if j_max > length:
+                j_max = length
+            arr = big_trace[off + start_pos : off + j_max]
+            bad = resident[arr].copy()
+            if len(arr) > 1:
+                _, first_idx, inv = np.unique(
+                    arr, return_index=True, return_inverse=True
+                )
+                np.logical_or(
+                    bad, first_idx[inv] != np.arange(len(arr)), out=bad
+                )
+            bad[0] = False  # the current reference itself gets a free pass
+            window = int(bad.argmax()) if bad.any() else len(arr)
+            if window == scan_cap < full_cap and start_pos + window < length:
+                truncated = True
+            completes[i] = start_pos + window >= length
+            avail[i] = window - 1 if is_h[i] else window
+        return avail, completes, truncated
+
+    def plan_with(avail, completes, the_plan):
+        return drain.plan_drain(
+            the_plan,
+            start=t,
+            channels=q,
+            capacity=capacity,
+            resident0=resident_count,
+            queue0=queue_len,
+            h_threads=h_arr.tolist(),
+            b_threads=b_arr.tolist(),
+            grant_avail=avail,
+            completes=completes,
+        )
+
+    # Staged scan: most *failed* attempts (hit-heavy regimes) have tiny
+    # windows, so a capped first pass decides cheaply; the expensive
+    # full-trace scan only runs when a capped plan already committed to
+    # an interval that the cap may have shortened.
+    stage_cap = _SCAN_STAGE_CAP if _SCAN_STAGE_CAP < full_cap else full_cap
+    avail, completes, truncated = scan_windows(stage_cap)
+    sched = plan_with(avail, completes, plan)
+    if sched is None:
+        return None
+    if truncated:
+        replan = arb.drain_plan(q, plan.horizon)
+        if replan is not None:
+            avail, completes, _ = scan_windows(full_cap)
+            full_sched = plan_with(avail, completes, replan)
+            if full_sched is not None:
+                sched = full_sched
+    end = sched.end
+    plan = sched.plan
+
+    # ---- read-only derivations (no state touched yet) ----------------
+    n = len(sched.serve_threads)
+    st = np.asarray(sched.serve_threads, dtype=np.int64)
+    sk = np.asarray(sched.serve_ticks, dtype=np.int64)
+    order, th_s, tk_s, w_s = drain.response_times(st, sk, request_tick)
+
+    # Serve pages: thread-major, each thread consumes consecutive trace
+    # positions from its entry pos; scattered back to chronological.
+    bounds = np.searchsorted(th_s, np.arange(p + 1))
+    occ = np.arange(n, dtype=np.int64) - np.repeat(bounds[:-1], np.diff(bounds))
+    pages_s = big_trace[offsets[th_s] + pos[th_s] + occ]
+    serve_pages = np.empty(n, dtype=np.int64)
+    serve_pages[order] = pages_s
+    w_chrono = np.empty(n, dtype=np.int64)
+    w_chrono[order] = w_s
+
+    # A serve at tick tau with within-tick index k gets stamp
+    # tau * stride + k — the same total recency order the per-tick
+    # paths write (sk is tick-major, so searchsorted finds each tick
+    # group's first position).
+    within = np.arange(n, dtype=np.int64) - np.searchsorted(sk, sk)
+    serve_stamps = sk * stamp_stride + within
+
+    total_evict = sched.total_evictions
+    n_entry_victims = (
+        total_evict if total_evict < resident_count else resident_count
+    )
+    m_fetched_victims = total_evict - n_entry_victims
+    if m_fetched_victims > n - n_h:
+        return None  # planner drift; unreachable by construction
+    fetched_pages = serve_pages[n_h:]
+    fetched_stamps = serve_stamps[n_h:]
+
+    grant_ticks = sched.grant_ticks
+    g_idx = len(grant_ticks)
+    while g_idx > 0 and grant_ticks[g_idx - 1] == end - 1:
+        g_idx -= 1
+    inflight_threads = sched.grant_threads[g_idx:]
+
+    serve_ticks_list = sched.serve_ticks
+    s_idx = len(serve_ticks_list)
+    while s_idx > 0 and serve_ticks_list[s_idx - 1] == end - 1:
+        s_idx -= 1
+
+    if probes:
+        entry_live = current >= 0
+        probe_rt = request_tick.copy()
+    fetches0 = fetches
+    evictions0 = evictions
+
+    # ---- commit -------------------------------------------------------
+    plan.commit()
+    if n:
+        served_threads.append(st)
+        served_w.append(w_chrono)
+
+    # Restamp every served page to its final (serve) stamp, then pop
+    # the exact victim sequence: entry-resident non-H pages oldest
+    # first, then the entry hits in core order, then interval-fetched
+    # pages in serve order — precisely the stamp order after the
+    # scatter. Heap entries carrying pre-serve stamps refresh lazily.
+    last_stamp[serve_pages] = serve_stamps
+    popped = 0
+    while popped < n_entry_victims:
+        s, page = heapq.heappop(heap)
+        if not resident[page]:
+            continue
+        true_stamp = int(last_stamp[page])
+        if s != true_stamp:
+            heapq.heappush(heap, (true_stamp, page))
+            continue
+        resident[page] = False
+        resident_count -= 1
+        popped += 1
+    evictions += total_evict
+
+    counts = np.bincount(st, minlength=p)
+    completion_tick: dict[int, int] = {}
+    for i in np.flatnonzero(counts).tolist():
+        served = int(counts[i])
+        last_serve = int(tk_s[bounds[i + 1] - 1])
+        j = int(pos[i]) + served
+        if j >= lengths[i]:
+            ct = last_serve + 1
+            metrics.record_completion(i, ct)
+            done_count += 1
+            if ct > makespan:
+                makespan = ct
+            completion_tick[i] = last_serve
+            current[i] = -1
+            pos[i] = j - 1
+        else:
+            pos[i] = j
+            current[i] = big_trace[offsets[i] + j]
+            request_tick[i] = last_serve + 1
+
+    # The first m fetched pages are fetch-then-evict inside the
+    # interval: they never become resident here at all. In-flight
+    # grants (tick end-1, served after the jump) carry insert stamps.
+    for page, stamp in zip(
+        fetched_pages[m_fetched_victims:].tolist(),
+        fetched_stamps[m_fetched_victims:].tolist(),
+    ):
+        resident[page] = True
+        resident_count += 1
+        heapq.heappush(heap, (stamp, page))
+    base_end = (end - 1) * stamp_stride
+    for g, i in enumerate(inflight_threads):
+        page = int(current[i])
+        resident[page] = True
+        resident_count += 1
+        stamp = base_end + p + g
+        last_stamp[page] = stamp
+        heapq.heappush(heap, (stamp, page))
+    fetches += len(sched.grant_threads)
+    queue_len = sched.final_queue_len
+
+    tail = [i for i in sched.serve_threads[s_idx:] if current[i] >= 0]
+    tail.extend(int(i) for i in inflight_threads)
+    tail.sort()
+    new_ready = np.asarray(tail, dtype=np.int64)
+
+    if probes:
+        from ..obs.probe import materialize_interval_samples
+
+        materialize_interval_samples(
+            probes,
+            start=t,
+            end=end,
+            stride=probe_stride,
+            channels=q,
+            fetches0=fetches0,
+            evictions0=evictions0,
+            grants_per_tick=sched.grants_per_tick,
+            evicts_per_tick=sched.evicts_per_tick,
+            queue_per_tick=sched.queue_per_tick,
+            resident_per_tick=sched.resident_per_tick,
+            serve_threads=sched.serve_threads,
+            serve_ticks=sched.serve_ticks,
+            grant_threads=sched.grant_threads,
+            grant_ticks=sched.grant_ticks,
+            request_tick=probe_rt,
+            live=entry_live,
+            completion_tick=completion_tick,
+        )
+
+    return (
+        end,
+        new_ready,
+        queue_len,
+        fetches,
+        evictions,
+        done_count,
+        makespan,
+        resident_count,
+    )
 
 
 class FastSimulator:
@@ -299,14 +673,57 @@ class FastSimulator:
                 heapq.heappush(heap, entry)
             return victim_found
 
+        # Quiescent-interval fast-forward (repro.core.drain). The fast
+        # path's scope (LRU + protect_pending + disjoint compact traces,
+        # no timeline) already satisfies every exactness precondition,
+        # so the only gates left are the process knob and the policy
+        # having a drain plan. Results are bit-identical either way.
+        ff_eligible = drain.fast_forward_enabled()
+        ff_next_try = 0
+        ff_backoff = drain.BACKOFF_MIN
+        ff_horizon = (max_ticks + 1) if max_ticks is not None else drain.UNBOUNDED
+        ff_intervals = 0
+        ff_elided = 0
+
+        vt = vector_threshold()
         t = 0
         makespan = 0
         while done_count < p:
             arb_begin_tick(t)
+
+            if ff_eligible and t >= ff_next_try:
+                ff_plan = arb.drain_plan(q, ff_horizon)
+                if ff_plan is None:
+                    ff_eligible = False
+                else:
+                    ff = _attempt_fast_forward(
+                        ff_plan, arb, t, p, q, capacity, big_trace,
+                        offsets, lengths, pos, current, request_tick,
+                        ready, resident, resident_count, last_stamp,
+                        heap, stamp_stride, queue_len, fetches,
+                        evictions, done_count, makespan, metrics,
+                        served_threads, served_w, probes, probe_stride,
+                    )
+                    if ff is None:
+                        ff_next_try = t + ff_backoff
+                        ff_backoff = min(ff_backoff * 2, drain.BACKOFF_MAX)
+                    else:
+                        ff_backoff = drain.BACKOFF_MIN
+                        ff_intervals += 1
+                        ff_elided += ff[0] - t
+                        (t, ready, queue_len, fetches, evictions,
+                         done_count, makespan, resident_count) = ff
+                        if max_ticks is not None and t > max_ticks:
+                            raise SimulationLimitError(
+                                f"simulation exceeded max_ticks={max_ticks} "
+                                f"({done_count}/{p} threads complete)"
+                            )
+                        continue
+
             n_ready = len(ready)
             base = t * stamp_stride
 
-            if n_ready >= VECTOR_THRESHOLD:
+            if n_ready >= vt:
                 # ---- vector tick -------------------------------------
                 pages = current[ready]
                 flags = resident[pages]
@@ -447,8 +864,6 @@ class FastSimulator:
                     probe.on_sample(sample)
             t += 1
             if max_ticks is not None and t > max_ticks:
-                from .engine import SimulationLimitError
-
                 raise SimulationLimitError(
                     f"simulation exceeded max_ticks={max_ticks} "
                     f"({done_count}/{p} threads complete)"
@@ -486,6 +901,8 @@ class FastSimulator:
             remap_count=remap_count,
             config=cfg,
             wall_time_s=time.perf_counter() - start,
+            ff_intervals=ff_intervals,
+            ff_elided_ticks=ff_elided,
         )
         for probe in probes:
             probe.on_run_end(result)

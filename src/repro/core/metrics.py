@@ -165,6 +165,16 @@ class SimulationResult:
     wall_time_s: float = 0.0
     response_log: tuple[np.ndarray, ...] | None = None
     timeline: np.ndarray | None = None
+    #: quiescent-interval fast-forward stats: intervals bulk-drained and
+    #: ticks they covered. Pure execution-strategy accounting — results
+    #: are bit-identical with fast-forward on or off.
+    ff_intervals: int = 0
+    ff_elided_ticks: int = 0
+
+    @property
+    def ff_elided_fraction(self) -> float:
+        """Fraction of the run's ticks covered by fast-forwarded intervals."""
+        return self.ff_elided_ticks / self.ticks if self.ticks else 0.0
 
     @property
     def misses(self) -> int:
@@ -242,6 +252,8 @@ class MetricsCollector:
         config: Any = None,
         wall_time_s: float = 0.0,
         timeline: np.ndarray | None = None,
+        ff_intervals: int = 0,
+        ff_elided_ticks: int = 0,
     ) -> SimulationResult:
         """Freeze the accumulated counters into a :class:`SimulationResult`."""
         thread_stats = []
@@ -281,4 +293,6 @@ class MetricsCollector:
             wall_time_s=wall_time_s,
             response_log=logs,
             timeline=timeline,
+            ff_intervals=ff_intervals,
+            ff_elided_ticks=ff_elided_ticks,
         )

@@ -75,6 +75,9 @@ def _result_info(result: Any) -> dict[str, Any]:
         "inconsistency": result.inconsistency,
         "max_response": result.max_response,
         "remap_count": result.remap_count,
+        "ff_intervals": result.ff_intervals,
+        "ff_elided_ticks": result.ff_elided_ticks,
+        "ff_elided_fraction": result.ff_elided_fraction,
     }
 
 

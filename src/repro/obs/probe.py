@@ -25,7 +25,14 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-__all__ = ["ProbeSample", "Probe", "TimelineProbe", "CallbackProbe", "emit"]
+__all__ = [
+    "ProbeSample",
+    "Probe",
+    "TimelineProbe",
+    "CallbackProbe",
+    "emit",
+    "materialize_interval_samples",
+]
 
 
 @dataclass(frozen=True)
@@ -179,3 +186,87 @@ def emit(probes: Sequence[Any], sample: ProbeSample) -> None:
     """Deliver one sample to every attached probe (engine helper)."""
     for probe in probes:
         probe.on_sample(sample)
+
+
+def materialize_interval_samples(
+    probes: Sequence[Any],
+    *,
+    start: int,
+    end: int,
+    stride: int,
+    channels: int,
+    fetches0: int,
+    evictions0: int,
+    grants_per_tick: Sequence[int],
+    evicts_per_tick: Sequence[int],
+    queue_per_tick: Sequence[int],
+    resident_per_tick: Sequence[int],
+    serve_threads: Sequence[int],
+    serve_ticks: Sequence[int],
+    grant_threads: Sequence[int],
+    grant_ticks: Sequence[int],
+    request_tick: np.ndarray,
+    live: np.ndarray,
+    completion_tick: dict[int, int],
+) -> None:
+    """Reconstruct the samples a skipped interval ``[start, end)`` owes.
+
+    When an engine fast-forwards a quiescent interval (see
+    :mod:`repro.core.drain`) the per-tick sampling branch never runs,
+    but the drain schedule determines every sampled quantity in closed
+    form: occupancy/queue-depth/grant/eviction histories are per-tick
+    end-of-tick values, the ready set on a tick is (continuing cores
+    served that tick) + (cores granted that tick), and stall ages
+    follow from replaying request-issue ticks over the serve events.
+    This walks the interval emitting exactly the samples the per-tick
+    engines would have, so probe series are bit-identical either way.
+
+    ``request_tick`` (per-core issue ticks at interval entry) and
+    ``live`` (per-core "has a current request" flags at entry) are
+    mutated during the replay — pass copies. ``completion_tick`` maps
+    cores completing inside the interval to their final serve tick.
+    """
+    si = gi = 0
+    n_serve = len(serve_ticks)
+    n_grant = len(grant_ticks)
+    fetches = fetches0
+    evictions = evictions0
+    for k, tau in enumerate(range(start, end)):
+        served_now: list[int] = []
+        while si < n_serve and serve_ticks[si] == tau:
+            i = serve_threads[si]
+            if completion_tick.get(i, -1) == tau:
+                live[i] = False
+            else:
+                request_tick[i] = tau + 1
+                served_now.append(i)
+            si += 1
+        granted_now: list[int] = []
+        while gi < n_grant and grant_ticks[gi] == tau:
+            granted_now.append(grant_threads[gi])
+            gi += 1
+        fetches += grants_per_tick[k]
+        evictions += evicts_per_tick[k]
+        if tau % stride == 0:
+            blocked = live.copy()
+            for i in served_now:
+                blocked[i] = False
+            for i in granted_now:
+                blocked[i] = False
+            stall_age = np.where(blocked, tau + 1 - request_tick, 0).astype(
+                np.int64
+            )
+            sample = ProbeSample(
+                tick=tau,
+                hbm_occupancy=resident_per_tick[k],
+                queue_depth=queue_per_tick[k],
+                ready_threads=len(served_now) + len(granted_now),
+                channels_busy=grants_per_tick[k],
+                channels_total=channels,
+                fetches=fetches,
+                evictions=evictions,
+                blocked=blocked,
+                stall_age=stall_age,
+            )
+            for probe in probes:
+                probe.on_sample(sample)

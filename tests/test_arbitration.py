@@ -299,3 +299,266 @@ def test_arbitration_conserves_requests(name, p, data):
         assert len(policy) == len(pending)
     out += policy.select(p)
     assert sorted(out) == sorted(enqueued)
+
+
+# -- tie-breaking determinism (the drain-plan oracle) ---------------------
+#
+# The quiescent-interval fast-forward (repro.core.drain) replays grant
+# decisions outside the tick loop via ArbitrationPolicy.drain_plan, so
+# every policy's select() order under ties, short queues, and oversized
+# limits is pinned semantics: changing any of these is an
+# ENGINE_SEMANTICS_VERSION bump, not a refactor detail.
+
+PRIORITY_NAMES = [
+    "priority",
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+]
+
+NINE_NAMES = ALL_NAMES + ["fr_fcfs"]
+
+
+def make_any(name, p=8, T=16, seed=0):
+    """Like make() but also covers fr_fcfs (needs a DRAM geometry)."""
+    from repro.core.dram import DramGeometry
+
+    return make_arbitration_policy(
+        name,
+        p,
+        remap_period=T,
+        rng=np.random.default_rng(seed),
+        dram_geometry=DramGeometry(banks=4, row_pages=4),
+    )
+
+
+def enqueue_any(policy, thread, page=None):
+    """Enqueue with a page (fr_fcfs requires one; others ignore it)."""
+    policy.enqueue(thread, page if page is not None else thread)
+
+
+class TestTieBreaking:
+    @pytest.mark.parametrize("name", NINE_NAMES)
+    def test_empty_queue_selects_nothing(self, name):
+        policy = make_any(name)
+        policy.begin_tick(1)
+        assert policy.select(4) == []
+        assert policy.select(0) == []
+
+    @pytest.mark.parametrize("name", NINE_NAMES)
+    def test_limit_beyond_queue_returns_whole_queue(self, name):
+        policy = make_any(name)
+        policy.begin_tick(1)
+        for thread in (3, 1, 6):
+            enqueue_any(policy, thread)
+        granted = policy.select(100)
+        assert sorted(granted) == [1, 3, 6]
+        assert policy.select(100) == []
+        assert len(policy) == 0
+
+    def test_fifo_preserves_arrival_order(self):
+        policy = make("fifo")
+        for thread in (5, 2, 7, 0):
+            policy.enqueue(thread)
+        assert policy.select(10) == [5, 2, 7, 0]
+
+    @pytest.mark.parametrize("name", PRIORITY_NAMES)
+    def test_priority_family_grants_in_rank_order(self, name):
+        policy = make(name, seed=3)
+        policy.begin_tick(1)  # avoid the remap at tick 0 mid-test
+        for thread in range(8):
+            policy.enqueue(thread)
+        ranks = policy.priorities()
+        expected = sorted(range(8), key=lambda t: (int(ranks[t]), t))
+        assert policy.select(8) == expected
+
+    @pytest.mark.parametrize("name", PRIORITY_NAMES)
+    def test_priority_equal_ranks_fall_back_to_thread_id(self, name):
+        # Built-in permutations never produce ties, but the pinned heap
+        # order is (rank, thread): under equal ranks, ascending thread
+        # id. Force ties to pin that contract for subclasses/plans.
+        policy = make(name, seed=3)
+        policy._ranks = np.zeros(8, dtype=np.int64)
+        for thread in (6, 2, 7, 1):
+            policy.enqueue(thread)
+        assert policy.select(8) == [1, 2, 6, 7]
+
+    def test_random_is_deterministic_under_seed(self):
+        a = make("random", seed=11)
+        b = make("random", seed=11)
+        for policy in (a, b):
+            for thread in range(8):
+                policy.enqueue(thread)
+        grants_a = [a.select(3) for _ in range(3)]
+        grants_b = [b.select(3) for _ in range(3)]
+        assert grants_a == grants_b
+
+    def test_round_robin_pointer_survives_oversized_limit(self):
+        rr = RoundRobinArbitration(4)
+        for thread in range(4):
+            rr.enqueue(thread)
+        assert rr.select(99) == [0, 1, 2, 3]
+        rr.enqueue(3)
+        rr.enqueue(0)
+        # pointer sits after 3 -> wraps to 0 before revisiting 3
+        assert rr.select(99) == [0, 3]
+
+    def test_fr_fcfs_row_hits_first_then_fcfs(self):
+        from repro.core.dram import DramGeometry
+
+        policy = make_arbitration_policy(
+            "fr_fcfs", 8, dram_geometry=DramGeometry(banks=1, row_pages=2)
+        )
+        # one bank: pages 0,1 share row 0; pages 2,3 share row 1.
+        policy.enqueue(0, page=0)
+        policy.enqueue(1, page=2)
+        policy.enqueue(2, page=1)
+        first = policy.select(1)  # no open row yet: oldest wins, opens row 0
+        assert first == [0]
+        # thread 2 (page 1, row 0) is now a row hit and jumps thread 1
+        assert policy.select(2) == [2, 1]
+
+
+class TestDrainPlan:
+    """drain_plan() must predict select() exactly — plan vs live oracle."""
+
+    @pytest.mark.parametrize(
+        "name", ["random", "round_robin", "fr_fcfs"]
+    )
+    def test_stateful_policies_opt_out(self, name):
+        policy = make_any(name)
+        assert policy.drain_plan(2, 1000) is None
+
+    @pytest.mark.parametrize("name", ["fifo"] + PRIORITY_NAMES)
+    def test_plan_pops_match_live_selects(self, name):
+        live = make(name, p=8, T=1000, seed=5)
+        live.begin_tick(1)
+        for thread in (4, 1, 6):
+            live.enqueue(thread)
+        plan = make(name, p=8, T=1000, seed=5)
+        plan.begin_tick(1)
+        for thread in (4, 1, 6):
+            plan.enqueue(thread)
+        plan = plan.drain_plan(2, 1000)
+        assert plan is not None
+        # interleave pops with arrival batches, exactly as plan_drain does
+        script = [(2, [0, 3]), (2, [5]), (1, []), (3, []), (8, [])]
+        for limit, arrivals in script:
+            got = plan.pop(limit)
+            want = live.select(limit)
+            assert got == want
+            plan.push(arrivals)
+            for thread in arrivals:
+                live.enqueue(thread)
+        assert len(plan) == len(live)
+
+    @pytest.mark.parametrize("name", ["fifo"] + PRIORITY_NAMES)
+    def test_plan_is_a_copy_until_commit(self, name):
+        policy = make(name, p=8, T=1000, seed=5)
+        policy.begin_tick(1)
+        for thread in (4, 1, 6):
+            policy.enqueue(thread)
+        plan = policy.drain_plan(2, 1000)
+        plan.pop(2)
+        plan.push([7])
+        assert sorted(policy.select(8)) == [1, 4, 6]  # live untouched
+
+    @pytest.mark.parametrize("name", ["fifo"] + PRIORITY_NAMES)
+    def test_commit_installs_plan_state(self, name):
+        policy = make(name, p=8, T=1000, seed=5)
+        policy.begin_tick(1)
+        for thread in (4, 1, 6):
+            policy.enqueue(thread)
+        oracle = make(name, p=8, T=1000, seed=5)
+        oracle.begin_tick(1)
+        for thread in (4, 1, 6):
+            oracle.enqueue(thread)
+        plan = policy.drain_plan(2, 1000)
+        dropped = plan.pop(2)
+        plan.push([0, 7])
+        plan.commit()
+        oracle.select(2)
+        oracle.enqueue(0)
+        oracle.enqueue(7)
+        assert len(dropped) == 2
+        assert policy.select(8) == oracle.select(8)
+
+    @pytest.mark.parametrize("name", PRIORITY_NAMES)
+    def test_priority_horizon_caps_at_next_remap_boundary(self, name):
+        policy = make(name, p=8, T=10, seed=2)
+        policy.begin_tick(13)
+        plan = policy.drain_plan(2, 10_000)
+        assert plan.horizon == 20  # next multiple of T after tick 13
+        plan = policy.drain_plan(2, 15)
+        assert plan.horizon == 15  # caller bound already tighter
+
+    def test_fifo_horizon_is_unbounded_by_remap(self):
+        policy = make("fifo")
+        plan = policy.drain_plan(2, 12345)
+        assert plan.horizon == 12345
+
+    def test_bulk_capability_flags(self):
+        fifo_plan = make("fifo").drain_plan(2, 100)
+        assert fifo_plan.supports_bulk
+        for name in PRIORITY_NAMES:
+            policy = make(name, T=1000)
+            policy.begin_tick(1)
+            assert not policy.drain_plan(2, 100).supports_bulk
+
+    def test_fifo_snapshot_replace_roundtrip(self):
+        policy = make("fifo")
+        for thread in (4, 1, 6, 2):
+            policy.enqueue(thread)
+        plan = policy.drain_plan(2, 100)
+        assert plan.snapshot() == [4, 1, 6, 2]
+        plan.replace([6, 2, 9])
+        assert plan.snapshot() == [6, 2, 9]
+        assert plan.pop(2) == [6, 2]
+        plan.commit()
+        assert policy.select(8) == [9]
+
+    @pytest.mark.parametrize("name", PRIORITY_NAMES)
+    def test_priority_plans_decline_bulk_interface(self, name):
+        policy = make(name, T=1000)
+        policy.begin_tick(1)
+        policy.enqueue(3)
+        plan = policy.drain_plan(2, 100)
+        assert plan.snapshot() is None
+        with pytest.raises(NotImplementedError):
+            plan.replace([3])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(["fifo"] + PRIORITY_NAMES),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.data(),
+    )
+    def test_plan_oracle_property(self, name, seed, data):
+        """Random interleavings of pops and pushes never diverge."""
+        rng = np.random.default_rng(seed)
+        live = make(name, p=6, T=1000, seed=7)
+        live.begin_tick(1)
+        planned = make(name, p=6, T=1000, seed=7)
+        planned.begin_tick(1)
+        start = list(rng.permutation(6)[: int(rng.integers(0, 7))])
+        for thread in start:
+            live.enqueue(int(thread))
+            planned.enqueue(int(thread))
+        plan = planned.drain_plan(2, 1000)
+        outside = sorted(set(range(6)) - set(start))
+        for step in range(10):
+            limit = data.draw(st.integers(0, 3), label=f"limit@{step}")
+            got = plan.pop(limit)
+            assert got == live.select(limit)
+            outside.extend(got)
+            outside.sort()
+            k = data.draw(
+                st.integers(0, len(outside)), label=f"arrivals@{step}"
+            )
+            batch = outside[:k]
+            del outside[:k]
+            plan.push(batch)
+            for thread in batch:
+                live.enqueue(thread)
+        assert len(plan) == len(live)

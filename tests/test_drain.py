@@ -1,0 +1,489 @@
+"""Quiescent-interval fast-forward: FF-on runs are bit-identical to FF-off.
+
+The contract under test (repro.core.drain + the engine hooks): with
+fast-forward enabled, both engines must produce *exactly* the results
+of per-tick execution — makespan, tick count, response histograms and
+logs, eviction/fetch counts, completion ticks, and every probe sample —
+while eliding most of the miss-bound ticks. ``ENGINE_SEMANTICS_VERSION``
+does not change when FF ships; these tests are the enforcement.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimulationConfig, Simulator
+from repro.core import drain
+from repro.core.drain import (
+    MIN_FF_TICKS,
+    plan_drain,
+    response_times,
+    set_fast_forward,
+    traces_disjoint,
+)
+from repro.core.engine import SimulationLimitError
+from repro.core.fastengine import FastSimulator
+from repro.obs import TimelineProbe
+from repro.traces import make_workload
+
+ENGINES = [Simulator, FastSimulator]
+
+
+@pytest.fixture(autouse=True)
+def _restore_ff_override():
+    previous = set_fast_forward(None)
+    yield
+    set_fast_forward(previous)
+
+
+def run_with_ff(engine_cls, traces, cfg, enabled):
+    set_fast_forward(enabled)
+    try:
+        return engine_cls(traces, cfg).run()
+    finally:
+        set_fast_forward(None)
+
+
+def assert_results_equal(a, b):
+    assert a.makespan == b.makespan
+    assert a.ticks == b.ticks
+    assert a.total_requests == b.total_requests
+    assert a.hits == b.hits
+    assert a.fetches == b.fetches
+    assert a.evictions == b.evictions
+    assert a.remap_count == b.remap_count
+    assert a.response_histogram == b.response_histogram
+    assert list(a.completion_ticks) == list(b.completion_ticks)
+    for sa, sb in zip(a.thread_stats, b.thread_stats):
+        assert sa.response == sb.response
+        assert sa.hits == sb.hits
+        assert sa.misses == sb.misses
+    if a.response_log is not None or b.response_log is not None:
+        assert len(a.response_log) == len(b.response_log)
+        for la, lb in zip(a.response_log, b.response_log):
+            assert list(la) == list(lb)
+
+
+def assert_ff_identical(traces, cfg, expect_ff=True):
+    """Run both engines with FF off and on; everything must match."""
+    baseline = run_with_ff(Simulator, traces, cfg, False)
+    assert baseline.ff_intervals == 0
+    assert baseline.ff_elided_ticks == 0
+    for engine_cls in ENGINES:
+        result = run_with_ff(engine_cls, traces, cfg, True)
+        assert_results_equal(result, baseline)
+        if expect_ff and engine_cls is FastSimulator:
+            assert result.ff_intervals > 0
+            assert 0 < result.ff_elided_fraction <= 1.0
+            assert result.ff_elided_ticks <= result.ticks
+    return baseline
+
+
+def miss_bound_traces(threads=8, pages=12, repeats=8):
+    wl = make_workload(
+        "adversarial_cycle", threads=threads, pages=pages, repeats=repeats
+    )
+    return wl.traces
+
+
+# -- bit-identical differential matrix ------------------------------------
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("q", [1, 2, 3, 4])
+    def test_fifo_channels(self, q):
+        cfg = SimulationConfig(hbm_slots=24, channels=q, arbitration="fifo")
+        assert_ff_identical(miss_bound_traces(), cfg)
+
+    @pytest.mark.parametrize(
+        "arb", ["priority", "dynamic_priority", "cycle_priority",
+                "cycle_reverse_priority", "interleave_priority"]
+    )
+    def test_priority_family_with_remap_inside_drains(self, arb):
+        # remap_period=37 forces remap boundaries to land mid-drain, so
+        # the horizon cap (and interval re-entry after it) is exercised.
+        cfg = SimulationConfig(
+            hbm_slots=24,
+            channels=2,
+            arbitration=arb,
+            remap_period=37,
+            seed=9,
+        )
+        assert_ff_identical(miss_bound_traces(), cfg)
+
+    @pytest.mark.parametrize("k", [5, 8, 9, 12, 16])
+    def test_tight_hbm_slots_exercise_eviction_feasibility(self, k):
+        cfg = SimulationConfig(hbm_slots=k, channels=2, arbitration="fifo")
+        assert_ff_identical(miss_bound_traces(threads=4, pages=6), cfg)
+
+    def test_staggered_trace_lengths_complete_inside_drains(self):
+        traces = [
+            list(range(100 * i, 100 * i + 5 * (i + 1))) * 3 for i in range(6)
+        ]
+        cfg = SimulationConfig(hbm_slots=10, channels=2, arbitration="fifo")
+        assert_ff_identical(traces, cfg)
+
+    def test_single_thread(self):
+        traces = [list(range(50)) * 4]
+        cfg = SimulationConfig(hbm_slots=8)
+        assert_ff_identical(traces, cfg)
+
+    def test_wide_channels(self):
+        cfg = SimulationConfig(hbm_slots=64, channels=16, arbitration="fifo")
+        assert_ff_identical(miss_bound_traces(threads=16, pages=8), cfg)
+
+    def test_vector_path_wide_workload(self):
+        from repro.core.fastengine import set_vector_threshold
+
+        previous = set_vector_threshold(4)
+        try:
+            cfg = SimulationConfig(hbm_slots=96, channels=4)
+            assert_ff_identical(miss_bound_traces(threads=32, pages=6), cfg)
+        finally:
+            set_vector_threshold(previous)
+
+    def test_hit_bound_workload_disengages_gracefully(self):
+        wl = make_workload("zipf", threads=6, seed=0, length=300, pages=16)
+        cfg = SimulationConfig(hbm_slots=2048)
+        assert_ff_identical(wl.traces, cfg, expect_ff=False)
+
+
+class TestProbeSeries:
+    """Probe samples inside elided intervals must be materialized."""
+
+    @pytest.mark.parametrize("stride", [1, 7])
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_probe_series_identical(self, stride, engine_cls):
+        traces = miss_bound_traces(threads=6, pages=8)
+        series = {}
+        for enabled in (False, True):
+            probe = TimelineProbe()
+            cfg = SimulationConfig(
+                hbm_slots=18,
+                channels=2,
+                probes=(probe,),
+                probe_stride=stride,
+            )
+            run_with_ff(engine_cls, traces, cfg, enabled)
+            series[enabled] = probe.as_arrays()
+        assert series[False].keys() == series[True].keys()
+        for key in series[False]:
+            np.testing.assert_array_equal(
+                series[False][key], series[True][key], err_msg=key
+            )
+
+    def test_probe_run_does_not_suppress_ff(self):
+        probe = TimelineProbe()
+        cfg = SimulationConfig(
+            hbm_slots=18, channels=2, probes=(probe,), probe_stride=7
+        )
+        result = run_with_ff(
+            FastSimulator, miss_bound_traces(threads=6, pages=8), cfg, True
+        )
+        assert result.ff_intervals > 0
+        assert len(probe.samples) > 0
+
+
+class TestMaxTicks:
+    def _message(self, engine_cls, cfg, enabled):
+        with pytest.raises(SimulationLimitError) as excinfo:
+            run_with_ff(engine_cls, miss_bound_traces(), cfg, enabled)
+        return str(excinfo.value)
+
+    def test_raise_message_identical_under_ff(self):
+        full = run_with_ff(
+            Simulator,
+            miss_bound_traces(),
+            SimulationConfig(hbm_slots=24, channels=2),
+            False,
+        )
+        cfg = SimulationConfig(
+            hbm_slots=24, channels=2, max_ticks=full.ticks // 2
+        )
+        baseline = self._message(Simulator, cfg, False)
+        for engine_cls in ENGINES:
+            assert self._message(engine_cls, cfg, True) == baseline
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_boundary_budgets(self, engine_cls):
+        traces = miss_bound_traces(threads=4, pages=6)
+        cfg = SimulationConfig(hbm_slots=12, channels=2)
+        ticks = run_with_ff(Simulator, traces, cfg, False).ticks
+        for budget, should_raise in [
+            (ticks - 1, True),
+            (ticks, False),
+            (ticks + 1, False),
+        ]:
+            bounded = dataclasses.replace(cfg, max_ticks=budget)
+            if should_raise:
+                with pytest.raises(SimulationLimitError):
+                    run_with_ff(engine_cls, traces, bounded, True)
+            else:
+                result = run_with_ff(engine_cls, traces, bounded, True)
+                assert result.ticks == ticks
+
+
+class TestRecordResponses:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_response_logs_identical(self, engine_cls):
+        traces = miss_bound_traces(threads=6, pages=8)
+        cfg = SimulationConfig(
+            hbm_slots=18, channels=2, record_responses=True
+        )
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        result = run_with_ff(engine_cls, traces, cfg, True)
+        assert baseline.response_log is not None
+        for la, lb in zip(result.response_log, baseline.response_log):
+            assert list(la) == list(lb)
+
+
+class TestGatesAndFallbacks:
+    @pytest.mark.parametrize("arb", ["random", "round_robin", "fr_fcfs"])
+    def test_non_plannable_policies_never_fast_forward(self, arb):
+        cfg = SimulationConfig(hbm_slots=24, channels=2, arbitration=arb, seed=3)
+        baseline = run_with_ff(Simulator, miss_bound_traces(), cfg, False)
+        result = run_with_ff(Simulator, miss_bound_traces(), cfg, True)
+        assert result.ff_intervals == 0
+        assert_results_equal(result, baseline)
+
+    def test_shared_pages_gate_reference_engine(self):
+        # Two threads share page 0: guaranteed-miss windows are invalid,
+        # so the reference engine must refuse to fast-forward.
+        traces = [[0, 1, 2, 3] * 6, [0, 10, 11, 12] * 6]
+        cfg = SimulationConfig(hbm_slots=3, channels=1)
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        result = run_with_ff(Simulator, traces, cfg, True)
+        assert result.ff_intervals == 0
+        assert_results_equal(result, baseline)
+
+    def test_non_lru_replacement_gates_reference_engine(self):
+        traces = miss_bound_traces(threads=4, pages=6)
+        cfg = SimulationConfig(hbm_slots=12, replacement="clock", seed=1)
+        result = run_with_ff(Simulator, traces, cfg, True)
+        assert result.ff_intervals == 0
+
+
+class TestKnobs:
+    def test_set_fast_forward_round_trip(self):
+        assert set_fast_forward(False) is None
+        assert drain.fast_forward_enabled() is False
+        assert set_fast_forward(True) is False
+        assert drain.fast_forward_enabled() is True
+        assert set_fast_forward(None) is True
+        assert set_fast_forward(None) is None
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("0", False),
+            ("false", False),
+            ("off", False),
+            ("no", False),
+            ("", False),
+            ("1", True),
+            ("on", True),
+            ("anything", True),
+        ],
+    )
+    def test_env_variable(self, monkeypatch, value, expected):
+        set_fast_forward(None)
+        monkeypatch.setenv("REPRO_FAST_FORWARD", value)
+        assert drain.fast_forward_enabled() is expected
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_FORWARD", "0")
+        set_fast_forward(True)
+        assert drain.fast_forward_enabled() is True
+
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST_FORWARD", raising=False)
+        set_fast_forward(None)
+        assert drain.fast_forward_enabled() is True
+
+
+class TestStats:
+    def test_ff_stats_populated_and_bounded(self):
+        cfg = SimulationConfig(hbm_slots=24, channels=2)
+        result = run_with_ff(FastSimulator, miss_bound_traces(), cfg, True)
+        assert result.ff_intervals > 0
+        assert result.ff_elided_ticks > 0
+        assert result.ff_elided_ticks <= result.ticks
+        assert 0.0 < result.ff_elided_fraction <= 1.0
+        # a miss-bound adversarial run should elide nearly everything
+        assert result.ff_elided_fraction > 0.9
+
+    def test_ff_stats_zero_when_disabled(self):
+        cfg = SimulationConfig(hbm_slots=24, channels=2)
+        result = run_with_ff(FastSimulator, miss_bound_traces(), cfg, False)
+        assert result.ff_intervals == 0
+        assert result.ff_elided_ticks == 0
+        assert result.ff_elided_fraction == 0.0
+
+    def test_manifest_carries_ff_fields(self):
+        from repro.obs import RunManifest
+
+        cfg = SimulationConfig(hbm_slots=24, channels=2)
+        result = run_with_ff(FastSimulator, miss_bound_traces(), cfg, True)
+        manifest = RunManifest.build(cfg, "fast", result=result)
+        assert manifest.result["ff_intervals"] == result.ff_intervals
+        assert manifest.result["ff_elided_ticks"] == result.ff_elided_ticks
+        assert (
+            manifest.result["ff_elided_fraction"] == result.ff_elided_fraction
+        )
+
+
+# -- unit tests for the planner helpers -----------------------------------
+
+
+class TestTracesDisjoint:
+    def test_disjoint(self):
+        assert traces_disjoint([np.array([0, 1]), np.array([2, 3])])
+
+    def test_shared(self):
+        assert not traces_disjoint([np.array([0, 1]), np.array([1, 2])])
+
+    def test_empty_and_single(self):
+        assert traces_disjoint([])
+        assert traces_disjoint([np.array([5, 5, 5])])
+        assert traces_disjoint([np.array([0, 1]), np.array([], dtype=np.int64)])
+
+
+class TestResponseTimes:
+    def test_first_serve_uses_entry_request_tick(self):
+        # core 1 entered waiting since tick 3; served at ticks 10 and 12.
+        order, th, tk, w = response_times(
+            np.array([1, 1]), np.array([10, 12]), np.array([0, 3])
+        )
+        assert th.tolist() == [1, 1]
+        assert w.tolist() == [10 - 3 + 1, 12 - 10]
+
+    def test_thread_major_stable_order(self):
+        serve_threads = np.array([2, 0, 2, 0])
+        serve_ticks = np.array([5, 6, 8, 9])
+        order, th, tk, w = response_times(
+            serve_threads, serve_ticks, np.array([4, 0, 4])
+        )
+        assert th.tolist() == [0, 0, 2, 2]
+        assert tk.tolist() == [6, 9, 5, 8]
+        # first serve per core answers the entry request (w = tk-4+1);
+        # later serves answer consecutive requests (w = tick diff).
+        assert w.tolist() == [3, 3, 2, 3]
+        # the permutation recovers chronological order by scatter
+        chrono = np.empty(4, dtype=np.int64)
+        chrono[order] = w
+        assert chrono.tolist() == [2, 3, 3, 3]
+
+    def test_empty(self):
+        order, th, tk, w = response_times(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([0, 0]),
+        )
+        assert len(order) == len(th) == len(tk) == len(w) == 0
+
+
+class TestPlanDrain:
+    def _plan(self, threads=(), horizon=1000):
+        from repro.core.arbitration import FIFOArbitration
+
+        policy = FIFOArbitration(8)
+        for thread in threads:
+            policy.enqueue(thread)
+        return policy.drain_plan(2, horizon)
+
+    def test_short_interval_rejected(self):
+        sched = plan_drain(
+            self._plan(horizon=MIN_FF_TICKS - 1),
+            start=0,
+            channels=2,
+            capacity=8,
+            resident0=0,
+            queue0=0,
+            h_threads=[],
+            b_threads=[0, 1],
+            grant_avail={0: 5, 1: 5},
+            completes={0: True, 1: True},
+        )
+        assert sched is None
+
+    def test_simple_two_core_drain(self):
+        # Two cores, one channel, plenty of window: strict alternation.
+        sched = plan_drain(
+            self._plan(),
+            start=0,
+            channels=1,
+            capacity=8,
+            resident0=0,
+            queue0=0,
+            h_threads=[],
+            b_threads=[0, 1],
+            grant_avail={0: 4, 1: 4},
+            completes={0: False, 1: False},
+        )
+        assert sched is not None
+        assert sched.start == 0
+        grants = list(zip(sched.grant_ticks, sched.grant_threads))
+        # entry tick grants the first queued core; alternation follows
+        assert grants[0] == (0, 0)
+        assert grants[1] == (1, 1)
+        # each grant at t is served at t+1
+        serves = dict(zip(sched.serve_ticks, sched.serve_threads))
+        for tick, thread in grants:
+            if tick + 1 < sched.end:
+                assert serves[tick + 1] == thread
+        assert sched.total_evictions == 0  # capacity 8 never exceeded
+
+    def test_window_exhaustion_bounds_grants(self):
+        sched = plan_drain(
+            self._plan(),
+            start=0,
+            channels=1,
+            capacity=64,
+            resident0=0,
+            queue0=0,
+            h_threads=[],
+            b_threads=[0, 1],
+            grant_avail={0: 2, 1: 2},
+            completes={0: False, 1: False},
+        )
+        if sched is not None:
+            counts = np.bincount(
+                np.asarray(sched.grant_threads, dtype=np.int64), minlength=2
+            )
+            assert counts[0] <= 2 and counts[1] <= 2
+
+
+# -- property-based: FF differential on random disjoint workloads ----------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=24),
+    st.sampled_from(["fifo", "priority", "dynamic_priority"]),
+    st.integers(0, 2**31 - 1),
+)
+def test_ff_differential_random(p, pages, q, k, arb, seed):
+    rng = np.random.default_rng(seed)
+    traces = [
+        (1000 * i + rng.integers(0, pages, size=int(rng.integers(5, 60))))
+        .tolist()
+        for i in range(p)
+    ]
+    cfg = SimulationConfig(
+        hbm_slots=max(k, q + 1),
+        channels=q,
+        arbitration=arb,
+        remap_period=37,
+        seed=5,
+    )
+    baseline = run_with_ff(Simulator, traces, cfg, False)
+    for engine_cls in ENGINES:
+        assert_results_equal(
+            run_with_ff(engine_cls, traces, cfg, True), baseline
+        )

@@ -116,9 +116,25 @@ class TestHandCases:
             ("spgemm", dict(n=40, density=0.1, page_bytes=512, coalesce=True), 24),
             ("bfs", dict(vertices=80, avg_degree=4.0, page_bytes=512), 12),
             ("jacobi", dict(n=300, iters=2, page_bytes=512), 8),
+            ("adversarial_cycle", dict(pages=12, repeats=8), 24),
         ]:
             wl = make_workload(kind, threads=4, seed=0, **kwargs)
             assert_identical(wl.traces, SimulationConfig(hbm_slots=k))
+
+    @pytest.mark.parametrize(
+        "arb", ["fifo", "priority", "dynamic_priority", "cycle_priority"]
+    )
+    @pytest.mark.parametrize("q", [1, 2, 4])
+    def test_adversarial_fifo_family_matrix(self, arb, q):
+        # Miss-bound cyclic workload: the fast-forward's home turf. The
+        # full ref-vs-fast battery must hold with FF engaged end to end.
+        wl = make_workload("adversarial_cycle", threads=6, pages=10, repeats=5)
+        cfg = SimulationConfig(
+            hbm_slots=20, channels=q, arbitration=arb, remap_period=37, seed=2
+        )
+        fast = assert_identical(wl.traces, cfg)
+        if arb in ("fifo", "priority"):
+            assert fast.ff_intervals > 0
 
 
 class TestVectorPathExercised:
@@ -297,3 +313,65 @@ def test_fast_matches_reference_wide(seed):
     k = int(rng.integers(4, p * pages))
     cfg = SimulationConfig(hbm_slots=k, seed=int(rng.integers(100)))
     assert_identical(traces, cfg)
+
+
+class TestVectorThreshold:
+    """vector_threshold(): override > env > calibrated measurement."""
+
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        from repro.core.fastengine import set_vector_threshold
+
+        previous = set_vector_threshold(None)
+        yield
+        set_vector_threshold(previous)
+
+    def test_setter_round_trip(self):
+        from repro.core.fastengine import set_vector_threshold, vector_threshold
+
+        assert set_vector_threshold(10) is None
+        assert vector_threshold() == 10
+        assert set_vector_threshold(None) == 10
+
+    def test_setter_rejects_non_positive(self):
+        from repro.core.fastengine import set_vector_threshold
+
+        with pytest.raises(ValueError):
+            set_vector_threshold(0)
+
+    def test_env_variable(self, monkeypatch):
+        from repro.core.fastengine import vector_threshold
+
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "17")
+        assert vector_threshold() == 17
+
+    def test_override_beats_env(self, monkeypatch):
+        from repro.core.fastengine import set_vector_threshold, vector_threshold
+
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "17")
+        set_vector_threshold(9)
+        assert vector_threshold() == 9
+
+    def test_calibration_is_clamped_and_cached(self, monkeypatch):
+        from repro.core import fastengine
+
+        monkeypatch.delenv("REPRO_VECTOR_THRESHOLD", raising=False)
+        value = fastengine.vector_threshold()
+        assert 8 <= value <= 96
+        # second call must reuse the cached measurement
+        assert fastengine._calibrated_threshold == value
+        assert fastengine.vector_threshold() == value
+
+    def test_results_do_not_depend_on_threshold(self):
+        from repro.core.fastengine import set_vector_threshold
+
+        wl = make_workload("adversarial_cycle", threads=12, pages=8, repeats=4)
+        cfg = SimulationConfig(hbm_slots=32, channels=2)
+        results = []
+        for threshold in (1, 6, 96):
+            set_vector_threshold(threshold)
+            results.append(FastSimulator(wl.traces, cfg).run())
+        for other in results[1:]:
+            assert other.makespan == results[0].makespan
+            assert other.response_histogram == results[0].response_histogram
+            assert other.evictions == results[0].evictions
