@@ -30,7 +30,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from .analysis import set_result_cache_default, write_csv
+from .analysis import (
+    SweepFailure,
+    set_execution_defaults,
+    set_result_cache_default,
+    write_csv,
+)
 from .core import ENGINE_CHOICES, SimulationConfig, set_default_engine, simulate
 from .experiments import EXPERIMENTS, experiment_ids, run_experiment
 from .obs import (
@@ -99,6 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 0 even when shape checks fail (failures are still "
         "printed)",
     )
+    run_p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry attempts per failed sweep job (default: 1)",
+    )
+    run_p.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline; an overrunning job fails the attempt "
+        "(default: no deadline)",
+    )
+    fail_mode = run_p.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--keep-going", dest="failure_mode", action="store_const",
+        const="keep_going",
+        help="record permanently failed sweep jobs as failed records "
+        "and finish the campaign (default)",
+    )
+    fail_mode.add_argument(
+        "--strict", dest="failure_mode", action="store_const",
+        const="strict",
+        help="abort the campaign on the first permanently failed sweep "
+        "job (completed records stay in the result cache)",
+    )
+    run_p.set_defaults(failure_mode=None)
     _add_engine_flags(run_p)
 
     sim_p = sub.add_parser("simulate", help="run one ad-hoc simulation")
@@ -243,20 +271,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     failed: list[str] = []
     outputs = []
     # Experiment runners take (scale, processes, cache_dir, seed) only;
-    # engine choice and result-cache policy flow through module-level
-    # defaults, restored afterwards so in-process callers are unaffected.
+    # engine choice, result-cache policy, and fault-tolerance knobs flow
+    # through module-level defaults, restored afterwards so in-process
+    # callers are unaffected.
+    exec_overrides = {}
+    if args.retries is not None:
+        exec_overrides["retries"] = args.retries
+    if args.job_timeout is not None:
+        exec_overrides["job_timeout"] = args.job_timeout
+    if args.failure_mode is not None:
+        exec_overrides["failure_mode"] = args.failure_mode
     prev_engine = set_default_engine(args.engine)
     prev_cache = set_result_cache_default(not args.no_result_cache)
+    prev_exec = set_execution_defaults(**exec_overrides)
     try:
         for experiment_id in ids:
-            out = run_experiment(
-                experiment_id,
-                scale=args.scale,
-                processes=args.processes,
-                cache_dir=args.cache_dir,
-                seed=args.seed,
-                save_dir=args.save,
-            )
+            try:
+                out = run_experiment(
+                    experiment_id,
+                    scale=args.scale,
+                    processes=args.processes,
+                    cache_dir=args.cache_dir,
+                    seed=args.seed,
+                    save_dir=args.save,
+                )
+            except SweepFailure as exc:
+                print(
+                    f"campaign {experiment_id!r} aborted (--strict): {exc}",
+                    file=sys.stderr,
+                )
+                return 3
             outputs.append(out)
             print(out.render())
             print()
@@ -272,6 +316,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         set_default_engine(prev_engine)
         set_result_cache_default(prev_cache)
+        set_execution_defaults(**prev_exec)
     if args.report:
         from .analysis import write_report
 

@@ -1,31 +1,43 @@
 """Sweep harness, statistics, and terminal rendering."""
 
 from .asciiplot import line_plot, scatter_plot, sparkline
+from .faults import InjectedFault, parse_fault_plan, set_fault_plan
 from .report import markdown_table, render_report, write_report
 from .resultcache import ResultCache, sweep_result_key
 from .stats import fairness_summary, group_records, ratio_series
 from .sweep import (
     CampaignStats,
+    JobTimeout,
     PayloadRequest,
+    SweepError,
+    SweepFailure,
     SweepJob,
     SweepPayload,
     SweepRecord,
     SweepRunner,
     WorkloadSpec,
     run_sweep,
+    set_execution_defaults,
     set_result_cache_default,
 )
 from .tables import format_table, to_csv, write_csv
 
 __all__ = [
     "CampaignStats",
+    "InjectedFault",
+    "JobTimeout",
     "PayloadRequest",
+    "SweepError",
+    "SweepFailure",
     "SweepJob",
     "SweepPayload",
     "SweepRecord",
     "SweepRunner",
     "WorkloadSpec",
+    "parse_fault_plan",
     "run_sweep",
+    "set_execution_defaults",
+    "set_fault_plan",
     "set_result_cache_default",
     "ResultCache",
     "sweep_result_key",

@@ -1,0 +1,171 @@
+"""Deterministic fault injection for the sweep harness.
+
+The fault-tolerance machinery in :mod:`repro.analysis.sweep` (per-job
+retries, timeouts, process-pool rebuilds) is only trustworthy if it can
+be exercised on demand — worker crashes are otherwise too rare and too
+nondeterministic to test. This module turns the ``REPRO_FAULT_INJECT``
+environment variable into a *fault plan* that sweep workers consult at
+the top of every job attempt. The variable (rather than an in-process
+registry) is the carrier so that the plan survives the hop into pool
+worker processes, which inherit the parent's environment under both
+``fork`` and ``spawn`` start methods.
+
+Plan syntax: ``;``-separated specs of the form ``mode:match[:opts]``
+
+* ``mode`` — what to do when the spec fires:
+
+  - ``raise`` — raise :class:`InjectedFault` (a plain worker exception);
+  - ``sleep`` — block for ``seconds`` (use with a per-job timeout to
+    exercise the deadline path);
+  - ``kill``  — ``SIGKILL`` the executing process, which the parent
+    observes as a ``BrokenProcessPool``. Only meaningful under a
+    process pool: with ``processes<=1`` this kills the campaign's own
+    process.
+
+* ``match`` — a substring of the job ``tag`` (``*`` matches every job).
+
+* ``opts`` — comma-separated ``key=value`` pairs:
+
+  - ``attempts=N`` — fire only while the job's attempt number is
+    ``<= N`` (default 1, so a single retry clears the fault;
+    ``attempts=0`` fires on every attempt);
+  - ``seconds=S`` — sleep duration for ``sleep`` (default 30).
+
+Examples::
+
+    REPRO_FAULT_INJECT="raise:victim"             # first attempt raises
+    REPRO_FAULT_INJECT="sleep:slow:seconds=5"     # overrun the timeout
+    REPRO_FAULT_INJECT="kill:*:attempts=1"        # every job's first try dies
+    REPRO_FAULT_INJECT="raise:a;kill:b"           # two independent faults
+
+Everything here is deterministic given the job tag and attempt number,
+so faulty campaigns are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_ENV",
+    "FaultSpec",
+    "InjectedFault",
+    "active_fault_plan",
+    "maybe_inject",
+    "parse_fault_plan",
+    "set_fault_plan",
+]
+
+#: environment variable holding the fault plan (inherited by workers)
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+_MODES = ("raise", "sleep", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by a ``raise``-mode fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: when to fire and what to do."""
+
+    mode: str
+    match: str = "*"
+    #: fire while ``attempt <= attempts``; 0 means every attempt
+    attempts: int = 1
+    #: sleep duration for ``sleep`` mode
+    seconds: float = 30.0
+
+    def fires(self, tag: str, attempt: int) -> bool:
+        if self.attempts and attempt > self.attempts:
+            return False
+        return self.match == "*" or self.match in tag
+
+
+def parse_fault_plan(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULT_INJECT`` value into fault specs."""
+    specs: list[FaultSpec] = []
+    for item in text.split(";"):
+        item = item.strip()
+        if not item:
+            continue
+        parts = item.split(":")
+        mode = parts[0].strip().lower()
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown fault mode {mode!r} in {item!r}; known: {_MODES}"
+            )
+        match = parts[1].strip() if len(parts) > 1 and parts[1].strip() else "*"
+        attempts = 1
+        seconds = 30.0
+        if len(parts) > 2 and parts[2].strip():
+            for opt in parts[2].split(","):
+                key, _, raw = opt.partition("=")
+                key = key.strip()
+                if key == "attempts":
+                    attempts = int(raw)
+                elif key == "seconds":
+                    seconds = float(raw)
+                else:
+                    raise ValueError(
+                        f"unknown fault option {key!r} in {item!r}"
+                    )
+        specs.append(
+            FaultSpec(mode=mode, match=match, attempts=attempts, seconds=seconds)
+        )
+    return tuple(specs)
+
+
+def set_fault_plan(text: str | None) -> str | None:
+    """Install (or clear, with ``None``) the process-wide fault plan.
+
+    Returns the previous plan so callers can restore it. The plan lives
+    in ``os.environ`` so future pool workers inherit it; it is validated
+    eagerly so a typo fails in the test, not silently in a worker.
+    """
+    previous = os.environ.get(FAULT_ENV)
+    if text is None:
+        os.environ.pop(FAULT_ENV, None)
+    else:
+        parse_fault_plan(text)  # validate before installing
+        os.environ[FAULT_ENV] = text
+    return previous
+
+
+def active_fault_plan() -> tuple[FaultSpec, ...]:
+    """The currently installed fault plan (empty when none/invalid).
+
+    An unparseable plan is ignored rather than raised: a worker must
+    never crash *because of* the crash-testing machinery itself.
+    """
+    text = os.environ.get(FAULT_ENV)
+    if not text:
+        return ()
+    try:
+        return parse_fault_plan(text)
+    except ValueError:
+        return ()
+
+
+def maybe_inject(tag: str, attempt: int) -> None:
+    """Fire every installed fault that matches this job attempt.
+
+    Called by the sweep worker at the top of each attempt, inside the
+    per-job deadline (so a ``sleep`` fault is interruptible by the
+    timeout machinery it exists to test).
+    """
+    for spec in active_fault_plan():
+        if not spec.fires(tag, attempt):
+            continue
+        if spec.mode == "raise":
+            raise InjectedFault(
+                f"injected fault for job tag={tag!r} (attempt {attempt})"
+            )
+        if spec.mode == "sleep":
+            time.sleep(spec.seconds)
+        elif spec.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -95,7 +95,18 @@ class ResultCache:
         return payload if isinstance(payload, dict) else None
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
-        """Store ``payload`` under ``key`` atomically."""
+        """Store ``payload`` under ``key`` atomically.
+
+        Refuses payloads flagged as failed: a cache entry asserts "this
+        (spec, config) simulated successfully", and replaying a
+        transient worker failure forever would poison every later
+        campaign. The sweep harness never offers failed records; this
+        guard catches any future caller that tries.
+        """
+        if payload.get("error"):
+            raise ValueError(
+                f"refusing to cache failed sweep result under key {key!r}"
+            )
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
@@ -103,11 +114,14 @@ class ResultCache:
         os.replace(tmp, path)
 
     def clear(self) -> int:
-        """Delete every cached result; returns the number removed."""
+        """Delete every cached result (and any stale ``*.tmp*`` files
+        left by killed writers); returns the number removed."""
         removed = 0
         if self.directory.exists():
-            for f in self.directory.glob("*.json"):
-                f.unlink()
+            stale = set(self.directory.glob("*.json"))
+            stale.update(self.directory.glob("*.tmp*"))
+            for f in stale:
+                f.unlink(missing_ok=True)
                 removed += 1
         return removed
 

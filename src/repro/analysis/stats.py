@@ -12,9 +12,12 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..core import SimulationResult
+from ..obs.log import get_logger, warn_once
 from .sweep import SweepRecord
 
 __all__ = ["ratio_series", "group_records", "fairness_summary"]
+
+log = get_logger("analysis.stats")
 
 
 def group_records(
@@ -59,6 +62,22 @@ def ratio_series(
     series = []
     for key in sorted(num.keys() & den.keys()):
         if den[key] == 0:
+            # A zero-makespan (or zero-metric) record points at an
+            # upstream bug — an empty workload, a failed sweep record
+            # aggregated by mistake. Dropping the point silently would
+            # bury that, so name it; once per key so replayed campaigns
+            # don't flood the log.
+            warn_once(
+                log,
+                ("ratio_series", numerator, denominator, key),
+                "ratio_series: dropping point x=%r (hbm_slots=%r, "
+                "channels=%r): %s record has zero %s in the denominator",
+                key[0],
+                key[1],
+                key[2],
+                denominator,
+                getattr(metric, "__name__", "metric"),
+            )
             continue
         series.append((key[0], num[key] / den[key]))
     return series

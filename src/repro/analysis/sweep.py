@@ -20,16 +20,36 @@ Two further levers make repeated campaigns cheap:
 * **longest-job-first scheduling**: pool submissions are ordered by a
   crude cost hint so one straggler at the end of the job list no
   longer serializes the tail of the campaign.
+
+Campaigns are also **fault-tolerant**: a worker exception, a job that
+overruns its deadline, or an OOM-killed worker process must never abort
+the sweep or discard finished work. Each job gets bounded retries with
+exponential backoff; a job that exhausts them yields a *failed*
+:class:`SweepRecord` carrying a structured :class:`SweepError` instead
+of metrics (``keep_going`` mode, the default) or raises
+:class:`SweepFailure` (``strict`` mode). A ``BrokenProcessPool`` — the
+signature of a worker dying mid-job — rebuilds the pool and resubmits
+only the jobs whose futures were lost; everything already finished was
+stored incrementally (records and result-cache entries are written as
+each future completes) and is never re-run. Failed records are never
+written to the result cache. The whole path is exercised by the
+deterministic fault-injection hooks in :mod:`repro.analysis.faults`.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
+import signal
+import threading
 import time
+import traceback as traceback_mod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from ..core import SimulationConfig, SimulationResult
 from ..core.fastengine import default_engine, resolve_engine, simulate
@@ -41,6 +61,7 @@ from ..core.metrics import (
 from ..obs.log import get_logger
 from ..obs.manifest import MANIFEST_SCHEMA, host_info
 from ..traces import Workload, WorkloadCache, make_workload
+from .faults import maybe_inject
 from .resultcache import ResultCache, sweep_result_key
 
 __all__ = [
@@ -49,13 +70,149 @@ __all__ = [
     "SweepPayload",
     "SweepJob",
     "SweepRecord",
+    "SweepError",
+    "SweepFailure",
+    "JobTimeout",
     "SweepRunner",
     "CampaignStats",
     "run_sweep",
     "set_result_cache_default",
+    "set_execution_defaults",
 ]
 
 log = get_logger("sweep")
+
+
+class JobTimeout(Exception):
+    """A sweep job overran its per-job deadline."""
+
+
+@dataclass(frozen=True)
+class SweepError:
+    """Structured description of why a sweep job failed.
+
+    Attached to the failed job's :class:`SweepRecord` (``keep_going``
+    mode) or carried by :class:`SweepFailure` (``strict`` mode), so a
+    campaign post-mortem never depends on scraping logs.
+
+    ``kind`` is one of:
+
+    * ``"exception"`` — the job raised in the worker;
+    * ``"timeout"`` — the job overran ``job_timeout`` seconds;
+    * ``"worker-lost"`` — the worker process died (OOM-kill, signal)
+      and the job could not be recovered within the pool-rebuild
+      budget.
+    """
+
+    kind: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    #: total attempts consumed (1 = failed on the first try, no retry)
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+class SweepFailure(RuntimeError):
+    """Raised in ``strict`` mode when a job permanently fails."""
+
+    def __init__(self, job: "SweepJob", error: SweepError) -> None:
+        super().__init__(
+            f"sweep job tag={job.tag!r} "
+            f"({job.workload.kind} x {job.config.arbitration}) failed: "
+            f"{error.describe()}"
+        )
+        self.job = job
+        self.error = error
+
+
+@contextmanager
+def _job_deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`JobTimeout` if the body runs longer than ``seconds``.
+
+    Uses ``SIGALRM`` (via ``setitimer``, so fractional seconds work),
+    which interrupts the pure-Python tick loops that dominate job run
+    time. Enforcement requires the main thread of a POSIX process —
+    exactly what a pool worker is; anywhere else (embedders driving the
+    runner from a helper thread) the deadline is quietly unenforced
+    rather than wrong.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: Any) -> None:
+        raise JobTimeout(f"job exceeded its {seconds:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+#: process-wide execution-policy defaults; per-runner arguments override.
+_UNSET = object()
+_EXECUTION_DEFAULTS: dict[str, Any] = {
+    "retries": 1,
+    "job_timeout": None,
+    "failure_mode": "keep_going",
+    "retry_backoff_s": 0.05,
+}
+
+_FAILURE_MODES = ("keep_going", "strict")
+
+#: how many times one campaign may rebuild a broken process pool before
+#: declaring the still-lost jobs failed (guards against a fault that
+#: kills every worker on every attempt)
+_MAX_POOL_REBUILDS = 3
+
+
+def set_execution_defaults(
+    retries: Any = _UNSET,
+    job_timeout: Any = _UNSET,
+    failure_mode: Any = _UNSET,
+    retry_backoff_s: Any = _UNSET,
+) -> dict[str, Any]:
+    """Set process-wide fault-tolerance defaults; returns the old ones.
+
+    Used by the CLI's ``--retries`` / ``--job-timeout`` /
+    ``--strict`` / ``--keep-going`` flags (the experiment registry's
+    ``(scale, processes, cache_dir, seed)`` signature has no room for
+    them); individual :class:`SweepRunner` s can still override via
+    constructor arguments. Restore with
+    ``set_execution_defaults(**previous)``.
+    """
+    previous = dict(_EXECUTION_DEFAULTS)
+    if retries is not _UNSET:
+        if retries is None or int(retries) < 0:
+            raise ValueError(f"retries must be a non-negative int, got {retries!r}")
+        _EXECUTION_DEFAULTS["retries"] = int(retries)
+    if job_timeout is not _UNSET:
+        _EXECUTION_DEFAULTS["job_timeout"] = (
+            float(job_timeout) if job_timeout is not None else None
+        )
+    if failure_mode is not _UNSET:
+        if failure_mode not in _FAILURE_MODES:
+            raise ValueError(
+                f"failure_mode must be one of {_FAILURE_MODES}, got {failure_mode!r}"
+            )
+        _EXECUTION_DEFAULTS["failure_mode"] = failure_mode
+    if retry_backoff_s is not _UNSET:
+        _EXECUTION_DEFAULTS["retry_backoff_s"] = float(retry_backoff_s)
+    return previous
 
 
 @dataclass(frozen=True)
@@ -264,6 +421,11 @@ class SweepRecord:
 
     ``payload`` holds the extra data the job requested (response
     distributions, raw series, probe samples); ``None`` for slim jobs.
+
+    ``error`` is set only on a *failed* record (``keep_going`` mode, job
+    exhausted its retries): the metric fields are all zero and the
+    record is never written to the result cache. Filter with
+    :attr:`failed` before aggregating.
     """
 
     job: SweepJob
@@ -279,10 +441,33 @@ class SweepRecord:
     wall_time_s: float
     cached: bool = False
     payload: SweepPayload | None = None
+    error: SweepError | None = None
 
     @property
     def misses(self) -> int:
         return self.total_requests - self.hits
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @classmethod
+    def from_error(cls, job: SweepJob, error: SweepError) -> "SweepRecord":
+        """A failed-job placeholder record (all metrics zero)."""
+        return cls(
+            job=job,
+            makespan=0,
+            mean_response=0.0,
+            inconsistency=0.0,
+            max_response=0,
+            hit_rate=0.0,
+            total_requests=0,
+            hits=0,
+            fetches=0,
+            evictions=0,
+            wall_time_s=0.0,
+            error=error,
+        )
 
     @classmethod
     def from_result(
@@ -328,6 +513,8 @@ class SweepRecord:
             "evictions": self.evictions,
             "wall_time_s": round(self.wall_time_s, 6),
             "cached": self.cached,
+            "failed": self.failed,
+            "error": self.error.error_type if self.error is not None else "",
         }
 
 
@@ -367,23 +554,54 @@ def _engine_config(job: SweepJob) -> tuple[SimulationConfig, Any]:
     return (job.config.replace(**changes) if changes else job.config), probe
 
 
-def _run_job(job: SweepJob) -> tuple[SweepRecord, dict[str, Any]]:
-    cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
-    build_start = time.perf_counter()
-    workload = job.workload.build(cache)
-    build_s = time.perf_counter() - build_start
-    # Dispatch through the engine selector: eligible (LRU, protected,
-    # disjoint) configs take the vectorized fast path, everything else
-    # falls back to the reference engine with identical results. The
-    # Workload object is passed whole so its build-time attestation
-    # replaces the per-dispatch disjointness scan.
-    config, probe = _engine_config(job)
-    result = simulate(workload, config, engine=_WORKER_ENGINE)
-    payload = SweepPayload.from_result(job.payload, result, probe)
-    record = SweepRecord.from_result(job, result, payload)
+def _run_job(
+    job: SweepJob, attempt: int = 1, timeout: float | None = None
+) -> tuple[SweepRecord, dict[str, Any]] | SweepError:
+    """Execute one job attempt; never raises for job-level failures.
+
+    Returns ``(record, manifest)`` on success and a :class:`SweepError`
+    on exception or deadline overrun, so the parent's retry logic is
+    identical for the in-process and pool paths (a raised exception
+    would lose the exact worker-side traceback across the pool
+    boundary). A SIGKILLed worker obviously returns nothing; the parent
+    observes that as ``BrokenProcessPool``.
+    """
+    try:
+        with _job_deadline(timeout):
+            maybe_inject(job.tag, attempt)
+            cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
+            build_start = time.perf_counter()
+            workload = job.workload.build(cache)
+            build_s = time.perf_counter() - build_start
+            # Dispatch through the engine selector: eligible (LRU,
+            # protected, disjoint) configs take the vectorized fast
+            # path, everything else falls back to the reference engine
+            # with identical results. The Workload object is passed
+            # whole so its build-time attestation replaces the
+            # per-dispatch disjointness scan.
+            config, probe = _engine_config(job)
+            result = simulate(workload, config, engine=_WORKER_ENGINE)
+            payload = SweepPayload.from_result(job.payload, result, probe)
+            record = SweepRecord.from_result(job, result, payload)
+    except JobTimeout as exc:
+        return SweepError(
+            kind="timeout",
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback_mod.format_exc(),
+            attempts=attempt,
+        )
+    except Exception as exc:
+        return SweepError(
+            kind="exception",
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback_mod.format_exc(),
+            attempts=attempt,
+        )
     # Run manifest stored alongside the metrics in the result cache, so
     # a replayed record stays auditable: which engine produced it, on
-    # what host, and where the wall time went.
+    # what host, where the wall time went, and on which attempt.
     manifest = {
         "schema": MANIFEST_SCHEMA,
         "engine": resolve_engine(workload, config, _WORKER_ENGINE),
@@ -392,15 +610,20 @@ def _run_job(job: SweepJob) -> tuple[SweepRecord, dict[str, Any]]:
             "workload_build_s": round(build_s, 6),
             "run_s": round(result.wall_time_s, 6),
         },
+        "execution": {"attempt": attempt},
     }
     return record, manifest
 
 
 #: SweepRecord fields persisted by the result cache as plain scalars
 #: (the job is supplied by the caller on a hit; the payload has its own
-#: JSON encoding).
+#: JSON encoding; errors are excluded because failed records are never
+#: cached — including the field would also invalidate every pre-error
+#: cache entry via the all-fields-present check below).
 _RESULT_FIELDS = tuple(
-    f.name for f in fields(SweepRecord) if f.name not in ("job", "payload")
+    f.name
+    for f in fields(SweepRecord)
+    if f.name not in ("job", "payload", "error")
 )
 
 #: spec params that scale simulated work, for the scheduling cost hint
@@ -456,14 +679,29 @@ class CampaignStats:
     only *fresh* records' simulation time (cache hits replay the
     original ``wall_time_s``, which must not be double-counted — see
     :attr:`SweepRecord.cached`).
+
+    The fault-tolerance counters:
+
+    * ``failed`` — jobs that exhausted their retries and produced a
+      failed record (``keep_going`` mode only; ``strict`` raises);
+    * ``retried`` — individual retry attempts performed (a job that
+      succeeded on its third attempt contributes 2);
+    * ``recovered`` — in-flight jobs resubmitted after their worker
+      process died (``BrokenProcessPool``);
+    * ``pool_rebuilds`` — process-pool reconstructions this campaign.
     """
 
     total_jobs: int = 0
     cache_hits: int = 0
     simulated: int = 0
+    failed: int = 0
+    retried: int = 0
+    recovered: int = 0
+    pool_rebuilds: int = 0
     wall_time_s: float = 0.0
     sim_time_s: float = 0.0
-    #: (workload kind, arbitration policy) -> {jobs, cached, sim_wall_s}
+    #: (workload kind, arbitration policy) ->
+    #: {jobs, cached, failed, sim_wall_s}
     by_group: dict[tuple[str, str], dict[str, Any]] = field(default_factory=dict)
 
     @property
@@ -472,16 +710,30 @@ class CampaignStats:
 
     @classmethod
     def collect(
-        cls, records: Sequence["SweepRecord"], wall_time_s: float
+        cls,
+        records: Sequence["SweepRecord"],
+        wall_time_s: float,
+        retried: int = 0,
+        recovered: int = 0,
+        pool_rebuilds: int = 0,
     ) -> "CampaignStats":
-        stats = cls(total_jobs=len(records), wall_time_s=wall_time_s)
+        stats = cls(
+            total_jobs=len(records),
+            wall_time_s=wall_time_s,
+            retried=retried,
+            recovered=recovered,
+            pool_rebuilds=pool_rebuilds,
+        )
         for record in records:
             key = (record.job.workload.kind, record.job.config.arbitration)
             group = stats.by_group.setdefault(
-                key, {"jobs": 0, "cached": 0, "sim_wall_s": 0.0}
+                key, {"jobs": 0, "cached": 0, "failed": 0, "sim_wall_s": 0.0}
             )
             group["jobs"] += 1
-            if record.cached:
+            if record.failed:
+                stats.failed += 1
+                group["failed"] += 1
+            elif record.cached:
                 stats.cache_hits += 1
                 group["cached"] += 1
             else:
@@ -491,33 +743,48 @@ class CampaignStats:
         return stats
 
     def summary_table(self) -> str:
-        """Wall-time-by-(kind, policy) campaign digest."""
+        """Wall-time-by-(kind, policy) campaign digest.
+
+        The failure column and counters appear only when something
+        actually failed or retried, so a healthy campaign's digest is
+        unchanged from the pre-fault-tolerance format.
+        """
         from .tables import format_table
 
-        rows = [
-            {
+        show_failures = bool(self.failed)
+        rows: list[dict[str, Any]] = []
+        for (kind, arb), group in sorted(self.by_group.items()):
+            row = {
                 "workload": kind,
                 "arbitration": arb,
                 "jobs": group["jobs"],
                 "cached": group["cached"],
                 "sim_wall_s": round(group["sim_wall_s"], 4),
             }
-            for (kind, arb), group in sorted(self.by_group.items())
-        ]
-        rows.append(
-            {
-                "workload": "TOTAL",
-                "arbitration": "",
-                "jobs": self.total_jobs,
-                "cached": self.cache_hits,
-                "sim_wall_s": round(self.sim_time_s, 4),
-            }
-        )
+            if show_failures:
+                row["failed"] = group.get("failed", 0)
+            rows.append(row)
+        total = {
+            "workload": "TOTAL",
+            "arbitration": "",
+            "jobs": self.total_jobs,
+            "cached": self.cache_hits,
+            "sim_wall_s": round(self.sim_time_s, 4),
+        }
+        if show_failures:
+            total["failed"] = self.failed
+        rows.append(total)
         title = (
             f"campaign: {self.total_jobs} jobs, {self.cache_hits} cache hits "
             f"({self.cache_hit_rate:.0%}), wall {self.wall_time_s:.2f}s "
             f"(simulation {self.sim_time_s:.2f}s)"
         )
+        if self.failed or self.retried or self.recovered:
+            title += (
+                f" [{self.failed} failed, {self.retried} retried, "
+                f"{self.recovered} recovered, "
+                f"{self.pool_rebuilds} pool rebuilds]"
+            )
         return format_table(rows, title=title)
 
 
@@ -555,6 +822,25 @@ class SweepRunner:
     start/summary, DEBUG: per-job completions) and the
     :class:`CampaignStats` left in :attr:`last_campaign` after each
     :meth:`run`.
+
+    Fault tolerance (defaults from :func:`set_execution_defaults`):
+
+    ``retries``
+        Retry attempts per job after its first failure (exponential
+        backoff starting at ``retry_backoff_s``).
+    ``job_timeout``
+        Per-attempt deadline in seconds (``None``/``<=0`` disables);
+        an overrun fails the attempt with a ``"timeout"`` error.
+    ``failure_mode``
+        ``"keep_going"`` (default) turns a permanently failed job into
+        a failed :class:`SweepRecord` and finishes the campaign;
+        ``"strict"`` raises :class:`SweepFailure` at the first
+        permanent failure (records stored so far stay in the result
+        cache, so a fixed re-run only repeats the unfinished jobs).
+
+    A dead worker process (``BrokenProcessPool``) never aborts the
+    campaign: the pool is rebuilt and only the jobs whose futures were
+    lost are resubmitted, up to ``_MAX_POOL_REBUILDS`` times.
     """
 
     def __init__(
@@ -563,12 +849,36 @@ class SweepRunner:
         cache_dir: str | os.PathLike | None = None,
         engine: str | None = None,
         result_cache: bool | None = None,
+        retries: int | None = None,
+        job_timeout: float | None = None,
+        failure_mode: str | None = None,
+        retry_backoff_s: float | None = None,
     ) -> None:
         self.processes = processes if processes is not None else (os.cpu_count() or 1)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.engine = engine if engine is not None else default_engine()
         self.result_cache = (
             result_cache if result_cache is not None else _RESULT_CACHE_DEFAULT
+        )
+        defaults = _EXECUTION_DEFAULTS
+        self.retries = int(retries) if retries is not None else defaults["retries"]
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        self.job_timeout = (
+            float(job_timeout) if job_timeout is not None else defaults["job_timeout"]
+        )
+        self.failure_mode = (
+            failure_mode if failure_mode is not None else defaults["failure_mode"]
+        )
+        if self.failure_mode not in _FAILURE_MODES:
+            raise ValueError(
+                f"failure_mode must be one of {_FAILURE_MODES}, "
+                f"got {self.failure_mode!r}"
+            )
+        self.retry_backoff_s = (
+            float(retry_backoff_s)
+            if retry_backoff_s is not None
+            else defaults["retry_backoff_s"]
         )
         #: telemetry from the most recent :meth:`run`
         self.last_campaign: CampaignStats | None = None
@@ -630,7 +940,13 @@ class SweepRunner:
 
         def _store(idx: int, record: SweepRecord, manifest: dict[str, Any]) -> None:
             records[idx] = record
-            if cache is not None and keys[idx] is not None:
+            # Failed records never reach the cache: a later fault-free
+            # run must re-simulate them, not replay the failure.
+            if (
+                cache is not None
+                and keys[idx] is not None
+                and not record.failed
+            ):
                 cache.put(
                     keys[idx], {**_record_payload(record), "manifest": manifest}
                 )
@@ -648,13 +964,28 @@ class SweepRunner:
                 record.wall_time_s,
             )
 
+        #: retry attempts / lost-worker resubmissions / pool rebuilds
+        counters = {"retried": 0, "recovered": 0, "rebuilds": 0}
+
+        def _fail(idx: int, error: SweepError) -> None:
+            job = jobs[idx]
+            if self.failure_mode == "strict":
+                raise SweepFailure(job, error)
+            log.warning(
+                "job failed permanently: tag=%r %s x %s/%s — %s",
+                job.tag,
+                job.workload.kind,
+                job.config.arbitration,
+                job.config.replacement,
+                error.describe(),
+            )
+            records[idx] = SweepRecord.from_error(job, error)
+
         if pending:
             if self.processes <= 1 or len(pending) == 1:
-                _pool_init(self.cache_dir, self.engine)
-                for done, idx in enumerate(pending, start=1):
-                    record, manifest = _run_job(jobs[idx])
-                    _store(idx, record, manifest)
-                    _progress(done, idx, record)
+                self._run_sequential(
+                    jobs, pending, _store, _progress, _fail, counters
+                )
             else:
                 self.prepare([jobs[idx] for idx in pending])
                 # Longest-job-first: order submissions by the cost hint
@@ -663,32 +994,236 @@ class SweepRunner:
                 order = sorted(
                     pending, key=lambda idx: _job_cost_hint(jobs[idx]), reverse=True
                 )
-                with ProcessPoolExecutor(
-                    max_workers=min(self.processes, len(pending)),
-                    initializer=_pool_init,
-                    initargs=(self.cache_dir, self.engine),
-                ) as pool:
-                    futures = {pool.submit(_run_job, jobs[idx]): idx for idx in order}
-                    done = 0
-                    not_done = set(futures)
-                    while not_done:
-                        finished, not_done = wait(
-                            not_done, return_when=FIRST_COMPLETED
-                        )
-                        for future in finished:
-                            idx = futures[future]
-                            record, manifest = future.result()
-                            done += 1
-                            _store(idx, record, manifest)
-                            _progress(done, idx, record)
+                self._run_pool(jobs, order, _store, _progress, _fail, counters)
 
         stats = CampaignStats.collect(
             records,  # type: ignore[arg-type]  # every slot filled
             wall_time_s=time.perf_counter() - campaign_start,
+            retried=counters["retried"],
+            recovered=counters["recovered"],
+            pool_rebuilds=counters["rebuilds"],
         )
         self.last_campaign = stats
         log.info("%s", stats.summary_table())
         return records  # type: ignore[return-value]  # every slot filled
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Delay before retrying after a failed ``attempt`` (1-based)."""
+        return self.retry_backoff_s * (2 ** (attempt - 1))
+
+    def _log_retry(self, job: SweepJob, error: SweepError, delay: float) -> None:
+        log.warning(
+            "job attempt %d/%d failed (tag=%r %s x %s): %s: %s — "
+            "retrying in %.2fs",
+            error.attempts,
+            self.retries + 1,
+            job.tag,
+            job.workload.kind,
+            job.config.arbitration,
+            error.error_type,
+            error.message,
+            delay,
+        )
+
+    def _run_sequential(
+        self,
+        jobs: Sequence[SweepJob],
+        pending: Sequence[int],
+        _store: Any,
+        _progress: Any,
+        _fail: Any,
+        counters: dict[str, int],
+    ) -> None:
+        """In-process execution with the same retry semantics as the pool."""
+        _pool_init(self.cache_dir, self.engine)
+        max_attempts = self.retries + 1
+        for done, idx in enumerate(pending, start=1):
+            job = jobs[idx]
+            attempt = 1
+            while True:
+                outcome = _run_job(job, attempt, self.job_timeout)
+                if not isinstance(outcome, SweepError):
+                    record, manifest = outcome
+                    _store(idx, record, manifest)
+                    _progress(done, idx, record)
+                    break
+                if attempt >= max_attempts:
+                    _fail(idx, outcome)
+                    break
+                counters["retried"] += 1
+                delay = self._backoff_s(attempt)
+                self._log_retry(job, outcome, delay)
+                time.sleep(delay)
+                attempt += 1
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_init,
+            initargs=(self.cache_dir, self.engine),
+        )
+
+    def _run_pool(
+        self,
+        jobs: Sequence[SweepJob],
+        order: Sequence[int],
+        _store: Any,
+        _progress: Any,
+        _fail: Any,
+        counters: dict[str, int],
+    ) -> None:
+        """Pool execution loop with retries and broken-pool recovery.
+
+        State: ``futures`` maps each in-flight future to its
+        ``(job index, attempt)``; ``retry_heap`` holds ``(ready_time,
+        index, attempt)`` for jobs waiting out their backoff. A
+        ``BrokenProcessPool`` (worker OOM-killed or died on a signal)
+        marks every unfinished future as *lost*, rebuilds the pool, and
+        resubmits exactly those jobs — completed futures keep their
+        results and are drained normally, and records already stored
+        are untouched, so nothing finished is ever re-run.
+        """
+        workers = min(self.processes, len(order))
+        max_attempts = self.retries + 1
+        pool = self._make_pool(workers)
+        futures: dict[Any, tuple[int, int]] = {}
+        retry_heap: list[tuple[float, int, int]] = []
+        done_count = 0
+        lost: list[tuple[int, int]] = []
+
+        def _submit(idx: int, attempt: int) -> None:
+            try:
+                future = pool.submit(_run_job, jobs[idx], attempt, self.job_timeout)
+            except (BrokenProcessPool, RuntimeError):
+                # Pool already broken (or shut down by breakage); the
+                # rebuild pass below picks this job up with the rest.
+                lost.append((idx, attempt))
+            else:
+                futures[future] = (idx, attempt)
+
+        def _handle(idx: int, attempt: int, outcome: Any) -> None:
+            nonlocal done_count
+            if isinstance(outcome, SweepError):
+                if attempt >= max_attempts:
+                    _fail(idx, outcome)
+                    return
+                counters["retried"] += 1
+                delay = self._backoff_s(attempt)
+                self._log_retry(jobs[idx], outcome, delay)
+                heapq.heappush(
+                    retry_heap, (time.monotonic() + delay, idx, attempt + 1)
+                )
+            else:
+                record, manifest = outcome
+                done_count += 1
+                _store(idx, record, manifest)
+                _progress(done_count, idx, record)
+
+        def _drain_broken_pool() -> None:
+            """Sort surviving results from lost jobs after pool death."""
+            nonlocal pool
+            for future, (idx, attempt) in list(futures.items()):
+                try:
+                    # Completed futures keep their results even after
+                    # the pool dies; unfinished ones are flagged
+                    # broken by the executor almost immediately. The
+                    # timeout is a belt-and-braces bound, not a wait
+                    # we expect to consume.
+                    outcome = future.result(timeout=60)
+                except Exception:
+                    lost.append((idx, attempt))
+                else:
+                    _handle(idx, attempt, outcome)
+            futures.clear()
+            pool.shutdown(wait=False)
+            counters["rebuilds"] += 1
+            if counters["rebuilds"] > _MAX_POOL_REBUILDS:
+                log.error(
+                    "process pool died %d times; failing %d unrecovered jobs",
+                    counters["rebuilds"],
+                    len(lost),
+                )
+                for idx, attempt in lost:
+                    _fail(
+                        idx,
+                        SweepError(
+                            kind="worker-lost",
+                            error_type="BrokenProcessPool",
+                            message=(
+                                "worker process died and the pool-rebuild "
+                                f"budget ({_MAX_POOL_REBUILDS}) is exhausted"
+                            ),
+                            attempts=attempt,
+                        ),
+                    )
+                lost.clear()
+                return
+            log.warning(
+                "worker process died; rebuilding pool (%d/%d) and "
+                "resubmitting %d lost jobs",
+                counters["rebuilds"],
+                _MAX_POOL_REBUILDS,
+                len(lost),
+            )
+            pool = self._make_pool(workers)
+            counters["recovered"] += len(lost)
+            # Bump the attempt so an attempt-gated kill fault (and any
+            # real first-attempt-only crash) clears on resubmission;
+            # repeated pool deaths are bounded by the rebuild budget
+            # above, not the per-job retry budget.
+            resubmit = [(idx, attempt + 1) for idx, attempt in lost]
+            lost.clear()
+            for idx, attempt in resubmit:
+                _submit(idx, attempt)
+
+        try:
+            for idx in order:
+                _submit(idx, 1)
+            while futures or retry_heap or lost:
+                if lost:
+                    _drain_broken_pool()
+                    continue
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, idx, attempt = heapq.heappop(retry_heap)
+                    _submit(idx, attempt)
+                if lost:
+                    continue
+                if not futures:
+                    if retry_heap:
+                        time.sleep(max(0.0, retry_heap[0][0] - time.monotonic()))
+                    continue
+                timeout = (
+                    max(0.0, retry_heap[0][0] - time.monotonic())
+                    if retry_heap
+                    else None
+                )
+                finished, _ = wait(
+                    set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in finished:
+                    idx, attempt = futures.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        lost.append((idx, attempt))
+                        broken = True
+                        break
+                    except Exception as exc:
+                        # Result-transport failures (e.g. unpicklable
+                        # payload) count against the job's retries.
+                        outcome = SweepError(
+                            kind="exception",
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=attempt,
+                        )
+                    _handle(idx, attempt, outcome)
+                if broken:
+                    _drain_broken_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_sweep(
@@ -697,6 +1232,10 @@ def run_sweep(
     cache_dir: str | os.PathLike | None = None,
     engine: str | None = None,
     result_cache: bool | None = None,
+    retries: int | None = None,
+    job_timeout: float | None = None,
+    failure_mode: str | None = None,
+    retry_backoff_s: float | None = None,
 ) -> list[SweepRecord]:
     """One-call sweep execution."""
     return SweepRunner(
@@ -704,4 +1243,8 @@ def run_sweep(
         cache_dir=cache_dir,
         engine=engine,
         result_cache=result_cache,
+        retries=retries,
+        job_timeout=job_timeout,
+        failure_mode=failure_mode,
+        retry_backoff_s=retry_backoff_s,
     ).run(jobs)

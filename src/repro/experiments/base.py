@@ -284,14 +284,19 @@ def merge_campaign_stats(
         merged.total_jobs += stats.total_jobs
         merged.cache_hits += stats.cache_hits
         merged.simulated += stats.simulated
+        merged.failed += stats.failed
+        merged.retried += stats.retried
+        merged.recovered += stats.recovered
+        merged.pool_rebuilds += stats.pool_rebuilds
         merged.wall_time_s += stats.wall_time_s
         merged.sim_time_s += stats.sim_time_s
         for key, group in stats.by_group.items():
             target = merged.by_group.setdefault(
-                key, {"jobs": 0, "cached": 0, "sim_wall_s": 0.0}
+                key, {"jobs": 0, "cached": 0, "failed": 0, "sim_wall_s": 0.0}
             )
             target["jobs"] += group["jobs"]
             target["cached"] += group["cached"]
+            target["failed"] += group.get("failed", 0)
             target["sim_wall_s"] += group["sim_wall_s"]
     return merged
 
@@ -319,6 +324,10 @@ def _campaign_manifest(out: ExperimentOutput, seed: int | None) -> dict[str, Any
             "total_jobs": stats.total_jobs,
             "cache_hits": stats.cache_hits,
             "simulated": stats.simulated,
+            "failed": stats.failed,
+            "retried": stats.retried,
+            "recovered": stats.recovered,
+            "pool_rebuilds": stats.pool_rebuilds,
             "wall_time_s": round(stats.wall_time_s, 6),
             "sim_time_s": round(stats.sim_time_s, 6),
         }
@@ -346,11 +355,18 @@ def save_experiment_output(
     if out.rows:
         write_csv(out.rows, target / "rows.csv")
     (target / "report.txt").write_text(out.render() + "\n", encoding="utf-8")
+    stats = out.campaign
     (target / "checks.json").write_text(
         json.dumps(
             {
                 "checks": {name: bool(ok) for name, ok in out.checks.items()},
                 "all_checks_pass": bool(out.all_checks_pass),
+                # Failed sweep jobs (keep_going mode) are a health
+                # signal distinct from shape checks: the rows exist but
+                # some of the data behind them is missing.
+                "failed_jobs": stats.failed if stats is not None else 0,
+                "retried_jobs": stats.retried if stats is not None else 0,
+                "recovered_jobs": stats.recovered if stats is not None else 0,
             },
             indent=2,
             sort_keys=True,

@@ -23,7 +23,7 @@ campaigns monitorable without perturbing either engine:
 See ``docs/OBSERVABILITY.md`` for the full guide.
 """
 
-from .log import configure_logging, get_logger
+from .log import configure_logging, get_logger, reset_warn_once, warn_once
 from .manifest import RunManifest, host_info
 from .probe import CallbackProbe, Probe, ProbeSample, TimelineProbe
 from .trace import (
@@ -46,4 +46,6 @@ __all__ = [
     "ascii_timeline",
     "get_logger",
     "configure_logging",
+    "warn_once",
+    "reset_warn_once",
 ]

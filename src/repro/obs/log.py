@@ -20,9 +20,15 @@ from __future__ import annotations
 
 import logging
 import sys
-from typing import IO
+from typing import IO, Any, Hashable
 
-__all__ = ["get_logger", "configure_logging", "verbosity_level"]
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "verbosity_level",
+    "warn_once",
+    "reset_warn_once",
+]
 
 #: root of the package's logger namespace
 ROOT_LOGGER = "repro"
@@ -76,3 +82,28 @@ def configure_logging(
     # our handler is the terminus; don't duplicate into the root logger
     logger.propagate = False
     return logger
+
+
+#: keys already warned about via :func:`warn_once`
+_WARNED: set[Hashable] = set()
+
+
+def warn_once(logger: logging.Logger, key: Hashable, msg: str, *args: Any) -> bool:
+    """Emit ``logger.warning(msg, *args)`` once per distinct ``key``.
+
+    Data-quality warnings inside per-record loops (e.g. a sweep
+    aggregation dropping a bad point) would otherwise repeat for every
+    campaign replaying the same records; deduplicating on a
+    caller-chosen key keeps each distinct problem visible exactly once
+    per process. Returns True when the warning was actually emitted.
+    """
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    logger.warning(msg, *args)
+    return True
+
+
+def reset_warn_once() -> None:
+    """Forget all :func:`warn_once` keys (for tests)."""
+    _WARNED.clear()

@@ -83,7 +83,13 @@ def _result_info(result: Any) -> dict[str, Any]:
 
 @dataclasses.dataclass(frozen=True)
 class RunManifest:
-    """Frozen description of one completed (or described) run."""
+    """Frozen description of one completed (or described) run.
+
+    ``execution`` carries fault-tolerance facts when the run happened
+    inside a sweep campaign — most importantly ``attempt``, the 1-based
+    attempt number that produced the result (anything above 1 means the
+    job was retried after a worker failure or timeout).
+    """
 
     schema: str
     created_at: str
@@ -95,6 +101,7 @@ class RunManifest:
     timings: dict[str, float]
     result: dict[str, Any] | None = None
     spec: dict[str, Any] | None = None
+    execution: dict[str, Any] | None = None
 
     @classmethod
     def build(
@@ -105,6 +112,7 @@ class RunManifest:
         timings: Mapping[str, float] | None = None,
         result: Any = None,
         spec: Any = None,
+        execution: Mapping[str, Any] | None = None,
     ) -> "RunManifest":
         """Assemble a manifest from live objects.
 
@@ -124,6 +132,9 @@ class RunManifest:
         spec:
             A :class:`~repro.analysis.sweep.WorkloadSpec` (or dict) when
             the workload came from a generator spec.
+        execution:
+            Fault-tolerance facts (e.g. ``{"attempt": 2}``) when the
+            run happened inside a sweep campaign.
         """
         from ..core.engine import ENGINE_SEMANTICS_VERSION
 
@@ -149,6 +160,7 @@ class RunManifest:
             timings=dict(timings or {}),
             result=_result_info(result) if result is not None else None,
             spec=spec_dict,
+            execution=dict(execution) if execution is not None else None,
         )
 
     def to_dict(self) -> dict[str, Any]:

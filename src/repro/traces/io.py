@@ -77,9 +77,17 @@ def load_workload_npz(path: str | os.PathLike) -> Workload:
 
 
 def save_workload_text(workload: Workload, path: str | os.PathLike) -> None:
-    """Write a workload as newline-separated page ids per thread."""
+    """Write a workload as newline-separated page ids per thread.
+
+    The ``# namespace`` header records whether the workload renumbers
+    per-thread pages into disjoint blocks. Without it a reloaded
+    shared-page workload (``namespace=False``) would be renumbered back
+    into disjoint blocks, silently destroying the sharing — the text
+    twin of the NPZ round-trip bug fixed for ``save_workload_npz``.
+    """
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(f"# workload {workload.name}\n")
+        fh.write(f"# namespace {'true' if workload.namespaced else 'false'}\n")
         for i, trace in enumerate(workload.source_traces):
             fh.write(f"# thread {i} source={trace.source}\n")
             fh.write("\n".join(str(p) for p in trace.pages.tolist()))
@@ -87,8 +95,13 @@ def save_workload_text(workload: Workload, path: str | os.PathLike) -> None:
 
 
 def load_workload_text(path: str | os.PathLike) -> Workload:
-    """Read a workload written by :func:`save_workload_text`."""
+    """Read a workload written by :func:`save_workload_text`.
+
+    Headerless files (external traces) keep the historical defaults:
+    a single thread, namespaced page ids.
+    """
     name = Path(path).stem
+    namespace = True
     traces: list[list[int]] = []
     current: list[int] | None = None
     with open(path, "r", encoding="utf-8") as fh:
@@ -97,9 +110,13 @@ def load_workload_text(path: str | os.PathLike) -> Workload:
             if not line:
                 continue
             if line.startswith("#"):
-                if line[1:].strip().startswith("workload"):
+                header = line[1:].strip()
+                if header.startswith("workload"):
                     name = line.split("workload", 1)[1].strip() or name
-                elif line[1:].strip().startswith("thread"):
+                elif header.startswith("namespace"):
+                    value = header.split("namespace", 1)[1].strip().lower()
+                    namespace = value not in ("false", "0", "no")
+                elif header.startswith("thread"):
                     current = []
                     traces.append(current)
                 continue
@@ -109,7 +126,11 @@ def load_workload_text(path: str | os.PathLike) -> Workload:
             current.append(int(line))
     if not traces:
         raise ValueError(f"no traces found in {path}")
-    return Workload([np.asarray(t, dtype=np.int64) for t in traces], name=name)
+    return Workload(
+        [np.asarray(t, dtype=np.int64) for t in traces],
+        name=name,
+        namespace=namespace,
+    )
 
 
 def default_cache_dir() -> Path:
@@ -151,16 +172,26 @@ class WorkloadCache:
         log.debug("workload cache miss: %s (generating)", path.name)
         workload = make_workload(kind, threads, seed=seed, **params)
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp.npz")
-        save_workload_npz(workload, tmp)
-        os.replace(tmp, path)
+        # pid-suffixed temp name (matching ResultCache.put): two
+        # processes generating the same workload concurrently must not
+        # clobber each other's half-written temp file; both finish with
+        # an atomic os.replace onto the final name.
+        tmp = path.with_name(f"{path.stem}.tmp{os.getpid()}.npz")
+        try:
+            save_workload_npz(workload, tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)  # left behind only on failure
         return workload
 
     def clear(self) -> int:
-        """Delete every cached workload; returns the number removed."""
+        """Delete every cached workload, plus any stale ``*.tmp*``
+        leftovers from killed writers; returns the number removed."""
         removed = 0
         if self.directory.exists():
-            for f in self.directory.glob("*.npz"):
-                f.unlink()
+            stale = set(self.directory.glob("*.npz"))
+            stale.update(self.directory.glob("*.tmp*"))
+            for f in stale:
+                f.unlink(missing_ok=True)
                 removed += 1
         return removed

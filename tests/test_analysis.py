@@ -339,6 +339,56 @@ class TestStats:
         assert summary["worst_thread_max_wait"] >= summary["median_thread_max_wait"]
         assert summary["mean_wait_ratio_worst_to_best"] >= 1.0
 
+    def _zeroed_denominator_records(self):
+        """Real records, with every priority record's makespan zeroed."""
+        records = run_sweep(demo_jobs(threads=(2,)), processes=1)
+        return [
+            dataclasses.replace(r, makespan=0)
+            if r.job.config.arbitration == "priority"
+            else r
+            for r in records
+        ]
+
+    def test_ratio_series_zero_denominator_warns_and_drops(self):
+        import logging
+
+        from repro.analysis import stats as stats_mod
+        from repro.obs import reset_warn_once
+
+        records = self._zeroed_denominator_records()
+        reset_warn_once()
+        captured = []
+        handler = logging.Handler()
+        handler.emit = lambda rec: captured.append(rec.getMessage())
+        stats_mod.log.addHandler(handler)
+        try:
+            assert ratio_series(records, "fifo", "priority") == []
+        finally:
+            stats_mod.log.removeHandler(handler)
+        assert len(captured) == 1
+        # the warning names the dropped key and the offending policy
+        assert "x=2" in captured[0]
+        assert "priority" in captured[0]
+
+    def test_ratio_series_zero_denominator_warns_once_per_key(self):
+        import logging
+
+        from repro.analysis import stats as stats_mod
+        from repro.obs import reset_warn_once
+
+        records = self._zeroed_denominator_records()
+        reset_warn_once()
+        captured = []
+        handler = logging.Handler()
+        handler.emit = lambda rec: captured.append(rec.getMessage())
+        stats_mod.log.addHandler(handler)
+        try:
+            ratio_series(records, "fifo", "priority")
+            ratio_series(records, "fifo", "priority")  # replayed campaign
+        finally:
+            stats_mod.log.removeHandler(handler)
+        assert len(captured) == 1
+
 
 class TestCampaignStats:
     def test_collect_splits_fresh_and_cached(self, tmp_path):

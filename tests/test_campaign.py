@@ -192,7 +192,13 @@ class TestSaveExperimentOutput:
         for name in ("rows.csv", "report.txt", "checks.json", "manifest.json"):
             assert (target / name).exists()
         checks = json.loads((target / "checks.json").read_text())
-        assert checks == {"checks": {"two_records": True}, "all_checks_pass": True}
+        assert checks == {
+            "checks": {"two_records": True},
+            "all_checks_pass": True,
+            "failed_jobs": 0,
+            "retried_jobs": 0,
+            "recovered_jobs": 0,
+        }
         manifest = json.loads((target / "manifest.json").read_text())
         assert manifest["schema"] == CAMPAIGN_MANIFEST_SCHEMA
         assert manifest["experiment_id"] == "demo"

@@ -38,6 +38,7 @@ PUBLIC_MODULES = [
     "repro.machine.glups",
     "repro.analysis",
     "repro.analysis.sweep",
+    "repro.analysis.faults",
     "repro.analysis.stats",
     "repro.analysis.tables",
     "repro.analysis.asciiplot",
