@@ -36,7 +36,14 @@ from .analysis import (
     set_result_cache_default,
     write_csv,
 )
-from .core import ENGINE_CHOICES, SimulationConfig, set_default_engine, simulate
+from .core import (
+    ENGINE_CHOICES,
+    SimulationConfig,
+    set_batch_limit,
+    set_default_engine,
+    simulate,
+)
+from .core.batchengine import DEFAULT_BATCH_LANES
 from .experiments import EXPERIMENTS, experiment_ids, run_experiment
 from .obs import (
     TimelineProbe,
@@ -112,6 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="per-job deadline; an overrunning job fails the attempt "
         "(default: no deadline)",
+    )
+    run_p.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="initial retry backoff, doubled per attempt (default: 0.5)",
+    )
+    run_p.add_argument(
+        "--max-pool-rebuilds", type=int, default=None, metavar="N",
+        help="worker-pool rebuilds tolerated per campaign before the "
+        "lost jobs are failed (default: 3)",
+    )
+    batch_mode = run_p.add_mutually_exclusive_group()
+    batch_mode.add_argument(
+        "--batch", dest="batch", action="store_true", default=None,
+        help="force batched lockstep dispatch of eligible sweep jobs "
+        "(default: on, see REPRO_BATCH)",
+    )
+    batch_mode.add_argument(
+        "--no-batch", dest="batch", action="store_false",
+        help="run every sweep job individually",
     )
     fail_mode = run_p.add_mutually_exclusive_group()
     fail_mode.add_argument(
@@ -281,9 +307,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         exec_overrides["job_timeout"] = args.job_timeout
     if args.failure_mode is not None:
         exec_overrides["failure_mode"] = args.failure_mode
+    if args.retry_backoff is not None:
+        exec_overrides["retry_backoff_s"] = args.retry_backoff
+    if args.max_pool_rebuilds is not None:
+        exec_overrides["max_pool_rebuilds"] = args.max_pool_rebuilds
     prev_engine = set_default_engine(args.engine)
     prev_cache = set_result_cache_default(not args.no_result_cache)
     prev_exec = set_execution_defaults(**exec_overrides)
+    prev_batch = (
+        set_batch_limit(DEFAULT_BATCH_LANES if args.batch else 1)
+        if args.batch is not None
+        else None
+    )
     try:
         for experiment_id in ids:
             try:
@@ -317,6 +352,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         set_default_engine(prev_engine)
         set_result_cache_default(prev_cache)
         set_execution_defaults(**prev_exec)
+        if args.batch is not None:
+            set_batch_limit(prev_batch)
     if args.report:
         from .analysis import write_report
 

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..core import SimulationConfig, SimulationResult
+from ..core.batchengine import batch_limit, batch_supported, simulate_batch
 from ..core.fastengine import default_engine, resolve_engine, simulate
 from ..core.metrics import (
     histogram_from_json,
@@ -135,33 +136,73 @@ class SweepFailure(RuntimeError):
 def _job_deadline(seconds: float | None) -> Iterator[None]:
     """Raise :class:`JobTimeout` if the body runs longer than ``seconds``.
 
-    Uses ``SIGALRM`` (via ``setitimer``, so fractional seconds work),
-    which interrupts the pure-Python tick loops that dominate job run
-    time. Enforcement requires the main thread of a POSIX process —
-    exactly what a pool worker is; anywhere else (embedders driving the
-    runner from a helper thread) the deadline is quietly unenforced
-    rather than wrong.
+    On the main thread of a POSIX process — exactly what a pool worker
+    is — uses ``SIGALRM`` (via ``setitimer``, so fractional seconds
+    work), which interrupts the pure-Python tick loops that dominate
+    job run time. Anywhere else (no ``SIGALRM``, or an embedder driving
+    the runner from a helper thread) a daemon watchdog timer delivers
+    :class:`JobTimeout` to the running thread with
+    ``PyThreadState_SetAsyncExc``. The async exception lands at the
+    next bytecode boundary, so Python-level loops are still
+    interrupted, but one long C call (a ``sleep``, a giant numpy op)
+    is not — a weaker guarantee than ``SIGALRM``, and strictly better
+    than the deadline silently not existing.
     """
-    if (
-        not seconds
-        or seconds <= 0
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not seconds or seconds <= 0:
         yield
         return
+    if (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
 
-    def _on_alarm(signum: int, frame: Any) -> None:
-        raise JobTimeout(f"job exceeded its {seconds:g}s deadline")
+        def _on_alarm(signum: int, frame: Any) -> None:
+            raise JobTimeout(f"job exceeded its {seconds:g}s deadline")
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+
+    import ctypes
+
+    target = threading.get_ident()
+    fired = threading.Event()
+
+    def _fire() -> None:
+        fired.set()
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(target), ctypes.py_object(JobTimeout)
+        )
+
+    timer = threading.Timer(seconds, _fire)
+    timer.daemon = True
+    timer.start()
     try:
         yield
+    except JobTimeout:
+        # the async exception arrives bare; normalize to SIGALRM's message
+        raise JobTimeout(f"job exceeded its {seconds:g}s deadline") from None
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
+        timer.cancel()
+        if fired.is_set():
+            # The timer won the race against cancel(): clear any async
+            # exception still pending so it cannot detonate in caller
+            # code after the deadline scope has exited.
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(target), None
+            )
 
+
+#: default for how many times one campaign may rebuild a broken process
+#: pool before declaring the still-lost jobs failed (guards against a
+#: fault that kills every worker on every attempt); the live value comes
+#: from :func:`set_execution_defaults` / the runner argument.
+_MAX_POOL_REBUILDS = 3
 
 #: process-wide execution-policy defaults; per-runner arguments override.
 _UNSET = object()
@@ -170,14 +211,10 @@ _EXECUTION_DEFAULTS: dict[str, Any] = {
     "job_timeout": None,
     "failure_mode": "keep_going",
     "retry_backoff_s": 0.05,
+    "max_pool_rebuilds": _MAX_POOL_REBUILDS,
 }
 
 _FAILURE_MODES = ("keep_going", "strict")
-
-#: how many times one campaign may rebuild a broken process pool before
-#: declaring the still-lost jobs failed (guards against a fault that
-#: kills every worker on every attempt)
-_MAX_POOL_REBUILDS = 3
 
 
 def set_execution_defaults(
@@ -185,11 +222,13 @@ def set_execution_defaults(
     job_timeout: Any = _UNSET,
     failure_mode: Any = _UNSET,
     retry_backoff_s: Any = _UNSET,
+    max_pool_rebuilds: Any = _UNSET,
 ) -> dict[str, Any]:
     """Set process-wide fault-tolerance defaults; returns the old ones.
 
     Used by the CLI's ``--retries`` / ``--job-timeout`` /
-    ``--strict`` / ``--keep-going`` flags (the experiment registry's
+    ``--strict`` / ``--keep-going`` / ``--retry-backoff`` /
+    ``--max-pool-rebuilds`` flags (the experiment registry's
     ``(scale, processes, cache_dir, seed)`` signature has no room for
     them); individual :class:`SweepRunner` s can still override via
     constructor arguments. Restore with
@@ -212,6 +251,13 @@ def set_execution_defaults(
         _EXECUTION_DEFAULTS["failure_mode"] = failure_mode
     if retry_backoff_s is not _UNSET:
         _EXECUTION_DEFAULTS["retry_backoff_s"] = float(retry_backoff_s)
+    if max_pool_rebuilds is not _UNSET:
+        if max_pool_rebuilds is None or int(max_pool_rebuilds) < 0:
+            raise ValueError(
+                "max_pool_rebuilds must be a non-negative int, "
+                f"got {max_pool_rebuilds!r}"
+            )
+        _EXECUTION_DEFAULTS["max_pool_rebuilds"] = int(max_pool_rebuilds)
     return previous
 
 
@@ -615,6 +661,121 @@ def _run_job(
     return record, manifest
 
 
+class _BatchAbort:
+    """Sentinel outcome: the shared batch deadline fired before this
+    lane got a verdict.
+
+    A batch runs under ONE ``job_timeout`` deadline (lockstep wall time
+    is common to every lane), so an overrun is not attributable to any
+    single lane. Charging it to each lane's retry budget would let one
+    slow batchmate permanently fail innocent jobs, so the parent reruns
+    every aborted lane *solo at the same attempt number*; only the solo
+    verdict — where the deadline measures that job alone — counts.
+    """
+
+
+_BATCH_ABORT = _BatchAbort()
+
+
+def _run_batch(
+    jobs: Sequence[SweepJob],
+    attempts: Sequence[int],
+    timeout: float | None = None,
+) -> list[tuple[SweepRecord, dict[str, Any]] | SweepError | _BatchAbort]:
+    """Execute one lockstep attempt over a formed batch of jobs.
+
+    Returns one outcome per lane, positionally aligned with ``jobs`` —
+    the same ``(record, manifest) | SweepError`` contract as
+    :func:`_run_job`, so the parent treats a failed lane exactly like a
+    failed single job (it retries it solo, where every semantic is the
+    proven single path). Injected faults and workload-build errors are
+    confined to their lane; engine-level lane errors come back through
+    ``simulate_batch(..., return_exceptions=True)`` without discarding
+    batchmates' results. The whole batch runs under one deadline — an
+    overrun yields :data:`_BATCH_ABORT` for each still-unfinished lane,
+    which the parent reruns solo without consuming retry budget.
+    """
+    outcomes: list[Any] = [None] * len(jobs)
+    lane_jobs: list[int] = []
+    lane_items: list[tuple[Any, SimulationConfig]] = []
+    lane_probes: list[Any] = []
+    lane_builds: list[float] = []
+    lane_results: list[Any] = []
+    try:
+        with _job_deadline(timeout):
+            cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
+            for k, (job, attempt) in enumerate(zip(jobs, attempts)):
+                try:
+                    maybe_inject(job.tag, attempt)
+                    build_start = time.perf_counter()
+                    workload = job.workload.build(cache)
+                    build_s = time.perf_counter() - build_start
+                    config, probe = _engine_config(job)
+                except JobTimeout:
+                    raise
+                except Exception as exc:
+                    outcomes[k] = SweepError(
+                        kind="exception",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback_mod.format_exc(),
+                        attempts=attempt,
+                    )
+                else:
+                    lane_jobs.append(k)
+                    lane_items.append((workload, config))
+                    lane_probes.append(probe)
+                    lane_builds.append(build_s)
+            lane_results = simulate_batch(
+                lane_items, engine=_WORKER_ENGINE, return_exceptions=True
+            )
+    except JobTimeout:
+        for k in range(len(jobs)):
+            if outcomes[k] is None:
+                outcomes[k] = _BATCH_ABORT
+        return outcomes
+    host = host_info()
+    for lane, k in enumerate(lane_jobs):
+        job = jobs[k]
+        attempt = attempts[k]
+        result = lane_results[lane]
+        if isinstance(result, Exception):
+            outcomes[k] = SweepError(
+                kind="exception",
+                error_type=type(result).__name__,
+                message=str(result),
+                traceback="".join(
+                    traceback_mod.format_exception(
+                        type(result), result, result.__traceback__
+                    )
+                ),
+                attempts=attempt,
+            )
+            continue
+        workload, config = lane_items[lane]
+        payload = SweepPayload.from_result(job.payload, result, lane_probes[lane])
+        record = SweepRecord.from_result(job, result, payload)
+        engine_name = resolve_engine(workload, config, _WORKER_ENGINE)
+        if engine_name == "fast" and batch_supported(config, workload.attestation):
+            engine_name = "batch"
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "engine": engine_name,
+            "host": host,
+            "timings": {
+                "workload_build_s": round(lane_builds[lane], 6),
+                "run_s": round(result.wall_time_s, 6),
+            },
+            "execution": {
+                "attempt": attempt,
+                "batch_lanes": len(jobs),
+                "batch_lane": k,
+            },
+        }
+        outcomes[k] = (record, manifest)
+    return outcomes
+
+
 #: SweepRecord fields persisted by the result cache as plain scalars
 #: (the job is supplied by the caller on a hit; the payload has its own
 #: JSON encoding; errors are excluded because failed records are never
@@ -840,7 +1001,14 @@ class SweepRunner:
 
     A dead worker process (``BrokenProcessPool``) never aborts the
     campaign: the pool is rebuilt and only the jobs whose futures were
-    lost are resubmitted, up to ``_MAX_POOL_REBUILDS`` times.
+    lost are resubmitted, up to ``max_pool_rebuilds`` times.
+
+    Cache-miss jobs whose configs are batch-eligible (see
+    :func:`repro.core.batch_supported`) are grouped into lockstep
+    batch units of up to :func:`repro.core.batch_limit` lanes before
+    submission; grouping respects the longest-job-first cost order,
+    records and cache writes are identical to solo execution, and any
+    lane that fails inside a batch is retried as a single job.
     """
 
     def __init__(
@@ -853,6 +1021,7 @@ class SweepRunner:
         job_timeout: float | None = None,
         failure_mode: str | None = None,
         retry_backoff_s: float | None = None,
+        max_pool_rebuilds: int | None = None,
     ) -> None:
         self.processes = processes if processes is not None else (os.cpu_count() or 1)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -880,6 +1049,15 @@ class SweepRunner:
             if retry_backoff_s is not None
             else defaults["retry_backoff_s"]
         )
+        self.max_pool_rebuilds = (
+            int(max_pool_rebuilds)
+            if max_pool_rebuilds is not None
+            else defaults["max_pool_rebuilds"]
+        )
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
         #: telemetry from the most recent :meth:`run`
         self.last_campaign: CampaignStats | None = None
 
@@ -1025,6 +1203,37 @@ class SweepRunner:
             delay,
         )
 
+    def _batch_plan(self, jobs: Sequence[SweepJob], order: Sequence[int]) -> list[list[int]]:
+        """Group consecutive batch-eligible jobs into submission units.
+
+        Walks ``order`` — already cost-sorted for the pool path, so
+        longest-job-first submission is preserved — chunking runs of
+        eligible jobs (see :func:`repro.core.batchengine.batch_supported`)
+        up to the batch lane cap. Ineligible jobs stay single, and the
+        retry path never re-batches: a failed lane always comes back as
+        a solo job, where every fault-tolerance semantic is the proven
+        single-job path.
+        """
+        limit = batch_limit()
+        if limit < 2 or self.engine == "reference":
+            return [[idx] for idx in order]
+        units: list[list[int]] = []
+        run: list[int] = []
+        for idx in order:
+            if batch_supported(jobs[idx].config):
+                run.append(idx)
+                if len(run) == limit:
+                    units.append(run)
+                    run = []
+            else:
+                if run:
+                    units.append(run)
+                    run = []
+                units.append([idx])
+        if run:
+            units.append(run)
+        return units
+
     def _run_sequential(
         self,
         jobs: Sequence[SweepJob],
@@ -1037,24 +1246,50 @@ class SweepRunner:
         """In-process execution with the same retry semantics as the pool."""
         _pool_init(self.cache_dir, self.engine)
         max_attempts = self.retries + 1
-        for done, idx in enumerate(pending, start=1):
-            job = jobs[idx]
+        done = 0
+
+        def _complete(idx: int, record: SweepRecord, manifest: dict[str, Any]) -> None:
+            nonlocal done
+            done += 1
+            _store(idx, record, manifest)
+            _progress(done, idx, record)
+
+        def _retry_solo(idx: int, error: SweepError) -> None:
+            """Retry a failed first attempt as a solo job until resolved."""
             attempt = 1
+            outcome: Any = error
             while True:
-                outcome = _run_job(job, attempt, self.job_timeout)
-                if not isinstance(outcome, SweepError):
-                    record, manifest = outcome
-                    _store(idx, record, manifest)
-                    _progress(done, idx, record)
-                    break
                 if attempt >= max_attempts:
                     _fail(idx, outcome)
-                    break
+                    return
                 counters["retried"] += 1
                 delay = self._backoff_s(attempt)
-                self._log_retry(job, outcome, delay)
+                self._log_retry(jobs[idx], outcome, delay)
                 time.sleep(delay)
                 attempt += 1
+                outcome = _run_job(jobs[idx], attempt, self.job_timeout)
+                if not isinstance(outcome, SweepError):
+                    record, manifest = outcome
+                    _complete(idx, record, manifest)
+                    return
+
+        for unit in self._batch_plan(jobs, pending):
+            if len(unit) == 1:
+                outcomes: list[Any] = [_run_job(jobs[unit[0]], 1, self.job_timeout)]
+            else:
+                outcomes = _run_batch(
+                    [jobs[idx] for idx in unit], [1] * len(unit), self.job_timeout
+                )
+            for idx, outcome in zip(unit, outcomes):
+                if isinstance(outcome, _BatchAbort):
+                    # Shared-deadline overrun: rerun solo at the same
+                    # attempt so the batch abort costs no retry budget.
+                    outcome = _run_job(jobs[idx], 1, self.job_timeout)
+                if isinstance(outcome, SweepError):
+                    _retry_solo(idx, outcome)
+                else:
+                    record, manifest = outcome
+                    _complete(idx, record, manifest)
 
     def _make_pool(self, workers: int) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -1074,19 +1309,22 @@ class SweepRunner:
     ) -> None:
         """Pool execution loop with retries and broken-pool recovery.
 
-        State: ``futures`` maps each in-flight future to its
-        ``(job index, attempt)``; ``retry_heap`` holds ``(ready_time,
-        index, attempt)`` for jobs waiting out their backoff. A
-        ``BrokenProcessPool`` (worker OOM-killed or died on a signal)
-        marks every unfinished future as *lost*, rebuilds the pool, and
-        resubmits exactly those jobs — completed futures keep their
-        results and are drained normally, and records already stored
-        are untouched, so nothing finished is ever re-run.
+        State: ``futures`` maps each in-flight future to the list of
+        ``(job index, attempt)`` entries riding on it — one entry for a
+        solo submission, one per lane for a batched one; ``retry_heap``
+        holds ``(ready_time, index, attempt)`` for jobs waiting out
+        their backoff (retries are always solo). A ``BrokenProcessPool``
+        (worker OOM-killed or died on a signal) marks every unfinished
+        future's entries as *lost*, rebuilds the pool, and resubmits
+        exactly those jobs solo — completed futures keep their results
+        and are drained normally, and records already stored are
+        untouched, so nothing finished is ever re-run.
         """
-        workers = min(self.processes, len(order))
+        units = self._batch_plan(jobs, order)
+        workers = min(self.processes, len(units))
         max_attempts = self.retries + 1
         pool = self._make_pool(workers)
-        futures: dict[Any, tuple[int, int]] = {}
+        futures: dict[Any, list[tuple[int, int]]] = {}
         retry_heap: list[tuple[float, int, int]] = []
         done_count = 0
         lost: list[tuple[int, int]] = []
@@ -1099,10 +1337,29 @@ class SweepRunner:
                 # rebuild pass below picks this job up with the rest.
                 lost.append((idx, attempt))
             else:
-                futures[future] = (idx, attempt)
+                futures[future] = [(idx, attempt)]
+
+        def _submit_batch(unit: Sequence[int]) -> None:
+            entries = [(idx, 1) for idx in unit]
+            try:
+                future = pool.submit(
+                    _run_batch,
+                    [jobs[idx] for idx in unit],
+                    [1] * len(unit),
+                    self.job_timeout,
+                )
+            except (BrokenProcessPool, RuntimeError):
+                lost.extend(entries)
+            else:
+                futures[future] = entries
 
         def _handle(idx: int, attempt: int, outcome: Any) -> None:
             nonlocal done_count
+            if isinstance(outcome, _BatchAbort):
+                # Shared-deadline overrun: resubmit solo at the same
+                # attempt so the batch abort costs no retry budget.
+                _submit(idx, attempt)
+                return
             if isinstance(outcome, SweepError):
                 if attempt >= max_attempts:
                     _fail(idx, outcome)
@@ -1122,7 +1379,7 @@ class SweepRunner:
         def _drain_broken_pool() -> None:
             """Sort surviving results from lost jobs after pool death."""
             nonlocal pool
-            for future, (idx, attempt) in list(futures.items()):
+            for future, entries in list(futures.items()):
                 try:
                     # Completed futures keep their results even after
                     # the pool dies; unfinished ones are flagged
@@ -1131,13 +1388,16 @@ class SweepRunner:
                     # we expect to consume.
                     outcome = future.result(timeout=60)
                 except Exception:
-                    lost.append((idx, attempt))
+                    lost.extend(entries)
                 else:
-                    _handle(idx, attempt, outcome)
+                    if len(entries) == 1:
+                        outcome = [outcome]
+                    for (idx, attempt), lane_outcome in zip(entries, outcome):
+                        _handle(idx, attempt, lane_outcome)
             futures.clear()
             pool.shutdown(wait=False)
             counters["rebuilds"] += 1
-            if counters["rebuilds"] > _MAX_POOL_REBUILDS:
+            if counters["rebuilds"] > self.max_pool_rebuilds:
                 log.error(
                     "process pool died %d times; failing %d unrecovered jobs",
                     counters["rebuilds"],
@@ -1151,7 +1411,7 @@ class SweepRunner:
                             error_type="BrokenProcessPool",
                             message=(
                                 "worker process died and the pool-rebuild "
-                                f"budget ({_MAX_POOL_REBUILDS}) is exhausted"
+                                f"budget ({self.max_pool_rebuilds}) is exhausted"
                             ),
                             attempts=attempt,
                         ),
@@ -1162,7 +1422,7 @@ class SweepRunner:
                 "worker process died; rebuilding pool (%d/%d) and "
                 "resubmitting %d lost jobs",
                 counters["rebuilds"],
-                _MAX_POOL_REBUILDS,
+                self.max_pool_rebuilds,
                 len(lost),
             )
             pool = self._make_pool(workers)
@@ -1177,8 +1437,11 @@ class SweepRunner:
                 _submit(idx, attempt)
 
         try:
-            for idx in order:
-                _submit(idx, 1)
+            for unit in units:
+                if len(unit) == 1:
+                    _submit(unit[0], 1)
+                else:
+                    _submit_batch(unit)
             while futures or retry_heap or lost:
                 if lost:
                     _drain_broken_pool()
@@ -1203,23 +1466,30 @@ class SweepRunner:
                 )
                 broken = False
                 for future in finished:
-                    idx, attempt = futures.pop(future)
+                    entries = futures.pop(future)
                     try:
                         outcome = future.result()
                     except BrokenProcessPool:
-                        lost.append((idx, attempt))
+                        lost.extend(entries)
                         broken = True
                         break
                     except Exception as exc:
                         # Result-transport failures (e.g. unpicklable
-                        # payload) count against the job's retries.
-                        outcome = SweepError(
-                            kind="exception",
-                            error_type=type(exc).__name__,
-                            message=str(exc),
-                            attempts=attempt,
-                        )
-                    _handle(idx, attempt, outcome)
+                        # payload) count against each job's retries.
+                        outcome = [
+                            SweepError(
+                                kind="exception",
+                                error_type=type(exc).__name__,
+                                message=str(exc),
+                                attempts=attempt,
+                            )
+                            for _, attempt in entries
+                        ]
+                    else:
+                        if len(entries) == 1:
+                            outcome = [outcome]
+                    for (idx, attempt), lane_outcome in zip(entries, outcome):
+                        _handle(idx, attempt, lane_outcome)
                 if broken:
                     _drain_broken_pool()
         finally:
@@ -1236,6 +1506,7 @@ def run_sweep(
     job_timeout: float | None = None,
     failure_mode: str | None = None,
     retry_backoff_s: float | None = None,
+    max_pool_rebuilds: int | None = None,
 ) -> list[SweepRecord]:
     """One-call sweep execution."""
     return SweepRunner(
@@ -1247,4 +1518,5 @@ def run_sweep(
         job_timeout=job_timeout,
         failure_mode=failure_mode,
         retry_backoff_s=retry_backoff_s,
+        max_pool_rebuilds=max_pool_rebuilds,
     ).run(jobs)

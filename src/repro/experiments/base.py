@@ -52,8 +52,11 @@ from typing import Any, Callable, Sequence
 from ..analysis.sweep import CampaignStats, SweepJob, SweepRecord, SweepRunner
 from ..core.engine import ENGINE_SEMANTICS_VERSION
 from ..core.fastengine import default_engine
+from ..obs.log import get_logger, warn_once
 from ..obs.manifest import host_info
 from ..traces import Workload, WorkloadCache
+
+log = get_logger("experiments")
 
 __all__ = [
     "CAMPAIGN_MANIFEST_SCHEMA",
@@ -145,18 +148,56 @@ class CampaignContext:
         return spec.build(cache)
 
 
+#: set by :meth:`Campaign.run` around the reducer call so that
+#: :class:`Reduction` construction can sanity-check the rows against the
+#: campaign's failure count; ``None`` outside a campaign reduce step.
+_ACTIVE_REDUCE: dict[str, Any] | None = None
+
+
 @dataclass
 class Reduction:
     """A reducer's distilled view of the campaign's records.
 
     ``text`` is optional when the campaign has a separate renderer;
     when both are present the renderer wins.
+
+    Failed :class:`~repro.analysis.SweepRecord` s carry all-zero
+    metrics, so a reducer that aggregates without filtering
+    ``record.failed`` silently drags averages toward zero. When a
+    campaign's reduce step constructs a :class:`Reduction` while failed
+    records exist and the rows show no sign of having filtered them
+    (no ``failed`` column, row count covering every record — or a row
+    explicitly flagged failed), a once-per-experiment warning is
+    emitted via :func:`repro.obs.log.warn_once`.
     """
 
     rows: list[dict[str, Any]]
     checks: dict[str, bool] = field(default_factory=dict)
     data: dict[str, Any] = field(default_factory=dict)
     text: str | None = None
+
+    def __post_init__(self) -> None:
+        ctx = _ACTIVE_REDUCE
+        if not ctx or not ctx.get("failed"):
+            return
+        rows = self.rows or []
+        unfiltered = any(row.get("failed") for row in rows) or (
+            bool(rows)
+            and not any("failed" in row for row in rows)
+            and len(rows) >= ctx.get("total", 0)
+        )
+        if unfiltered:
+            warn_once(
+                log,
+                (ctx.get("experiment_id"), "unfiltered-failed-records"),
+                "experiment %r: %d of %d sweep records failed (their "
+                "metrics are zeroed) and the reduction does not appear "
+                "to filter record.failed — aggregates may silently "
+                "include zeros",
+                ctx.get("experiment_id"),
+                ctx.get("failed"),
+                ctx.get("total"),
+            )
 
 
 @dataclass(frozen=True)
@@ -233,7 +274,16 @@ class Campaign:
                 )
             runner = SweepRunner(processes=processes, cache_dir=cache_dir)
             records = runner.run(list(self.build_jobs(ctx)))
-            reduction = self.reduce(ctx, records)
+            global _ACTIVE_REDUCE
+            _ACTIVE_REDUCE = {
+                "experiment_id": self.experiment_id,
+                "failed": sum(1 for r in records if r.failed),
+                "total": len(records),
+            }
+            try:
+                reduction = self.reduce(ctx, records)
+            finally:
+                _ACTIVE_REDUCE = None
             stats = runner.last_campaign or CampaignStats()
         elif self.compute is not None:
             reduction = self.compute(ctx)

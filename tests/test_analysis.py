@@ -47,6 +47,30 @@ def demo_jobs(threads=(2, 4), arbs=("fifo", "priority"), k=32):
     return jobs
 
 
+def count_engine_dispatch(monkeypatch, calls):
+    """Count per-job engine work through both dispatchers.
+
+    The runner may route eligible cache-miss jobs through
+    ``simulate_batch`` instead of per-job ``simulate``; each batched
+    lane counts as one call so cache-behavior assertions hold for any
+    ``batch_limit()``.
+    """
+    real = sweep_mod.simulate
+    real_batch = sweep_mod.simulate_batch
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    def counting_batch(items, *args, **kwargs):
+        items = list(items)
+        calls.extend([1] * len(items))
+        return real_batch(items, *args, **kwargs)
+
+    monkeypatch.setattr(sweep_mod, "simulate", counting)
+    monkeypatch.setattr(sweep_mod, "simulate_batch", counting_batch)
+
+
 class TestWorkloadSpec:
     def test_build_matches_factory(self):
         spec = WorkloadSpec.make("random", threads=3, seed=2, length=50, pages=8)
@@ -169,6 +193,7 @@ class TestResultCache:
             raise AssertionError("engine invoked despite warm result cache")
 
         monkeypatch.setattr(sweep_mod, "simulate", boom)
+        monkeypatch.setattr(sweep_mod, "simulate_batch", boom)
         second = run_sweep(jobs, processes=1, cache_dir=tmp_path)
         assert all(not r.cached for r in first)
         assert all(r.cached for r in second)
@@ -179,13 +204,7 @@ class TestResultCache:
         jobs = demo_jobs(threads=(2,))
         run_sweep(jobs, processes=1, cache_dir=tmp_path)
         calls = []
-        real = sweep_mod.simulate
-
-        def counting(*args, **kwargs):
-            calls.append(1)
-            return real(*args, **kwargs)
-
-        monkeypatch.setattr(sweep_mod, "simulate", counting)
+        count_engine_dispatch(monkeypatch, calls)
         run_sweep(jobs, processes=1, cache_dir=tmp_path, result_cache=False)
         assert len(calls) == len(jobs)
 
@@ -198,13 +217,7 @@ class TestResultCache:
         jobs = demo_jobs(threads=(2,))
         run_sweep(jobs, processes=1)
         calls = []
-        real = sweep_mod.simulate
-
-        def counting(*args, **kwargs):
-            calls.append(1)
-            return real(*args, **kwargs)
-
-        monkeypatch.setattr(sweep_mod, "simulate", counting)
+        count_engine_dispatch(monkeypatch, calls)
         run_sweep(jobs, processes=1)
         assert len(calls) == len(jobs)
 
@@ -242,13 +255,7 @@ class TestResultCache:
         try:
             assert previous is True
             calls = []
-            real = sweep_mod.simulate
-
-            def counting(*args, **kwargs):
-                calls.append(1)
-                return real(*args, **kwargs)
-
-            monkeypatch.setattr(sweep_mod, "simulate", counting)
+            count_engine_dispatch(monkeypatch, calls)
             run_sweep(jobs, processes=1, cache_dir=tmp_path)
             assert len(calls) == len(jobs)  # default now skips the cache
         finally:

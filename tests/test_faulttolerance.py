@@ -10,6 +10,8 @@ carrying structured errors, retry/recovery counters in
 
 import dataclasses
 import json
+import threading
+import time
 
 import pytest
 
@@ -27,7 +29,8 @@ from repro.analysis import (
     sweep_result_key,
 )
 from repro.analysis.faults import FaultSpec, InjectedFault, maybe_inject
-from repro.core import SimulationConfig
+from repro.analysis.sweep import JobTimeout, _job_deadline
+from repro.core import SimulationConfig, set_batch_limit
 
 #: deterministic engine-produced fields (wall_time_s varies per run)
 METRIC_FIELDS = (
@@ -360,13 +363,14 @@ class TestCampaignStatsSurface:
 class TestExecutionDefaults:
     def test_round_trip(self):
         previous = set_execution_defaults(
-            retries=3, job_timeout=12.5, failure_mode="strict"
+            retries=3, job_timeout=12.5, failure_mode="strict", max_pool_rebuilds=7
         )
         try:
             runner = SweepRunner(processes=1)
             assert runner.retries == 3
             assert runner.job_timeout == 12.5
             assert runner.failure_mode == "strict"
+            assert runner.max_pool_rebuilds == 7
         finally:
             restored = set_execution_defaults(**previous)
         assert restored == {
@@ -374,10 +378,12 @@ class TestExecutionDefaults:
             "job_timeout": 12.5,
             "failure_mode": "strict",
             "retry_backoff_s": previous["retry_backoff_s"],
+            "max_pool_rebuilds": 7,
         }
         runner = SweepRunner(processes=1)
         assert runner.retries == previous["retries"]
         assert runner.job_timeout is previous["job_timeout"]
+        assert runner.max_pool_rebuilds == previous["max_pool_rebuilds"]
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -385,19 +391,30 @@ class TestExecutionDefaults:
         with pytest.raises(ValueError):
             set_execution_defaults(failure_mode="explode")
         with pytest.raises(ValueError):
+            set_execution_defaults(max_pool_rebuilds=-1)
+        with pytest.raises(ValueError):
+            set_execution_defaults(max_pool_rebuilds=None)
+        with pytest.raises(ValueError):
             SweepRunner(processes=1, failure_mode="explode")
         with pytest.raises(ValueError):
             SweepRunner(processes=1, retries=-2)
+        with pytest.raises(ValueError):
+            SweepRunner(processes=1, max_pool_rebuilds=-3)
 
     def test_runner_arguments_override_defaults(self):
         runner = SweepRunner(
-            processes=1, retries=5, job_timeout=1.0, failure_mode="strict"
+            processes=1,
+            retries=5,
+            job_timeout=1.0,
+            failure_mode="strict",
+            max_pool_rebuilds=9,
         )
         assert (runner.retries, runner.job_timeout, runner.failure_mode) == (
             5,
             1.0,
             "strict",
         )
+        assert runner.max_pool_rebuilds == 9
 
 
 class TestNoFaultEquivalence:
@@ -417,3 +434,119 @@ class TestNoFaultEquivalence:
         stats = runner.last_campaign
         assert (stats.failed, stats.retried, stats.recovered) == (0, 0, 0)
         assert stats.pool_rebuilds == 0
+
+
+@pytest.fixture
+def _forced_batching():
+    """Force batch units of up to 4 lanes regardless of REPRO_BATCH."""
+    previous = set_batch_limit(4)
+    yield
+    set_batch_limit(previous)
+
+
+@pytest.mark.usefixtures("_forced_batching")
+class TestBatchFormationUnderFaults:
+    """A lane dying mid-batch is retried solo; survivors are unaffected.
+
+    ``demo_jobs`` uses one config family (lru/protect_pending, no
+    probes), so all four jobs are batch-eligible and — with the limit
+    forced to 4 — run as a single lockstep batch unit on the first
+    attempt.
+    """
+
+    def test_transient_lane_fault_retried_solo(self):
+        jobs = demo_jobs()
+        baseline = run_sweep(jobs, processes=1)
+        set_fault_plan("raise:victim")  # first attempt only
+        runner = SweepRunner(processes=1, **FAST_RETRY)
+        records = runner.run(jobs)
+        assert_matches_baseline(records, baseline)  # nothing failed
+        stats = runner.last_campaign
+        assert stats.retried == 1 and stats.failed == 0
+
+    def test_permanent_lane_fault_leaves_survivors_intact(self):
+        jobs = demo_jobs()
+        baseline = run_sweep(jobs, processes=1)
+        set_fault_plan("raise:victim:attempts=0")
+        runner = SweepRunner(processes=1, retries=1, **FAST_RETRY)
+        records = runner.run(jobs)
+        assert_matches_baseline(records, baseline, expect_failed={"victim"})
+        victim = next(r for r in records if r.job.tag == "victim")
+        assert victim.error.kind == "exception"
+        assert victim.error.error_type == "InjectedFault"
+        assert victim.error.attempts == 2
+
+    def test_killed_worker_recovers_whole_batch(self):
+        jobs = demo_jobs()
+        baseline = run_sweep(jobs, processes=1)
+        set_fault_plan("kill:victim")
+        runner = SweepRunner(processes=2, **FAST_RETRY)
+        records = runner.run(jobs)
+        assert_matches_baseline(records, baseline)
+        stats = runner.last_campaign
+        assert stats.pool_rebuilds == 1
+        assert stats.recovered >= 1
+
+    def test_batch_manifest_records_lane_geometry(self, tmp_path):
+        jobs = demo_jobs()
+        SweepRunner(processes=1, cache_dir=tmp_path).run(jobs)
+        execution = [
+            json.loads(path.read_text())["manifest"]["execution"]
+            for path in (tmp_path / "results").glob("*.json")
+        ]
+        assert {e["batch_lanes"] for e in execution} == {len(jobs)}
+        assert sorted(e["batch_lane"] for e in execution) == list(range(len(jobs)))
+
+
+class TestWatchdogDeadline:
+    """The ``_job_deadline`` watchdog fallback enforces timeouts off the
+    main thread, where SIGALRM is unavailable."""
+
+    def test_watchdog_interrupts_overrun_in_worker_thread(self):
+        outcome = {}
+
+        def body():
+            try:
+                with _job_deadline(0.1):
+                    # Busy loop, not time.sleep: the async exception is
+                    # delivered at a bytecode boundary.
+                    deadline = time.monotonic() + 10.0
+                    while time.monotonic() < deadline:
+                        pass
+                outcome["result"] = "finished"
+            except JobTimeout as exc:
+                outcome["result"] = str(exc)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert "0.1s deadline" in outcome["result"]
+
+    def test_watchdog_noop_when_job_finishes_in_time(self):
+        outcome = {}
+
+        def body():
+            with _job_deadline(30.0):
+                outcome["result"] = "finished"
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=30)
+        assert outcome["result"] == "finished"
+
+    def test_timeout_of_batched_lane_fails_only_that_attempt(self):
+        jobs = demo_jobs()
+        baseline = run_sweep(jobs, processes=1)
+        set_fault_plan("sleep:victim:seconds=5")
+        previous = set_batch_limit(4)
+        try:
+            runner = SweepRunner(processes=1, job_timeout=0.5, **FAST_RETRY)
+            records = runner.run(jobs)
+        finally:
+            set_batch_limit(previous)
+        # sleep fault clears on attempt 2 (attempts=1 default), so the
+        # solo retry succeeds and every record matches the baseline.
+        assert_matches_baseline(records, baseline)
+        stats = runner.last_campaign
+        assert stats.retried >= 1 and stats.failed == 0
