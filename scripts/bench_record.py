@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Fold current BENCH_*.json results into benchmarks/baseline.json.
+
+Run the bench suite first (it writes BENCH_engine.json & co. to the
+repo root), then run this script and commit the updated baseline:
+
+    PYTHONPATH=src python -m pytest benchmarks -q
+    python scripts/bench_record.py
+    git add benchmarks/baseline.json
+
+Equivalent to ``repro bench record``; exists as a standalone script so
+CI and pre-commit hooks can call it without the console entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.benchtrend import load_bench_files, record  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir",
+        action="append",
+        default=None,
+        help="directory to search for BENCH_*.json (repeatable; "
+        "default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "benchmarks" / "baseline.json"),
+        help="baseline file to update (default: benchmarks/baseline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    search = args.bench_dir or [str(REPO_ROOT)]
+    current = load_bench_files(search)
+    if not current:
+        print(f"no BENCH_*.json found in {search}", file=sys.stderr)
+        return 2
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    record(current, args.baseline, updated=stamp)
+    print(
+        f"recorded {sorted(current)} into {args.baseline} (updated {stamp})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

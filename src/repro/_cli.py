@@ -18,7 +18,14 @@ Subcommands
 ``trace``
     Run one workload with probes attached and export its timeline as
     Chrome ``trace_event`` JSON (opens in Perfetto), JSONL, and a run
-    manifest, plus an ASCII rendering on the terminal.
+    manifest, plus an ASCII rendering on the terminal. With ``--merge``
+    it instead combines previously exported per-job traces into one
+    multi-track document.
+``bench``
+    Bench-regression tracking: ``bench diff`` compares the current
+    ``BENCH_*.json`` results against the committed
+    ``benchmarks/baseline.json`` (non-zero exit on regression);
+    ``bench record`` folds the current results into the baseline.
 
 Global ``-v/--verbose`` and ``-q/--quiet`` flags control the
 ``repro.*`` logger verbosity (default INFO; see :mod:`repro.obs.log`).
@@ -34,6 +41,7 @@ from .analysis import (
     SweepFailure,
     set_execution_defaults,
     set_result_cache_default,
+    set_telemetry_defaults,
     write_csv,
 )
 from .core import (
@@ -153,6 +161,25 @@ def build_parser() -> argparse.ArgumentParser:
         "job (completed records stay in the result cache)",
     )
     run_p.set_defaults(failure_mode=None)
+    run_p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a Prometheus text-format metrics snapshot here "
+        "(rewritten as the campaign progresses)",
+    )
+    run_p.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="append campaign progress events (JSONL) to PATH",
+    )
+    run_p.add_argument(
+        "--live", action="store_true",
+        help="single-line live campaign status on stderr (TTY only; "
+        "silent when stderr is redirected)",
+    )
+    run_p.add_argument(
+        "--progress-every", type=int, default=None, metavar="N",
+        help="emit a campaign.progress event every N job completions "
+        "(default: 1)",
+    )
     _add_engine_flags(run_p)
 
     sim_p = sub.add_parser("simulate", help="run one ad-hoc simulation")
@@ -189,9 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run a workload and export its timeline (Perfetto/JSONL)",
     )
-    trace_p.add_argument("workload", help="workload kind (see 'workloads')")
+    trace_p.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload kind (see 'workloads'); omit with --merge",
+    )
+    trace_p.add_argument(
+        "--merge", nargs="+", default=None, metavar="[NAME=]TRACE.json",
+        help="instead of running a workload, combine previously "
+        "exported Chrome traces into one multi-track trace; each track "
+        "is named NAME when given, else from the sibling manifest.json "
+        "(job tag / workload name) or the trace's own metadata",
+    )
     trace_p.add_argument("--threads", type=int, default=8)
-    trace_p.add_argument("--hbm-slots", type=int, required=True)
+    trace_p.add_argument(
+        "--hbm-slots", type=int, default=None,
+        help="required unless --merge is used",
+    )
     trace_p.add_argument("--channels", type=int, default=1)
     trace_p.add_argument("--arbitration", default="fifo")
     trace_p.add_argument("--replacement", default="lru")
@@ -233,6 +273,37 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument(
         "--param", action="append", default=[], metavar="KEY=VALUE",
         help="workload generator parameter (repeatable)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="bench-regression tracking (diff / record)"
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    for sub_name, sub_help in (
+        ("diff", "compare current BENCH_*.json against the baseline "
+         "(exit 4 on regression)"),
+        ("record", "fold current BENCH_*.json into the baseline"),
+    ):
+        bp = bench_sub.add_parser(sub_name, help=sub_help)
+        bp.add_argument(
+            "--bench-dir", action="append", default=None, metavar="DIR",
+            help="directory searched for BENCH_*.json (repeatable; "
+            "default: current directory)",
+        )
+        bp.add_argument(
+            "--baseline", default="benchmarks/baseline.json", metavar="PATH",
+            help="baseline file (default: benchmarks/baseline.json)",
+        )
+    diff_p = bench_sub.choices["diff"]
+    diff_p.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRACTION",
+        help="allowed relative drop for gated speedup metrics "
+        "(default: 0.25 = 25%%)",
+    )
+    diff_p.add_argument(
+        "--overhead-band", type=float, default=0.05, metavar="FRACTION",
+        help="allowed absolute rise for gated overhead fractions "
+        "(default: 0.05)",
     )
     return parser
 
@@ -311,9 +382,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         exec_overrides["retry_backoff_s"] = args.retry_backoff
     if args.max_pool_rebuilds is not None:
         exec_overrides["max_pool_rebuilds"] = args.max_pool_rebuilds
+    tele_overrides = {}
+    if args.metrics_out is not None:
+        tele_overrides["metrics_out"] = args.metrics_out
+    if args.events_out is not None:
+        tele_overrides["events_out"] = args.events_out
+    if args.live:
+        tele_overrides["live"] = True
+    if args.progress_every is not None:
+        tele_overrides["progress_every"] = args.progress_every
     prev_engine = set_default_engine(args.engine)
     prev_cache = set_result_cache_default(not args.no_result_cache)
     prev_exec = set_execution_defaults(**exec_overrides)
+    prev_tele = set_telemetry_defaults(**tele_overrides)
     prev_batch = (
         set_batch_limit(DEFAULT_BATCH_LANES if args.batch else 1)
         if args.batch is not None
@@ -352,6 +433,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         set_default_engine(prev_engine)
         set_result_cache_default(prev_cache)
         set_execution_defaults(**prev_exec)
+        set_telemetry_defaults(**prev_tele)
         if args.batch is not None:
             set_batch_limit(prev_batch)
     if args.report:
@@ -404,7 +486,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    from .obs import merge_chrome_traces
+
+    inputs: list[tuple[str, str | None]] = []
+    for item in args.merge:
+        # NAME=PATH names the track explicitly; a bare path derives the
+        # name from the sibling manifest / trace metadata.
+        if "=" in item and "/" not in item.split("=", 1)[0]:
+            name, trace_path = item.split("=", 1)
+            inputs.append((trace_path, name))
+        else:
+            inputs.append((item, None))
+    missing = [p for p, _ in inputs if not Path(p).is_file()]
+    if missing:
+        print(f"trace files not found: {missing}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.output_dir or "trace-merged")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = merge_chrome_traces(inputs, out_dir / "trace.json")
+    print(
+        f"merged {len(inputs)} trace(s) into {out_path} "
+        "(open at https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.merge is not None:
+        if args.workload is not None:
+            print(
+                "trace --merge takes trace files, not a workload",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_trace_merge(args)
+    if args.workload is None or args.hbm_slots is None:
+        print(
+            "trace needs a workload and --hbm-slots (or --merge)",
+            file=sys.stderr,
+        )
+        return 2
     params = _parse_params(args.param)
     workload = make_workload(
         args.workload, threads=args.threads, seed=args.seed, **params
@@ -447,6 +569,54 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.benchtrend import (
+        compare,
+        format_report,
+        load_baseline,
+        load_bench_files,
+        record,
+    )
+
+    search = args.bench_dir or ["."]
+    current = load_bench_files(search)
+    if args.bench_command == "record":
+        if not current:
+            print(f"no BENCH_*.json found in {search}", file=sys.stderr)
+            return 2
+        import time as _time
+
+        stamp = _time.strftime("%Y-%m-%dT%H:%M:%SZ", _time.gmtime())
+        record(current, args.baseline, updated=stamp)
+        print(f"recorded {sorted(current)} into {args.baseline}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"no baseline at {args.baseline}; run 'bench record' (or "
+            "scripts/bench_record.py) after a bench run to create one",
+            file=sys.stderr,
+        )
+        return 2
+    diff = compare(
+        current,
+        baseline,
+        tolerance=args.tolerance,
+        overhead_band=args.overhead_band,
+    )
+    print(format_report(diff))
+    if diff.regressions:
+        for entry in diff.regressions:
+            print(
+                f"REGRESSION {entry.suite}.{entry.metric}: "
+                f"{entry.baseline} -> {entry.current}",
+                file=sys.stderr,
+            )
+        return 4
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .traces import characterize
 
@@ -478,6 +648,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

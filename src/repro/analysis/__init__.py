@@ -1,6 +1,15 @@
-"""Sweep harness, statistics, and terminal rendering."""
+"""Sweep harness, statistics, telemetry, and terminal rendering."""
 
 from .asciiplot import line_plot, scatter_plot, sparkline
+from .benchtrend import (
+    BenchDiff,
+    BenchEntry,
+    compare as compare_bench,
+    format_report as format_bench_report,
+    load_baseline,
+    load_bench_files,
+    record as record_bench,
+)
 from .faults import InjectedFault, parse_fault_plan, set_fault_plan
 from .report import markdown_table, render_report, write_report
 from .resultcache import ResultCache, sweep_result_key
@@ -21,8 +30,25 @@ from .sweep import (
     set_result_cache_default,
 )
 from .tables import format_table, to_csv, write_csv
+from .telemetry import (
+    CampaignTelemetry,
+    HeartbeatWriter,
+    default_telemetry,
+    set_telemetry_defaults,
+)
 
 __all__ = [
+    "BenchDiff",
+    "BenchEntry",
+    "CampaignTelemetry",
+    "HeartbeatWriter",
+    "compare_bench",
+    "default_telemetry",
+    "format_bench_report",
+    "load_baseline",
+    "load_bench_files",
+    "record_bench",
+    "set_telemetry_defaults",
     "CampaignStats",
     "InjectedFault",
     "JobTimeout",

@@ -59,11 +59,23 @@ from ..core.metrics import (
     histogram_percentile,
     histogram_to_json,
 )
-from ..obs.log import get_logger
+from ..obs.log import (
+    begin_warning_capture,
+    drain_captured_warnings,
+    forward_warnings,
+    get_logger,
+)
 from ..obs.manifest import MANIFEST_SCHEMA, host_info
+from ..obs.metrics import (
+    MetricsRegistry,
+    phase,
+    record_phase,
+    set_active_registry,
+)
 from ..traces import Workload, WorkloadCache, make_workload
 from .faults import maybe_inject
 from .resultcache import ResultCache, sweep_result_key
+from .telemetry import CampaignTelemetry, HeartbeatWriter, default_telemetry
 
 __all__ = [
     "WorkloadSpec",
@@ -472,6 +484,16 @@ class SweepRecord:
     exhausted its retries): the metric fields are all zero and the
     record is never written to the result cache. Filter with
     :attr:`failed` before aggregating.
+
+    ``ff_elided_fraction`` is the fraction of simulated ticks elided by
+    quiescent-interval fast-forward — deterministic for a (spec,
+    config), identical between batched and solo execution, and cached
+    like any other metric. ``batched`` instead describes *this* run's
+    execution path (the job ran as a lane of a lockstep batch), so it
+    is excluded from record equality and from the result cache: a
+    replayed record always reports ``batched=False``. Together the two
+    columns let a reducer attribute wall-time wins to fast-forward vs.
+    batching.
     """
 
     job: SweepJob
@@ -485,7 +507,9 @@ class SweepRecord:
     fetches: int
     evictions: int
     wall_time_s: float
+    ff_elided_fraction: float = 0.0
     cached: bool = False
+    batched: bool = field(default=False, compare=False)
     payload: SweepPayload | None = None
     error: SweepError | None = None
 
@@ -521,6 +545,7 @@ class SweepRecord:
         job: SweepJob,
         result: SimulationResult,
         payload: SweepPayload | None = None,
+        batched: bool = False,
     ) -> "SweepRecord":
         return cls(
             job=job,
@@ -534,6 +559,8 @@ class SweepRecord:
             fetches=result.fetches,
             evictions=result.evictions,
             wall_time_s=result.wall_time_s,
+            ff_elided_fraction=result.ff_elided_fraction,
+            batched=batched,
             payload=payload,
         )
 
@@ -558,6 +585,8 @@ class SweepRecord:
             "fetches": self.fetches,
             "evictions": self.evictions,
             "wall_time_s": round(self.wall_time_s, 6),
+            "ff_elided_fraction": round(self.ff_elided_fraction, 4),
+            "batched": self.batched,
             "cached": self.cached,
             "failed": self.failed,
             "error": self.error.error_type if self.error is not None else "",
@@ -567,12 +596,60 @@ class SweepRecord:
 # module-level worker state so ProcessPoolExecutor can pickle the worker
 _WORKER_CACHE_DIR: str | None = None
 _WORKER_ENGINE: str | None = None
+#: heartbeat spool directory when the campaign collects telemetry
+_WORKER_SPOOL_DIR: str | None = None
 
 
-def _pool_init(cache_dir: str | None, engine: str | None = None) -> None:
-    global _WORKER_CACHE_DIR, _WORKER_ENGINE
+def _pool_init(
+    cache_dir: str | None,
+    engine: str | None = None,
+    spool_dir: str | None = None,
+    worker: bool = False,
+) -> None:
+    global _WORKER_CACHE_DIR, _WORKER_ENGINE, _WORKER_SPOOL_DIR
     _WORKER_CACHE_DIR = cache_dir
     _WORKER_ENGINE = engine
+    _WORKER_SPOOL_DIR = spool_dir
+    if worker:
+        # Pool workers never log warnings directly: warn_once buffers
+        # them and the parent re-emits with cross-worker dedup, so an
+        # N-worker campaign prints each distinct warning once, not N
+        # times. The sequential path (worker=False) logs normally.
+        begin_warning_capture()
+
+
+def _begin_collection(
+    tag: str, attempt: int
+) -> tuple[MetricsRegistry | None, MetricsRegistry | None, HeartbeatWriter | None]:
+    """Install a fresh per-attempt registry + heartbeat (telemetry only).
+
+    Returns ``(registry, previous_active, heartbeat)`` —
+    ``(None, None, None)`` when the campaign collects no telemetry, so
+    the job body pays nothing. The fresh registry makes the snapshot
+    piggybacked on the outcome a pure *delta* for this attempt, which
+    the parent merges; the heartbeat file reports liveness for jobs
+    that outlast one heartbeat interval.
+    """
+    if _WORKER_SPOOL_DIR is None:
+        return None, None, None
+    registry = MetricsRegistry()
+    previous = set_active_registry(registry)
+    heartbeat = HeartbeatWriter(
+        _WORKER_SPOOL_DIR, tag=tag, attempt=attempt, registry=registry
+    ).start()
+    return registry, previous, heartbeat
+
+
+def _end_collection(
+    registry: MetricsRegistry | None,
+    previous: MetricsRegistry | None,
+    heartbeat: HeartbeatWriter | None,
+) -> None:
+    if registry is None:
+        return
+    if heartbeat is not None:
+        heartbeat.stop()
+    set_active_registry(previous)
 
 
 def _engine_config(job: SweepJob) -> tuple[SimulationConfig, Any]:
@@ -611,54 +688,87 @@ def _run_job(
     would lose the exact worker-side traceback across the pool
     boundary). A SIGKILLed worker obviously returns nothing; the parent
     observes that as ``BrokenProcessPool``.
+
+    When the campaign collects telemetry, the attempt runs under a
+    fresh metrics registry whose snapshot — plus any buffered
+    ``warn_once`` output — piggybacks on the manifest under transient
+    ``"metrics"`` / ``"warnings"`` keys. The parent pops both *before*
+    the manifest reaches the result cache, so cache entries are byte
+    identical with telemetry on or off.
     """
+    registry, previous, heartbeat = _begin_collection(job.tag, attempt)
     try:
-        with _job_deadline(timeout):
-            maybe_inject(job.tag, attempt)
-            cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
-            build_start = time.perf_counter()
-            workload = job.workload.build(cache)
-            build_s = time.perf_counter() - build_start
-            # Dispatch through the engine selector: eligible (LRU,
-            # protected, disjoint) configs take the vectorized fast
-            # path, everything else falls back to the reference engine
-            # with identical results. The Workload object is passed
-            # whole so its build-time attestation replaces the
-            # per-dispatch disjointness scan.
-            config, probe = _engine_config(job)
-            result = simulate(workload, config, engine=_WORKER_ENGINE)
-            payload = SweepPayload.from_result(job.payload, result, probe)
-            record = SweepRecord.from_result(job, result, payload)
-    except JobTimeout as exc:
-        return SweepError(
-            kind="timeout",
-            error_type=type(exc).__name__,
-            message=str(exc),
-            traceback=traceback_mod.format_exc(),
-            attempts=attempt,
-        )
-    except Exception as exc:
-        return SweepError(
-            kind="exception",
-            error_type=type(exc).__name__,
-            message=str(exc),
-            traceback=traceback_mod.format_exc(),
-            attempts=attempt,
-        )
-    # Run manifest stored alongside the metrics in the result cache, so
-    # a replayed record stays auditable: which engine produced it, on
-    # what host, where the wall time went, and on which attempt.
-    manifest = {
-        "schema": MANIFEST_SCHEMA,
-        "engine": resolve_engine(workload, config, _WORKER_ENGINE),
-        "host": host_info(),
-        "timings": {
-            "workload_build_s": round(build_s, 6),
-            "run_s": round(result.wall_time_s, 6),
-        },
-        "execution": {"attempt": attempt},
-    }
-    return record, manifest
+        try:
+            with _job_deadline(timeout):
+                maybe_inject(job.tag, attempt)
+                cache = (
+                    WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
+                )
+                build_start = time.perf_counter()
+                workload = job.workload.build(cache)
+                build_s = time.perf_counter() - build_start
+                record_phase("workload_build", build_s)
+                # Dispatch through the engine selector: eligible (LRU,
+                # protected, disjoint) configs take the vectorized fast
+                # path, everything else falls back to the reference
+                # engine with identical results. The Workload object is
+                # passed whole so its build-time attestation replaces
+                # the per-dispatch disjointness scan.
+                config, probe = _engine_config(job)
+                result = simulate(workload, config, engine=_WORKER_ENGINE)
+                payload = SweepPayload.from_result(job.payload, result, probe)
+                record = SweepRecord.from_result(job, result, payload)
+        except JobTimeout as exc:
+            return SweepError(
+                kind="timeout",
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_mod.format_exc(),
+                attempts=attempt,
+            )
+        except Exception as exc:
+            return SweepError(
+                kind="exception",
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_mod.format_exc(),
+                attempts=attempt,
+            )
+        # Run manifest stored alongside the metrics in the result
+        # cache, so a replayed record stays auditable: which engine
+        # produced it, on what host, where the wall time went, and on
+        # which attempt.
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "engine": resolve_engine(workload, config, _WORKER_ENGINE),
+            "host": host_info(),
+            "timings": {
+                "workload_build_s": round(build_s, 6),
+                "run_s": round(result.wall_time_s, 6),
+            },
+            "execution": {"attempt": attempt},
+        }
+        _attach_piggyback(manifest, registry)
+        return record, manifest
+    finally:
+        _end_collection(registry, previous, heartbeat)
+
+
+def _attach_piggyback(
+    manifest: dict[str, Any], registry: MetricsRegistry | None
+) -> None:
+    """Ride the attempt's metric delta and buffered warnings back to the
+    parent on the manifest (transient keys, popped before caching).
+
+    Buffered warnings are drained only here — a failed attempt keeps
+    them buffered, so they ride the worker's next successful outcome
+    instead of being lost.
+    """
+    if registry is not None and registry:
+        manifest["metrics"] = registry.snapshot()
+    warnings = drain_captured_warnings()
+    if warnings:
+        manifest["warnings"] = warnings
 
 
 class _BatchAbort:
@@ -701,90 +811,113 @@ def _run_batch(
     lane_probes: list[Any] = []
     lane_builds: list[float] = []
     lane_results: list[Any] = []
+    registry, previous, heartbeat = _begin_collection(
+        f"batch[{len(jobs)}]:{jobs[0].tag}", max(attempts)
+    )
     try:
-        with _job_deadline(timeout):
-            cache = WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
-            for k, (job, attempt) in enumerate(zip(jobs, attempts)):
-                try:
-                    maybe_inject(job.tag, attempt)
-                    build_start = time.perf_counter()
-                    workload = job.workload.build(cache)
-                    build_s = time.perf_counter() - build_start
-                    config, probe = _engine_config(job)
-                except JobTimeout:
-                    raise
-                except Exception as exc:
-                    outcomes[k] = SweepError(
-                        kind="exception",
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                        traceback=traceback_mod.format_exc(),
-                        attempts=attempt,
-                    )
-                else:
-                    lane_jobs.append(k)
-                    lane_items.append((workload, config))
-                    lane_probes.append(probe)
-                    lane_builds.append(build_s)
-            lane_results = simulate_batch(
-                lane_items, engine=_WORKER_ENGINE, return_exceptions=True
+        try:
+            with _job_deadline(timeout):
+                cache = (
+                    WorkloadCache(_WORKER_CACHE_DIR) if _WORKER_CACHE_DIR else None
+                )
+                for k, (job, attempt) in enumerate(zip(jobs, attempts)):
+                    try:
+                        maybe_inject(job.tag, attempt)
+                        build_start = time.perf_counter()
+                        workload = job.workload.build(cache)
+                        build_s = time.perf_counter() - build_start
+                        record_phase("workload_build", build_s)
+                        config, probe = _engine_config(job)
+                    except JobTimeout:
+                        raise
+                    except Exception as exc:
+                        outcomes[k] = SweepError(
+                            kind="exception",
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            traceback=traceback_mod.format_exc(),
+                            attempts=attempt,
+                        )
+                    else:
+                        lane_jobs.append(k)
+                        lane_items.append((workload, config))
+                        lane_probes.append(probe)
+                        lane_builds.append(build_s)
+                lane_results = simulate_batch(
+                    lane_items, engine=_WORKER_ENGINE, return_exceptions=True
+                )
+        except JobTimeout:
+            for k in range(len(jobs)):
+                if outcomes[k] is None:
+                    outcomes[k] = _BATCH_ABORT
+            return outcomes
+        host = host_info()
+        for lane, k in enumerate(lane_jobs):
+            job = jobs[k]
+            attempt = attempts[k]
+            result = lane_results[lane]
+            if isinstance(result, Exception):
+                outcomes[k] = SweepError(
+                    kind="exception",
+                    error_type=type(result).__name__,
+                    message=str(result),
+                    traceback="".join(
+                        traceback_mod.format_exception(
+                            type(result), result, result.__traceback__
+                        )
+                    ),
+                    attempts=attempt,
+                )
+                continue
+            workload, config = lane_items[lane]
+            payload = SweepPayload.from_result(job.payload, result, lane_probes[lane])
+            engine_name = resolve_engine(workload, config, _WORKER_ENGINE)
+            if engine_name == "fast" and batch_supported(config, workload.attestation):
+                engine_name = "batch"
+            # ``batched`` marks lanes that actually ran in lockstep;
+            # ineligible lanes fell back to solo simulate() inside the
+            # batch unit and report False like any single job.
+            record = SweepRecord.from_result(
+                job, result, payload, batched=engine_name == "batch"
             )
-    except JobTimeout:
-        for k in range(len(jobs)):
-            if outcomes[k] is None:
-                outcomes[k] = _BATCH_ABORT
+            manifest = {
+                "schema": MANIFEST_SCHEMA,
+                "engine": engine_name,
+                "host": host,
+                "timings": {
+                    "workload_build_s": round(lane_builds[lane], 6),
+                    "run_s": round(result.wall_time_s, 6),
+                },
+                "execution": {
+                    "attempt": attempt,
+                    "batch_lanes": len(jobs),
+                    "batch_lane": k,
+                },
+            }
+            outcomes[k] = (record, manifest)
+        # The batch shares one registry, so its delta (and any buffered
+        # warnings) ride exactly one lane's manifest — the first that
+        # succeeded. A fully failed batch keeps warnings buffered for
+        # the worker's next outcome.
+        carrier = next((o for o in outcomes if isinstance(o, tuple)), None)
+        if carrier is not None:
+            _attach_piggyback(carrier[1], registry)
         return outcomes
-    host = host_info()
-    for lane, k in enumerate(lane_jobs):
-        job = jobs[k]
-        attempt = attempts[k]
-        result = lane_results[lane]
-        if isinstance(result, Exception):
-            outcomes[k] = SweepError(
-                kind="exception",
-                error_type=type(result).__name__,
-                message=str(result),
-                traceback="".join(
-                    traceback_mod.format_exception(
-                        type(result), result, result.__traceback__
-                    )
-                ),
-                attempts=attempt,
-            )
-            continue
-        workload, config = lane_items[lane]
-        payload = SweepPayload.from_result(job.payload, result, lane_probes[lane])
-        record = SweepRecord.from_result(job, result, payload)
-        engine_name = resolve_engine(workload, config, _WORKER_ENGINE)
-        if engine_name == "fast" and batch_supported(config, workload.attestation):
-            engine_name = "batch"
-        manifest = {
-            "schema": MANIFEST_SCHEMA,
-            "engine": engine_name,
-            "host": host,
-            "timings": {
-                "workload_build_s": round(lane_builds[lane], 6),
-                "run_s": round(result.wall_time_s, 6),
-            },
-            "execution": {
-                "attempt": attempt,
-                "batch_lanes": len(jobs),
-                "batch_lane": k,
-            },
-        }
-        outcomes[k] = (record, manifest)
-    return outcomes
+    finally:
+        _end_collection(registry, previous, heartbeat)
 
 
 #: SweepRecord fields persisted by the result cache as plain scalars
 #: (the job is supplied by the caller on a hit; the payload has its own
 #: JSON encoding; errors are excluded because failed records are never
 #: cached — including the field would also invalidate every pre-error
-#: cache entry via the all-fields-present check below).
+#: cache entry via the all-fields-present check below; ``batched`` is
+#: execution metadata, not a result, and caching it would make batch
+#: and solo runs write different entries for the same (spec, config)).
 _RESULT_FIELDS = tuple(
     f.name
     for f in fields(SweepRecord)
-    if f.name not in ("job", "payload", "error")
+    if f.name not in ("job", "payload", "error", "batched")
 )
 
 #: spec params that scale simulated work, for the scheduling cost hint
@@ -1022,6 +1155,7 @@ class SweepRunner:
         failure_mode: str | None = None,
         retry_backoff_s: float | None = None,
         max_pool_rebuilds: int | None = None,
+        telemetry: CampaignTelemetry | None = None,
     ) -> None:
         self.processes = processes if processes is not None else (os.cpu_count() or 1)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -1058,6 +1192,12 @@ class SweepRunner:
             raise ValueError(
                 f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
             )
+        #: explicit telemetry sink; ``None`` resolves the process-wide
+        #: default (see :func:`repro.analysis.telemetry.default_telemetry`)
+        #: at each :meth:`run`
+        self.telemetry = telemetry
+        #: the sink actually driving the campaign in flight (internal)
+        self._tele: CampaignTelemetry | None = None
         #: telemetry from the most recent :meth:`run`
         self.last_campaign: CampaignStats | None = None
 
@@ -1076,27 +1216,58 @@ class SweepRunner:
             return None
         return ResultCache(Path(self.cache_dir) / "results")
 
-    def run(self, jobs: Sequence[SweepJob]) -> list[SweepRecord]:
+    def run(self, jobs: Sequence[SweepJob], label: str = "") -> list[SweepRecord]:
         if not jobs:
             self.last_campaign = CampaignStats()
             return []
+        tele = self.telemetry if self.telemetry is not None else default_telemetry()
+        self._tele = tele
+        # The campaign registry doubles as the parent's active phase
+        # sink: runner phases (cache_probe, batch_form) and — on the
+        # sequential path — engine phases record straight into it.
+        previous_registry = (
+            set_active_registry(tele.registry) if tele is not None else None
+        )
+        try:
+            return self._run_campaign(jobs, label, tele)
+        finally:
+            if tele is not None:
+                set_active_registry(previous_registry)
+            self._tele = None
+
+    def _run_campaign(
+        self,
+        jobs: Sequence[SweepJob],
+        label: str,
+        tele: CampaignTelemetry | None,
+    ) -> list[SweepRecord]:
         campaign_start = time.perf_counter()
         cache = self._result_cache()
         records: list[SweepRecord | None] = [None] * len(jobs)
         keys: list[str | None] = [None] * len(jobs)
         pending: list[int] = []
-        for idx, job in enumerate(jobs):
-            if cache is not None:
-                keys[idx] = sweep_result_key(job.workload, job.config, job.payload)
-                payload = cache.get(keys[idx])
-                if payload is not None:
-                    record = _record_from_payload(job, payload)
-                    if record is not None:
-                        records[idx] = record
-                        continue
-            pending.append(idx)
+        with phase("cache_probe"):
+            for idx, job in enumerate(jobs):
+                if cache is not None:
+                    keys[idx] = sweep_result_key(job.workload, job.config, job.payload)
+                    payload = cache.get(keys[idx])
+                    if payload is not None:
+                        record = _record_from_payload(job, payload)
+                        if record is not None:
+                            records[idx] = record
+                            continue
+                pending.append(idx)
 
         hits = len(jobs) - len(pending)
+        if tele is not None:
+            tele.campaign_start(
+                label or "sweep",
+                total=len(jobs),
+                cache_hits=hits,
+                pending=len(pending),
+                engine=self.engine,
+                processes=self.processes,
+            )
         log.info(
             "campaign start: %d jobs (%d cache hits, %d to simulate) "
             "engine=%s processes=%d cache=%s",
@@ -1117,6 +1288,12 @@ class SweepRunner:
             )
 
         def _store(idx: int, record: SweepRecord, manifest: dict[str, Any]) -> None:
+            # The piggybacked telemetry rides transient manifest keys;
+            # pop them unconditionally and BEFORE the cache write, so a
+            # cache entry is byte-identical with telemetry on or off
+            # (and identical to the pre-telemetry entry format).
+            worker_metrics = manifest.pop("metrics", None)
+            forwarded = forward_warnings(manifest.pop("warnings", []))
             records[idx] = record
             # Failed records never reach the cache: a later fault-free
             # run must re-simulate them, not replay the failure.
@@ -1128,6 +1305,8 @@ class SweepRunner:
                 cache.put(
                     keys[idx], {**_record_payload(record), "manifest": manifest}
                 )
+            if tele is not None:
+                tele.job_done(record, worker_metrics, forwarded)
 
         def _progress(done: int, idx: int, record: SweepRecord) -> None:
             job = jobs[idx]
@@ -1158,6 +1337,8 @@ class SweepRunner:
                 error.describe(),
             )
             records[idx] = SweepRecord.from_error(job, error)
+            if tele is not None:
+                tele.job_done(records[idx])
 
         if pending:
             if self.processes <= 1 or len(pending) == 1:
@@ -1182,6 +1363,8 @@ class SweepRunner:
             pool_rebuilds=counters["rebuilds"],
         )
         self.last_campaign = stats
+        if tele is not None:
+            tele.campaign_end(stats)
         log.info("%s", stats.summary_table())
         return records  # type: ignore[return-value]  # every slot filled
 
@@ -1263,6 +1446,8 @@ class SweepRunner:
                     _fail(idx, outcome)
                     return
                 counters["retried"] += 1
+                if self._tele is not None:
+                    self._tele.job_retried()
                 delay = self._backoff_s(attempt)
                 self._log_retry(jobs[idx], outcome, delay)
                 time.sleep(delay)
@@ -1273,7 +1458,9 @@ class SweepRunner:
                     _complete(idx, record, manifest)
                     return
 
-        for unit in self._batch_plan(jobs, pending):
+        with phase("batch_form"):
+            units = self._batch_plan(jobs, pending)
+        for unit in units:
             if len(unit) == 1:
                 outcomes: list[Any] = [_run_job(jobs[unit[0]], 1, self.job_timeout)]
             else:
@@ -1295,7 +1482,12 @@ class SweepRunner:
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_init,
-            initargs=(self.cache_dir, self.engine),
+            initargs=(
+                self.cache_dir,
+                self.engine,
+                self._tele.spool_dir if self._tele is not None else None,
+                True,
+            ),
         )
 
     def _run_pool(
@@ -1320,7 +1512,8 @@ class SweepRunner:
         and are drained normally, and records already stored are
         untouched, so nothing finished is ever re-run.
         """
-        units = self._batch_plan(jobs, order)
+        with phase("batch_form"):
+            units = self._batch_plan(jobs, order)
         workers = min(self.processes, len(units))
         max_attempts = self.retries + 1
         pool = self._make_pool(workers)
@@ -1365,6 +1558,8 @@ class SweepRunner:
                     _fail(idx, outcome)
                     return
                 counters["retried"] += 1
+                if self._tele is not None:
+                    self._tele.job_retried()
                 delay = self._backoff_s(attempt)
                 self._log_retry(jobs[idx], outcome, delay)
                 heapq.heappush(
@@ -1397,6 +1592,8 @@ class SweepRunner:
             futures.clear()
             pool.shutdown(wait=False)
             counters["rebuilds"] += 1
+            if self._tele is not None:
+                self._tele.pool_rebuilt()
             if counters["rebuilds"] > self.max_pool_rebuilds:
                 log.error(
                     "process pool died %d times; failing %d unrecovered jobs",
@@ -1427,6 +1624,8 @@ class SweepRunner:
             )
             pool = self._make_pool(workers)
             counters["recovered"] += len(lost)
+            if self._tele is not None:
+                self._tele.jobs_recovered(len(lost))
             # Bump the attempt so an attempt-gated kill fault (and any
             # real first-attempt-only crash) clears on resubmission;
             # repeated pool deaths are bounded by the rebuild budget
@@ -1461,9 +1660,16 @@ class SweepRunner:
                     if retry_heap
                     else None
                 )
+                if self._tele is not None:
+                    # Wake at least once a second so the live status
+                    # line and heartbeat view stay fresh while workers
+                    # grind through long jobs.
+                    timeout = 1.0 if timeout is None else min(timeout, 1.0)
                 finished, _ = wait(
                     set(futures), timeout=timeout, return_when=FIRST_COMPLETED
                 )
+                if self._tele is not None:
+                    self._tele.tick()
                 broken = False
                 for future in finished:
                     entries = futures.pop(future)

@@ -75,6 +75,8 @@ from .fastengine import (
     _attestation_ok,
     _config_supported,
     _normalize_traces,
+    _record_ff_phase,
+    _record_run_metrics,
     default_engine,
     simulate,
 )
@@ -389,10 +391,23 @@ class BatchSimulator:
             if probes_by_lane[b]:
                 probe_lanes.remove(b)
 
+        ff_wall = 0.0
+
         def _try_fast_forward(b: int) -> bool:
             """One FF attempt for lane b; True when the lane jumped.
 
-            Runs :func:`fastengine._attempt_fast_forward` verbatim
+            Accumulates attempt/apply wall time for the campaign phase
+            profiler, then runs :func:`_ff_attempt`.
+            """
+            nonlocal ff_wall
+            _ff_t0 = time.perf_counter()
+            try:
+                return _ff_attempt(b)
+            finally:
+                ff_wall += time.perf_counter() - _ff_t0
+
+        def _ff_attempt(b: int) -> bool:
+            """Runs :func:`fastengine._attempt_fast_forward` verbatim
             against this lane's slice views — basic slices share memory,
             so the interval's bulk apply writes straight into the batch
             state.
@@ -697,6 +712,8 @@ class BatchSimulator:
                 probe.on_run_end(result)
             results[b] = result
 
+        if ff_wall:
+            _record_ff_phase(ff_wall)
         return results
 
 
@@ -763,6 +780,8 @@ def simulate_batch(
                 if not return_exceptions:
                     raise
                 results[idx] = exc
+            else:
+                _record_run_metrics("batch", results[idx])
             continue
         sim = BatchSimulator(
             [(arrays, config) for _, arrays, _, config in chunk],
@@ -772,4 +791,8 @@ def simulate_batch(
             if isinstance(outcome, Exception) and not return_exceptions:
                 raise outcome
             results[idx] = outcome
+            if not isinstance(outcome, Exception):
+                # per-lane accounting mirrors simulate()'s, so campaign
+                # metrics are sampled identically across dispatch paths
+                _record_run_metrics("batch", outcome)
     return results

@@ -455,6 +455,7 @@ class Simulator:
         ff_horizon = (max_ticks + 1) if max_ticks is not None else drain.UNBOUNDED
         ff_intervals = 0
         ff_elided = 0
+        ff_wall = 0.0
 
         t = 0
         makespan = 0
@@ -465,6 +466,7 @@ class Simulator:
             arb_begin_tick(t)
 
             if ff_eligible and t >= ff_next_try:
+                _ff_t0 = time.perf_counter()
                 if not ff_checked_disjoint:
                     ff_checked_disjoint = True
                     if not drain.traces_disjoint(self.traces):
@@ -491,12 +493,14 @@ class Simulator:
                             ff_elided += ff[0] - t
                             (t, ready, queue_len, fetches, evictions,
                              done_count, makespan) = ff
+                            ff_wall += time.perf_counter() - _ff_t0
                             if max_ticks is not None and t > max_ticks:
                                 raise SimulationLimitError(
                                     f"simulation exceeded max_ticks={max_ticks} "
                                     f"({done_count}/{p} threads complete)"
                                 )
                             continue
+                ff_wall += time.perf_counter() - _ff_t0
 
             # -- step 2 (classify + enqueue misses) ----------------------
             # ``ready`` is kept sorted by core id, so classification,
@@ -614,6 +618,10 @@ class Simulator:
         metrics.evictions = evictions
         metrics.fetches = fetches
 
+        if ff_wall:
+            from ..obs.metrics import record_phase
+
+            record_phase("fast_forward", ff_wall)
         remap_count = getattr(arb, "remap_count", 0)
         wall = time.perf_counter() - start
         result = metrics.finalize(

@@ -684,6 +684,7 @@ class FastSimulator:
         ff_horizon = (max_ticks + 1) if max_ticks is not None else drain.UNBOUNDED
         ff_intervals = 0
         ff_elided = 0
+        ff_wall = 0.0
 
         vt = vector_threshold()
         t = 0
@@ -692,6 +693,7 @@ class FastSimulator:
             arb_begin_tick(t)
 
             if ff_eligible and t >= ff_next_try:
+                _ff_t0 = time.perf_counter()
                 ff_plan = arb.drain_plan(q, ff_horizon)
                 if ff_plan is None:
                     ff_eligible = False
@@ -713,12 +715,14 @@ class FastSimulator:
                         ff_elided += ff[0] - t
                         (t, ready, queue_len, fetches, evictions,
                          done_count, makespan, resident_count) = ff
+                        ff_wall += time.perf_counter() - _ff_t0
                         if max_ticks is not None and t > max_ticks:
                             raise SimulationLimitError(
                                 f"simulation exceeded max_ticks={max_ticks} "
                                 f"({done_count}/{p} threads complete)"
                             )
                         continue
+                ff_wall += time.perf_counter() - _ff_t0
 
             n_ready = len(ready)
             base = t * stamp_stride
@@ -895,6 +899,8 @@ class FastSimulator:
                 for i in range(p):
                     metrics.response_logs[i] = sorted_w[bounds[i] : bounds[i + 1]]
         remap_count = getattr(arb, "remap_count", 0)
+        if ff_wall:
+            _record_ff_phase(ff_wall)
         result = metrics.finalize(
             makespan=makespan,
             ticks=t,
@@ -953,6 +959,42 @@ def resolve_engine(
     return _resolve(arrays, attestation, config, engine)[0]
 
 
+def _record_ff_phase(seconds: float) -> None:
+    """Observe accumulated fast-forward attempt/apply wall time (no-op
+    without an active campaign registry; import deferred to keep the
+    core engines free of an obs dependency at import time)."""
+    from ..obs.metrics import record_phase
+
+    record_phase("fast_forward", seconds)
+
+
+def _record_run_metrics(engine_name: str, result: SimulationResult) -> None:
+    """Engine-level campaign metrics for one finished run.
+
+    Called with the same counters and the same ``simulate`` phase
+    observation by every dispatch path — :func:`simulate` and the batch
+    engine's per-lane accounting — so all engines are sampled
+    identically. A single ``is None`` check when no registry is active.
+    """
+    from ..obs.metrics import active_registry, record_phase
+
+    registry = active_registry()
+    if registry is None:
+        return
+    record_phase("simulate", result.wall_time_s)
+    registry.counter(
+        "repro_engine_runs_total", "simulation runs by engine"
+    ).inc(1, engine=engine_name)
+    if result.ff_intervals:
+        registry.counter(
+            "repro_ff_intervals_total", "quiescent intervals fast-forwarded"
+        ).inc(result.ff_intervals)
+        registry.counter(
+            "repro_ff_elided_ticks_total",
+            "simulated ticks elided by fast-forward",
+        ).inc(result.ff_elided_ticks)
+
+
 def simulate(
     traces,
     config: SimulationConfig,
@@ -988,6 +1030,7 @@ def simulate(
         result = FastSimulator(arrays, config, attestation=attestation).run()
     else:
         result = Simulator(arrays, config).run()
+    _record_run_metrics(chosen, result)
     if manifest_path is not None:
         from ..obs.manifest import RunManifest
 

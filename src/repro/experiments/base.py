@@ -52,8 +52,10 @@ from typing import Any, Callable, Sequence
 from ..analysis.sweep import CampaignStats, SweepJob, SweepRecord, SweepRunner
 from ..core.engine import ENGINE_SEMANTICS_VERSION
 from ..core.fastengine import default_engine
+from ..analysis.telemetry import default_telemetry
 from ..obs.log import get_logger, warn_once
 from ..obs.manifest import host_info
+from ..obs.metrics import phase, set_active_registry
 from ..traces import Workload, WorkloadCache
 
 log = get_logger("experiments")
@@ -273,17 +275,32 @@ class Campaign:
                     f"campaign {self.experiment_id!r} has jobs but no reducer"
                 )
             runner = SweepRunner(processes=processes, cache_dir=cache_dir)
-            records = runner.run(list(self.build_jobs(ctx)))
+            # Keep the campaign registry active across the reduce step
+            # so its wall time lands in the phase profile too; the
+            # runner installs/restores the same registry internally.
+            tele = default_telemetry()
+            previous_registry = (
+                set_active_registry(tele.registry) if tele is not None else None
+            )
             global _ACTIVE_REDUCE
-            _ACTIVE_REDUCE = {
-                "experiment_id": self.experiment_id,
-                "failed": sum(1 for r in records if r.failed),
-                "total": len(records),
-            }
             try:
-                reduction = self.reduce(ctx, records)
+                records = runner.run(
+                    list(self.build_jobs(ctx)), label=self.experiment_id
+                )
+                _ACTIVE_REDUCE = {
+                    "experiment_id": self.experiment_id,
+                    "failed": sum(1 for r in records if r.failed),
+                    "total": len(records),
+                }
+                try:
+                    with phase("reduce"):
+                        reduction = self.reduce(ctx, records)
+                finally:
+                    _ACTIVE_REDUCE = None
             finally:
-                _ACTIVE_REDUCE = None
+                if tele is not None:
+                    set_active_registry(previous_registry)
+                    tele.flush()
             stats = runner.last_campaign or CampaignStats()
         elif self.compute is not None:
             reduction = self.compute(ctx)

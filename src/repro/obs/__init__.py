@@ -16,7 +16,13 @@ campaigns monitorable without perturbing either engine:
   config, workload attestation, resolved engine, semantics version,
   host info, and a wall-time breakdown by phase.
 * :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
-  ``trace_event`` export; the file opens in Perfetto / about:tracing.
+  ``trace_event`` export; the file opens in Perfetto / about:tracing
+  (:func:`merge_chrome_traces` combines per-job traces into one
+  multi-track document).
+* :class:`MetricsRegistry` (``repro.obs.metrics``) — process-safe
+  counters/gauges/histograms with commutative snapshot merge and
+  Prometheus text export; the campaign telemetry spine
+  (``repro.analysis.telemetry``) is built on it.
 * :func:`get_logger` / :func:`configure_logging` — the structured
   logging spine used by the sweep harness and the CLI.
 
@@ -25,15 +31,33 @@ See ``docs/OBSERVABILITY.md`` for the full guide.
 
 from .log import configure_logging, get_logger, reset_warn_once, warn_once
 from .manifest import RunManifest, host_info
+from .metrics import (
+    MetricsRegistry,
+    active_registry,
+    phase,
+    record_phase,
+    render_prom,
+    set_active_registry,
+    write_prom,
+)
 from .probe import CallbackProbe, Probe, ProbeSample, TimelineProbe
 from .trace import (
     ascii_timeline,
     chrome_trace,
+    merge_chrome_traces,
     write_chrome_trace,
     write_timeline_jsonl,
 )
 
 __all__ = [
+    "MetricsRegistry",
+    "active_registry",
+    "set_active_registry",
+    "record_phase",
+    "phase",
+    "render_prom",
+    "write_prom",
+    "merge_chrome_traces",
     "Probe",
     "ProbeSample",
     "TimelineProbe",

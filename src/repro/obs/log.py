@@ -28,6 +28,9 @@ __all__ = [
     "verbosity_level",
     "warn_once",
     "reset_warn_once",
+    "begin_warning_capture",
+    "drain_captured_warnings",
+    "forward_warnings",
 ]
 
 #: root of the package's logger namespace
@@ -87,6 +90,10 @@ def configure_logging(
 #: keys already warned about via :func:`warn_once`
 _WARNED: set[Hashable] = set()
 
+#: when not None, warnings are buffered here instead of emitted (pool
+#: workers: the parent re-emits with cross-worker dedup)
+_CAPTURE: list[dict[str, str]] | None = None
+
 
 def warn_once(logger: logging.Logger, key: Hashable, msg: str, *args: Any) -> bool:
     """Emit ``logger.warning(msg, *args)`` once per distinct ``key``.
@@ -96,14 +103,73 @@ def warn_once(logger: logging.Logger, key: Hashable, msg: str, *args: Any) -> bo
     campaign replaying the same records; deduplicating on a
     caller-chosen key keeps each distinct problem visible exactly once
     per process. Returns True when the warning was actually emitted.
+
+    Inside a pool worker (see :func:`begin_warning_capture`) nothing is
+    logged locally: the rendered warning is buffered, piggybacked to
+    the parent on the next job outcome, and re-emitted there through
+    :func:`forward_warnings` — whose dedup key is the *warning's* key,
+    not the worker's pid, so an N-worker campaign prints each distinct
+    warning once instead of N times.
     """
     if key in _WARNED:
         return False
     _WARNED.add(key)
+    if _CAPTURE is not None:
+        _CAPTURE.append(
+            {
+                "logger": logger.name,
+                "key": repr(key),
+                "message": (msg % args) if args else msg,
+            }
+        )
+        return True
     logger.warning(msg, *args)
     return True
 
 
+def begin_warning_capture() -> None:
+    """Switch :func:`warn_once` into buffering mode (pool workers only).
+
+    Idempotent; there is deliberately no way to switch back — a worker
+    process stays a worker for its lifetime.
+    """
+    global _CAPTURE
+    if _CAPTURE is None:
+        _CAPTURE = []
+
+
+def drain_captured_warnings() -> list[dict[str, str]]:
+    """Return and clear the buffered worker warnings (empty when
+    capture mode is off or nothing was warned)."""
+    global _CAPTURE
+    if not _CAPTURE:
+        return []
+    drained, _CAPTURE = _CAPTURE, []
+    return drained
+
+
+def forward_warnings(items: list[dict[str, str]]) -> int:
+    """Re-emit worker-captured warnings in the parent, deduplicated.
+
+    The dedup key is the original ``warn_once`` key's repr, so the same
+    warning raised by every worker of a campaign is printed exactly
+    once. Returns the number actually emitted.
+    """
+    emitted = 0
+    for item in items:
+        logger = logging.getLogger(item.get("logger") or ROOT_LOGGER)
+        if warn_once(
+            logger,
+            ("forwarded-worker-warning", item.get("key")),
+            "%s",
+            item.get("message", ""),
+        ):
+            emitted += 1
+    return emitted
+
+
 def reset_warn_once() -> None:
-    """Forget all :func:`warn_once` keys (for tests)."""
+    """Forget all :func:`warn_once` keys and buffered captures (tests)."""
     _WARNED.clear()
+    if _CAPTURE is not None:
+        _CAPTURE.clear()

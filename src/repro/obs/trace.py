@@ -29,6 +29,7 @@ from .probe import ProbeSample, TimelineProbe
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
+    "merge_chrome_traces",
     "write_timeline_jsonl",
     "ascii_timeline",
 ]
@@ -131,6 +132,82 @@ def write_chrome_trace(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     document = chrome_trace(source, name=name, metadata=metadata)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def _track_name(doc: dict[str, Any], trace_path: Path, explicit: str | None) -> str:
+    """Display name for one merged input, in preference order: the
+    caller's explicit name (the job tag), the sibling ``manifest.json``
+    workload name, the trace's own ``otherData.source``, the directory."""
+    if explicit:
+        return explicit
+    manifest = trace_path.parent / "manifest.json"
+    if manifest.is_file():
+        try:
+            workload = json.loads(manifest.read_text(encoding="utf-8")).get(
+                "workload", {}
+            )
+            if workload.get("name"):
+                return str(workload["name"])
+        except (OSError, ValueError):
+            pass
+    source = doc.get("otherData", {}).get("source")
+    return str(source) if source else trace_path.parent.name
+
+
+def merge_chrome_traces(
+    inputs: Iterable[str | os.PathLike | tuple[str | os.PathLike, str | None]],
+    path: str | os.PathLike,
+    name: str = "hbm-repro merged traces",
+) -> Path:
+    """Combine per-job Chrome traces into one multi-track document.
+
+    Each input trace keeps all of its events, but its pids are remapped
+    into a disjoint range so Perfetto renders every job as its own
+    process group, and the ``process_name`` metadata rows are prefixed
+    with the job's track name (see :func:`_track_name`) so the tracks
+    read ``<job tag>: hbm-model`` / ``<job tag>: cores``. Inputs may be
+    plain paths or ``(path, track_name)`` pairs.
+    """
+    merged_events: list[dict[str, Any]] = []
+    sources: list[dict[str, Any]] = []
+    next_pid = 0
+    for item in inputs:
+        trace_path, explicit = (
+            (Path(item[0]), item[1])
+            if isinstance(item, tuple)
+            else (Path(item), None)
+        )
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = doc.get("traceEvents", [])
+        track = _track_name(doc, trace_path, explicit)
+        pid_map: dict[int, int] = {}
+        for event in events:
+            old_pid = int(event.get("pid", 0))
+            if old_pid not in pid_map:
+                pid_map[old_pid] = next_pid
+                next_pid += 1
+            event = dict(event, pid=pid_map[old_pid])
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                inner = dict(event.get("args", {}))
+                inner["name"] = f"{track}: {inner.get('name', '?')}"
+                event["args"] = inner
+            merged_events.append(event)
+        sources.append(
+            {"track": track, "path": str(trace_path), "events": len(events)}
+        )
+    if not sources:
+        raise ValueError("merge_chrome_traces needs at least one input trace")
+    document = {
+        "traceEvents": merged_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": name, "merged": sources},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
     tmp.write_text(json.dumps(document) + "\n", encoding="utf-8")
     os.replace(tmp, path)

@@ -225,3 +225,225 @@ class TestObservabilityCommands:
         assert logging.getLogger("repro").level == logging.WARNING
         assert main(["workloads"]) == 0
         assert logging.getLogger("repro").level == logging.INFO
+
+
+class TestTelemetryFlags:
+    def test_run_with_metrics_and_events(self, tmp_path, capsys):
+        metrics = tmp_path / "m.prom"
+        events = tmp_path / "e.jsonl"
+        code = main(
+            [
+                "run",
+                "fig3",
+                "--scale",
+                "smoke",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--metrics-out",
+                str(metrics),
+                "--events-out",
+                str(events),
+                "--progress-every",
+                "2",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "repro_campaign_jobs_total" in text
+        assert "repro_phase_seconds_bucket" in text
+        import json
+
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        assert lines[0]["event"] == "campaign.start"
+        assert lines[-1]["event"] == "campaign.end"
+        seqs = [e["seq"] for e in lines]
+        assert seqs == sorted(seqs)
+
+    def test_run_restores_telemetry_defaults(self, tmp_path, capsys):
+        from repro.analysis.telemetry import default_telemetry
+
+        main(
+            [
+                "run",
+                "thm4",
+                "--scale",
+                "smoke",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--metrics-out",
+                str(tmp_path / "m.prom"),
+            ]
+        )
+        capsys.readouterr()
+        assert default_telemetry() is None  # CLI flags did not leak
+
+    def test_progress_every_validated(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            main(
+                [
+                    "run",
+                    "thm4",
+                    "--scale",
+                    "smoke",
+                    "--progress-every",
+                    "0",
+                    "--metrics-out",
+                    str(tmp_path / "m.prom"),
+                ]
+            )
+
+
+class TestTraceMergeCommand:
+    def test_merge_combines_traces(self, tmp_path, capsys):
+        import json
+
+        one = tmp_path / "t1"
+        two = tmp_path / "t2"
+        argv = TestObservabilityCommands.TRACE_ARGV + ["--no-ascii"]
+        assert main(argv + ["--output-dir", str(one)]) == 0
+        assert main(argv + ["--output-dir", str(two), "--seed", "1"]) == 0
+        capsys.readouterr()
+        out_dir = tmp_path / "merged"
+        code = main(
+            [
+                "trace",
+                "--merge",
+                str(one / "trace.json"),
+                f"second={two / 'trace.json'}",
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "merged 2 trace(s)" in capsys.readouterr().out
+        doc = json.loads((out_dir / "trace.json").read_text())
+        tracks = [s["track"] for s in doc["otherData"]["merged"]]
+        assert tracks[1] == "second"
+        # pid ranges of the two inputs are disjoint in the merged doc
+        assert len({e["pid"] for e in doc["traceEvents"]}) == 4
+
+    def test_merge_rejects_workload_operand(self, capsys):
+        assert main(["trace", "spgemm", "--merge", "x.json"]) == 2
+        assert "not a workload" in capsys.readouterr().err
+
+    def test_merge_missing_file_is_an_error(self, capsys):
+        assert main(["trace", "--merge", "does-not-exist.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_plain_trace_still_requires_hbm_slots(self, capsys):
+        assert main(["trace", "spgemm"]) == 2
+        assert "--hbm-slots" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def _write_bench(self, directory, ff_speedup):
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_engine.json").write_text(
+            json.dumps({"ff_speedup": ff_speedup, "ff_on_s": 0.05})
+        )
+
+    def test_record_then_diff_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        self._write_bench(tmp_path, 8.0)
+        assert main(
+            [
+                "bench",
+                "record",
+                "--bench-dir",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ]
+        ) == 0
+        assert baseline.exists()
+        code = main(
+            [
+                "bench",
+                "diff",
+                "--bench-dir",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_catches_synthetic_slowdown(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        self._write_bench(tmp_path, 8.0)
+        main(["bench", "record", "--bench-dir", str(tmp_path), "--baseline", str(baseline)])
+        slow = tmp_path / "slow"
+        self._write_bench(slow, 4.0)  # the synthetic 2x slowdown
+        code = main(
+            [
+                "bench",
+                "diff",
+                "--bench-dir",
+                str(slow),
+                "--baseline",
+                str(baseline),
+                "--tolerance",
+                "0.25",
+            ]
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "REGRESSION engine.ff_speedup" in captured.err
+
+    def test_diff_without_baseline_explains(self, tmp_path, capsys):
+        self._write_bench(tmp_path, 8.0)
+        code = main(
+            [
+                "bench",
+                "diff",
+                "--bench-dir",
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+        assert "bench record" in capsys.readouterr().err
+
+    def test_record_without_results_fails(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench",
+                "record",
+                "--bench-dir",
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "baseline.json"),
+            ]
+        )
+        assert code == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_repo_baseline_matches_committed_bench_files(self, capsys):
+        # the committed baseline must stay in sync with the committed
+        # BENCH_*.json results at the repo root
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        if not (repo_root / "BENCH_engine.json").is_file():
+            import pytest as _pytest
+
+            _pytest.skip("BENCH files not present")
+        code = main(
+            [
+                "bench",
+                "diff",
+                "--bench-dir",
+                str(repo_root),
+                "--baseline",
+                str(repo_root / "benchmarks" / "baseline.json"),
+            ]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out

@@ -42,6 +42,11 @@ PUBLIC_MODULES = [
     "repro.analysis.stats",
     "repro.analysis.tables",
     "repro.analysis.asciiplot",
+    "repro.analysis.telemetry",
+    "repro.analysis.benchtrend",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
     "repro.experiments",
     "repro.experiments.registry",
 ]
