@@ -26,6 +26,10 @@ Subcommands
     ``BENCH_*.json`` results against the committed
     ``benchmarks/baseline.json`` (non-zero exit on regression);
     ``bench record`` folds the current results into the baseline.
+``cache``
+    Inspect or clear the result store and workload cache:
+    ``cache stats`` / ``cache clear``, scoped with ``--results-only``
+    or ``--workloads-only``, against any ``--store`` backend.
 
 Global ``-v/--verbose`` and ``-q/--quiet`` flags control the
 ``repro.*`` logger verbosity (default INFO; see :mod:`repro.obs.log`).
@@ -39,9 +43,13 @@ from pathlib import Path
 
 from .analysis import (
     SweepFailure,
+    SweepRunner,
+    parse_shard,
     set_execution_defaults,
     set_result_cache_default,
+    set_store_default,
     set_telemetry_defaults,
+    sweep_job_from_dict,
     write_csv,
 )
 from .core import (
@@ -60,7 +68,12 @@ from .obs import (
     write_chrome_trace,
     write_timeline_jsonl,
 )
-from .traces import make_workload, workload_kinds
+from .traces import (
+    WorkloadCache,
+    default_cache_dir,
+    make_workload,
+    workload_kinds,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -87,7 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("workloads", help="list workload generators")
 
     run_p = sub.add_parser("run", help="run experiments by id")
-    run_p.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_p.add_argument(
+        "ids", nargs="*", default=[],
+        help="experiment ids, or 'all' (omit with --resume)",
+    )
     run_p.add_argument(
         "--scale", choices=("smoke", "paper"), default="smoke",
         help="experiment size preset (default: smoke)",
@@ -179,6 +195,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress-every", type=int, default=None, metavar="N",
         help="emit a campaign.progress event every N job completions "
         "(default: 1)",
+    )
+    run_p.add_argument(
+        "--store", default=None, metavar="URI",
+        help="result-store backend: dir:PATH (default layout) or "
+        "sqlite:PATH (safe for concurrent writers); overrides "
+        "REPRO_STORE and the <cache-dir>/results default",
+    )
+    run_p.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only this shard of each campaign's job list (e.g. "
+        "0/2, 1/2); point every shard at one shared --store",
+    )
+    run_p.add_argument(
+        "--resume", default=None, metavar="CAMPAIGN_ID",
+        help="resume a checkpointed campaign from the store: finished "
+        "jobs are skipped, only the remainder is simulated",
     )
     _add_engine_flags(run_p)
 
@@ -305,6 +337,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed absolute rise for gated overhead fractions "
         "(default: 0.05)",
     )
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the result store / workload cache"
+    )
+    cache_p.add_argument(
+        "cache_command", choices=("stats", "clear"),
+        help="'stats' prints entry counts and sizes; 'clear' empties",
+    )
+    cache_p.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $HBM_REPRO_CACHE or "
+        "~/.cache/hbm-repro)",
+    )
+    cache_p.add_argument(
+        "--store", default=None, metavar="URI",
+        help="result-store backend to target (dir:PATH or sqlite:PATH; "
+        "default: REPRO_STORE, else <cache-dir>/results)",
+    )
+    scope = cache_p.add_mutually_exclusive_group()
+    scope.add_argument(
+        "--results-only", action="store_true",
+        help="touch only the simulation result store",
+    )
+    scope.add_argument(
+        "--workloads-only", action="store_true",
+        help="touch only the generated-workload cache",
+    )
     return parser
 
 
@@ -356,6 +415,21 @@ def _cmd_workloads() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume is not None and args.ids:
+        print(
+            "--resume names its campaign in the checkpoint; drop the "
+            "experiment ids",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume is None and not args.ids:
+        print("run needs experiment ids (or --resume)", file=sys.stderr)
+        return 2
+    try:
+        parse_shard(args.shard)
+    except ValueError as exc:
+        print(f"bad --shard: {exc}", file=sys.stderr)
+        return 2
     ids = experiment_ids() if args.ids == ["all"] else args.ids
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
@@ -382,6 +456,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         exec_overrides["retry_backoff_s"] = args.retry_backoff
     if args.max_pool_rebuilds is not None:
         exec_overrides["max_pool_rebuilds"] = args.max_pool_rebuilds
+    if args.shard is not None:
+        exec_overrides["shard"] = args.shard
     tele_overrides = {}
     if args.metrics_out is not None:
         tele_overrides["metrics_out"] = args.metrics_out
@@ -393,6 +469,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tele_overrides["progress_every"] = args.progress_every
     prev_engine = set_default_engine(args.engine)
     prev_cache = set_result_cache_default(not args.no_result_cache)
+    prev_store = set_store_default(args.store) if args.store else None
     prev_exec = set_execution_defaults(**exec_overrides)
     prev_tele = set_telemetry_defaults(**tele_overrides)
     prev_batch = (
@@ -401,6 +478,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else None
     )
     try:
+        if args.resume is not None:
+            return _cmd_resume(args)
         for experiment_id in ids:
             try:
                 out = run_experiment(
@@ -432,6 +511,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         set_default_engine(prev_engine)
         set_result_cache_default(prev_cache)
+        if args.store:
+            set_store_default(prev_store)
         set_execution_defaults(**prev_exec)
         set_telemetry_defaults(**prev_tele)
         if args.batch is not None:
@@ -449,6 +530,120 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if not args.no_strict:
             return 1
     return 0
+
+
+def _resolve_store_uri(
+    store: str | None, cache_dir: str | None
+) -> str:
+    """The store URI a command targets: explicit ``--store``, else the
+    ``REPRO_STORE`` environment, else ``<cache-dir>/results``."""
+    from .store import default_store_uri
+
+    if store:
+        return store
+    env = default_store_uri()
+    if env:
+        return env
+    base = Path(cache_dir) if cache_dir else default_cache_dir()
+    return f"dir:{base / 'results'}"
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Finish a checkpointed campaign: ``repro run --resume <id>``.
+
+    The checkpoint stores the full job manifest plus the submitting
+    context (experiment id / scale / seed), so a resume needs nothing
+    but the campaign id and the store it lives in. When the campaign
+    came from a registered experiment we re-run the experiment — the
+    deterministic campaign id makes the runner skip everything already
+    in the frontier, and the report/check pipeline runs as usual.
+    Otherwise the jobs are rebuilt from the manifest and swept directly.
+    """
+    from .store import open_store
+
+    uri = _resolve_store_uri(args.store, args.cache_dir)
+    store = open_store(uri)
+    try:
+        checkpoint = store.load_checkpoint(args.resume)
+        if checkpoint is None:
+            print(
+                f"no campaign {args.resume!r} in {store.describe()}",
+                file=sys.stderr,
+            )
+            known = store.list_campaigns()
+            if known:
+                print(f"known campaigns: {known}", file=sys.stderr)
+            return 2
+        meta = dict(checkpoint.meta or {})
+        experiment_id = meta.get("experiment_id")
+        if experiment_id in EXPERIMENTS:
+            out = run_experiment(
+                experiment_id,
+                scale=str(meta.get("scale", args.scale)),
+                processes=args.processes,
+                cache_dir=args.cache_dir,
+                seed=int(meta.get("seed", args.seed)),
+                save_dir=args.save,
+            )
+            print(out.render())
+            failed = out.failed_checks()
+            if failed:
+                print(f"FAILED shape checks: {failed}", file=sys.stderr)
+                if not args.no_strict:
+                    return 1
+            return 0
+        # No (or unknown) experiment lineage: sweep the stored manifest.
+        jobs = [sweep_job_from_dict(dict(j)) for j in checkpoint.jobs]
+        runner = SweepRunner(
+            processes=args.processes,
+            cache_dir=args.cache_dir,
+            store=store,
+        )
+        records = runner.run(jobs, label=checkpoint.label, meta=meta)
+        stats = runner.last_campaign
+        if stats is not None:
+            print(stats.summary_table())
+        print(f"{len(records)} record(s); store {store.describe()}")
+        return 0
+    finally:
+        store.close()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .store import open_store
+
+    do_results = not args.workloads_only
+    do_workloads = not args.results_only
+    status = 0
+    if do_results:
+        store = open_store(_resolve_store_uri(args.store, args.cache_dir))
+        try:
+            if args.cache_command == "clear":
+                removed = store.clear()
+                print(f"results   {store.describe()}: cleared {removed}")
+            else:
+                stats = store.stats()
+                corrupt = stats.get("corrupt", 0)
+                note = f", {corrupt} corrupt" if corrupt else ""
+                print(
+                    f"results   {store.describe()}: "
+                    f"{stats['entries']} entries, "
+                    f"{stats['bytes']} bytes{note}"
+                )
+        finally:
+            store.close()
+    if do_workloads:
+        workloads = WorkloadCache(args.cache_dir)
+        if args.cache_command == "clear":
+            removed = workloads.clear()
+            print(f"workloads {workloads.directory}: cleared {removed}")
+        else:
+            stats = workloads.stats()
+            print(
+                f"workloads {workloads.directory}: "
+                f"{stats['entries']} entries, {stats['bytes']} bytes"
+            )
+    return status
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -650,6 +845,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

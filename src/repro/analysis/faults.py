@@ -21,6 +21,13 @@ Plan syntax: ``;``-separated specs of the form ``mode:match[:opts]``
     observes as a ``BrokenProcessPool``. Only meaningful under a
     process pool: with ``processes<=1`` this kills the campaign's own
     process.
+  - ``kill-parent`` — ``SIGKILL`` the campaign *parent* at the
+    post-record checkpoint (after a record is stored and marked done
+    in the frontier), never a worker. This is the probe for
+    ``--resume``: the next run of the same campaign must pick up
+    exactly where the dead parent stopped. Fired only via
+    :func:`maybe_inject_parent`; :func:`maybe_inject` (the worker
+    point) ignores it.
 
 * ``match`` — a substring of the job ``tag`` (``*`` matches every job).
 
@@ -29,7 +36,11 @@ Plan syntax: ``;``-separated specs of the form ``mode:match[:opts]``
   - ``attempts=N`` — fire only while the job's attempt number is
     ``<= N`` (default 1, so a single retry clears the fault;
     ``attempts=0`` fires on every attempt);
-  - ``seconds=S`` — sleep duration for ``sleep`` (default 30).
+  - ``seconds=S`` — sleep duration for ``sleep`` (default 30);
+  - ``after=N`` — for ``kill-parent``: die at the ``N``-th matching
+    record completion in this process (default 1). The counter is
+    process-local, so the resuming run dies again after ``N`` more
+    records unless it clears the plan.
 
 Examples::
 
@@ -37,6 +48,7 @@ Examples::
     REPRO_FAULT_INJECT="sleep:slow:seconds=5"     # overrun the timeout
     REPRO_FAULT_INJECT="kill:*:attempts=1"        # every job's first try dies
     REPRO_FAULT_INJECT="raise:a;kill:b"           # two independent faults
+    REPRO_FAULT_INJECT="kill-parent:*:after=3"    # parent dies after 3 records
 
 Everything here is deterministic given the job tag and attempt number,
 so faulty campaigns are exactly reproducible.
@@ -55,6 +67,7 @@ __all__ = [
     "InjectedFault",
     "active_fault_plan",
     "maybe_inject",
+    "maybe_inject_parent",
     "parse_fault_plan",
     "set_fault_plan",
 ]
@@ -62,7 +75,10 @@ __all__ = [
 #: environment variable holding the fault plan (inherited by workers)
 FAULT_ENV = "REPRO_FAULT_INJECT"
 
-_MODES = ("raise", "sleep", "kill")
+_MODES = ("raise", "sleep", "kill", "kill-parent")
+
+#: matching record completions seen by maybe_inject_parent, this process
+_parent_hits = 0
 
 
 class InjectedFault(RuntimeError):
@@ -79,6 +95,8 @@ class FaultSpec:
     attempts: int = 1
     #: sleep duration for ``sleep`` mode
     seconds: float = 30.0
+    #: for ``kill-parent``: die at the Nth matching record completion
+    after: int = 1
 
     def fires(self, tag: str, attempt: int) -> bool:
         if self.attempts and attempt > self.attempts:
@@ -102,6 +120,7 @@ def parse_fault_plan(text: str) -> tuple[FaultSpec, ...]:
         match = parts[1].strip() if len(parts) > 1 and parts[1].strip() else "*"
         attempts = 1
         seconds = 30.0
+        after = 1
         if len(parts) > 2 and parts[2].strip():
             for opt in parts[2].split(","):
                 key, _, raw = opt.partition("=")
@@ -110,12 +129,20 @@ def parse_fault_plan(text: str) -> tuple[FaultSpec, ...]:
                     attempts = int(raw)
                 elif key == "seconds":
                     seconds = float(raw)
+                elif key == "after":
+                    after = int(raw)
                 else:
                     raise ValueError(
                         f"unknown fault option {key!r} in {item!r}"
                     )
         specs.append(
-            FaultSpec(mode=mode, match=match, attempts=attempts, seconds=seconds)
+            FaultSpec(
+                mode=mode,
+                match=match,
+                attempts=attempts,
+                seconds=seconds,
+                after=after,
+            )
         )
     return tuple(specs)
 
@@ -159,6 +186,8 @@ def maybe_inject(tag: str, attempt: int) -> None:
     timeout machinery it exists to test).
     """
     for spec in active_fault_plan():
+        if spec.mode == "kill-parent":
+            continue  # parent-side injection point only
         if not spec.fires(tag, attempt):
             continue
         if spec.mode == "raise":
@@ -168,4 +197,23 @@ def maybe_inject(tag: str, attempt: int) -> None:
         if spec.mode == "sleep":
             time.sleep(spec.seconds)
         elif spec.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_inject_parent(tag: str) -> None:
+    """Fire any ``kill-parent`` fault matching this finished record.
+
+    Called by the campaign parent immediately *after* a fresh record has
+    been stored and marked done in the campaign frontier — the point
+    where dying must lose nothing. ``SIGKILL`` (not an exception) so no
+    ``finally`` block can soften the crash being simulated.
+    """
+    global _parent_hits
+    for spec in active_fault_plan():
+        if spec.mode != "kill-parent":
+            continue
+        if spec.match != "*" and spec.match not in tag:
+            continue
+        _parent_hits += 1
+        if _parent_hits >= spec.after:
             os.kill(os.getpid(), signal.SIGKILL)

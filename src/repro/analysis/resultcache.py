@@ -1,144 +1,18 @@
-"""Persistent, content-addressed cache of sweep results.
+"""Compatibility shim for the historical result-cache module.
 
-A sweep record is a pure function of its job: the workload spec fully
-determines the traces (generators are seed-deterministic), the
-:class:`~repro.core.SimulationConfig` fully determines the policies,
-and both engines are deterministic for a fixed seed. Re-running a
-figure therefore only needs to simulate jobs whose (spec, config) pair
-has never been seen — everything else can be replayed from disk, the
-same memoization that makes parameter studies tractable in the related
-placement/migration simulators.
-
-Keys are SHA-256 digests of a canonical JSON encoding of the workload
-spec, the full config dict, and
-:data:`repro.core.engine.ENGINE_SEMANTICS_VERSION`. The version tag is
-the safety interlock: any PR that changes simulator *outputs* bumps it,
-which atomically invalidates every cached record. Job ``tag`` s are
-deliberately excluded — records are stored per (spec, config), so the
-same simulation tagged differently by two figures is computed once.
-
-Entries are one small JSON file per key (written atomically via
-``os.replace``) in a ``results/`` directory next to the workload
-cache's ``.npz`` files, so ``--cache-dir`` governs both caches and
-deleting the directory resets both. Unreadable or truncated entries are
-treated as misses, never as errors. Besides the metric payload, the
-sweep harness stores a run ``manifest`` in each entry (engine, host,
-wall-time phases — see :mod:`repro.obs.manifest`), so a cached record
-remains auditable long after the run that produced it.
+The content-addressed result cache grew into the pluggable store layer
+in :mod:`repro.store`: the backend protocol lives in
+:mod:`repro.store.base`, the local-directory backend (this module's old
+``ResultCache``, byte-compatible on disk) in
+:mod:`repro.store.dirstore`, and a SQLite/WAL backend for concurrent
+writers in :mod:`repro.store.sqlitestore`. Import from
+:mod:`repro.store` in new code; this module keeps the old names
+working so downstream scripts and warm caches are untouched.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from pathlib import Path
-from typing import Any, Mapping
-
-from ..core.engine import ENGINE_SEMANTICS_VERSION
+from ..store.base import sweep_result_key
+from ..store.dirstore import DirectoryStore as ResultCache
 
 __all__ = ["ResultCache", "sweep_result_key"]
-
-
-def sweep_result_key(workload_spec, config, payload=None) -> str:
-    """Stable content hash of one sweep job's inputs.
-
-    ``workload_spec`` needs ``kind``/``threads``/``seed``/``params``
-    attributes (:class:`~repro.analysis.sweep.WorkloadSpec`); ``config``
-    needs ``to_dict()`` (:class:`~repro.core.SimulationConfig`);
-    ``payload`` is an optional
-    :class:`~repro.analysis.sweep.PayloadRequest`. A truthy payload
-    request is hashed into the key so fat records (carrying response
-    distributions, raw series, or probe samples) never collide with
-    slim records of the same (spec, config); an empty/absent request
-    leaves the key bit-identical to the historical slim format, so
-    caches written before payloads existed stay warm.
-    """
-    blob_dict = {
-        "workload": {
-            "kind": workload_spec.kind,
-            "threads": workload_spec.threads,
-            "seed": workload_spec.seed,
-            "params": list(workload_spec.params),
-        },
-        "config": config.to_dict(),
-        "engine_semantics": ENGINE_SEMANTICS_VERSION,
-    }
-    if payload:
-        blob_dict["payload"] = payload.to_dict()
-    blob = json.dumps(blob_dict, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
-
-
-class ResultCache:
-    """Key -> JSON-payload store for sweep records.
-
-    The cache stores plain metric dicts rather than pickled records so
-    entries stay inspectable (``cat`` able), diffable, and robust to
-    refactors of the record class.
-    """
-
-    def __init__(self, directory: str | os.PathLike) -> None:
-        self.directory = Path(directory)
-
-    def path_for(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
-
-    def get(self, key: str) -> dict[str, Any] | None:
-        """The stored payload, or None on miss/corruption (never raises)."""
-        path = self.path_for(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
-            return None
-        return payload if isinstance(payload, dict) else None
-
-    def put(self, key: str, payload: Mapping[str, Any]) -> None:
-        """Store ``payload`` under ``key`` atomically.
-
-        Refuses payloads flagged as failed: a cache entry asserts "this
-        (spec, config) simulated successfully", and replaying a
-        transient worker failure forever would poison every later
-        campaign. The sweep harness never offers failed records; this
-        guard catches any future caller that tries.
-        """
-        if payload.get("error"):
-            raise ValueError(
-                f"refusing to cache failed sweep result under key {key!r}"
-            )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(dict(payload), sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
-
-    def clear(self) -> int:
-        """Delete every cached result (and any stale ``*.tmp*`` files
-        left by killed writers); returns the number removed."""
-        removed = 0
-        if self.directory.exists():
-            stale = set(self.directory.glob("*.json"))
-            stale.update(self.directory.glob("*.tmp*"))
-            for f in stale:
-                f.unlink(missing_ok=True)
-                removed += 1
-        return removed
-
-    def __len__(self) -> int:
-        if not self.directory.exists():
-            return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
-
-    def stats(self) -> dict[str, int]:
-        """Entry count and on-disk footprint, for campaign telemetry."""
-        entries = 0
-        size = 0
-        if self.directory.exists():
-            for f in self.directory.glob("*.json"):
-                entries += 1
-                try:
-                    size += f.stat().st_size
-                except OSError:
-                    pass
-        return {"entries": entries, "bytes": size}

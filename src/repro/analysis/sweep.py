@@ -38,8 +38,10 @@ deterministic fault-injection hooks in :mod:`repro.analysis.faults`.
 
 from __future__ import annotations
 
+import asyncio
 import heapq
 import os
+import queue
 import signal
 import threading
 import time
@@ -72,9 +74,17 @@ from ..obs.metrics import (
     record_phase,
     set_active_registry,
 )
+from ..store import (
+    CampaignCheckpoint,
+    ResultStore,
+    campaign_id_for,
+    default_store_uri,
+    open_store,
+    sweep_result_key,
+)
+from ..store.dirstore import DirectoryStore
 from ..traces import Workload, WorkloadCache, make_workload
-from .faults import maybe_inject
-from .resultcache import ResultCache, sweep_result_key
+from .faults import maybe_inject, maybe_inject_parent
 from .telemetry import CampaignTelemetry, HeartbeatWriter, default_telemetry
 
 __all__ = [
@@ -91,6 +101,9 @@ __all__ = [
     "run_sweep",
     "set_result_cache_default",
     "set_execution_defaults",
+    "parse_shard",
+    "sweep_job_to_dict",
+    "sweep_job_from_dict",
 ]
 
 log = get_logger("sweep")
@@ -224,9 +237,39 @@ _EXECUTION_DEFAULTS: dict[str, Any] = {
     "failure_mode": "keep_going",
     "retry_backoff_s": 0.05,
     "max_pool_rebuilds": _MAX_POOL_REBUILDS,
+    "shard": None,
 }
 
 _FAILURE_MODES = ("keep_going", "strict")
+
+
+def parse_shard(value: Any) -> tuple[int, int] | None:
+    """Normalize a shard designator to ``(index, count)``.
+
+    Accepts ``None``/empty (no sharding), an ``"i/n"`` string (the CLI
+    form, zero-based), or an ``(i, n)`` pair. ``n`` must be positive and
+    ``0 <= i < n``; ``1`` shards (``"0/1"``) is explicitly allowed — it
+    runs the whole campaign but still takes leases, which is how a
+    single process joins a store other shards are draining.
+    """
+    if value is None or value == "":
+        return None
+    if isinstance(value, str):
+        index_s, sep, count_s = value.partition("/")
+        if not sep:
+            raise ValueError(f"shard must look like 'i/n', got {value!r}")
+        try:
+            index, count = int(index_s), int(count_s)
+        except ValueError:
+            raise ValueError(f"shard must look like 'i/n', got {value!r}") from None
+    else:
+        index, count = value
+        index, count = int(index), int(count)
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must satisfy 0 <= i < n, got {index}/{count}"
+        )
+    return index, count
 
 
 def set_execution_defaults(
@@ -235,6 +278,7 @@ def set_execution_defaults(
     failure_mode: Any = _UNSET,
     retry_backoff_s: Any = _UNSET,
     max_pool_rebuilds: Any = _UNSET,
+    shard: Any = _UNSET,
 ) -> dict[str, Any]:
     """Set process-wide fault-tolerance defaults; returns the old ones.
 
@@ -270,6 +314,8 @@ def set_execution_defaults(
                 f"got {max_pool_rebuilds!r}"
             )
         _EXECUTION_DEFAULTS["max_pool_rebuilds"] = int(max_pool_rebuilds)
+    if shard is not _UNSET:
+        _EXECUTION_DEFAULTS["shard"] = parse_shard(shard)
     return previous
 
 
@@ -339,6 +385,17 @@ class PayloadRequest:
             # the key — but only when sampling is actually requested
             "probe_stride": self.probe_stride if self.probe_samples else None,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PayloadRequest":
+        """Inverse of :meth:`to_dict` (checkpoint job round-trip)."""
+        stride = data.get("probe_stride")
+        return cls(
+            response_histogram=bool(data.get("response_histogram", False)),
+            response_series=bool(data.get("response_series", False)),
+            probe_samples=bool(data.get("probe_samples", False)),
+            probe_stride=int(stride) if stride else 1024,
+        )
 
 
 @dataclass(frozen=True)
@@ -466,6 +523,57 @@ class SweepJob:
     config: SimulationConfig
     tag: str = ""
     payload: PayloadRequest = PayloadRequest()
+
+
+def sweep_job_to_dict(job: SweepJob) -> dict[str, Any]:
+    """JSON-able encoding of one job, for campaign checkpoints.
+
+    Carries everything needed to reconstruct the job in a process with
+    no access to the code that built it, which is what lets
+    ``repro run --resume <campaign-id>`` re-derive the exact job list
+    from the store alone.
+    """
+    return {
+        "tag": job.tag,
+        "workload": {
+            "kind": job.workload.kind,
+            "threads": job.workload.threads,
+            "seed": job.workload.seed,
+            "params": [[k, v] for k, v in job.workload.params],
+        },
+        "config": job.config.to_dict(),
+        "payload": job.payload.to_dict() if job.payload else None,
+    }
+
+
+def sweep_job_from_dict(data: Mapping[str, Any]) -> SweepJob:
+    """Inverse of :func:`sweep_job_to_dict`.
+
+    The reconstructed job hashes to the same result key as the
+    original (tuples and lists JSON-collapse identically under
+    :func:`repro.store.sweep_result_key`'s canonical encoding).
+    """
+    spec_data = data["workload"]
+    spec = WorkloadSpec(
+        kind=spec_data["kind"],
+        threads=int(spec_data["threads"]),
+        seed=int(spec_data.get("seed", 0)),
+        params=tuple(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in spec_data.get("params", ())
+        ),
+    )
+    payload_data = data.get("payload")
+    return SweepJob(
+        workload=spec,
+        config=SimulationConfig.from_dict(data["config"]),
+        tag=data.get("tag", ""),
+        payload=(
+            PayloadRequest.from_dict(payload_data)
+            if payload_data
+            else PayloadRequest()
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -983,6 +1091,16 @@ class CampaignStats:
     * ``recovered`` — in-flight jobs resubmitted after their worker
       process died (``BrokenProcessPool``);
     * ``pool_rebuilds`` — process-pool reconstructions this campaign.
+
+    The campaign-durability counters (all zero/empty for a single-life,
+    unsharded run, keeping its digest byte-identical to before):
+
+    * ``resumed`` — cache hits that a previous life of *this* campaign
+      had already marked done in the store frontier;
+    * ``skipped`` — partition jobs another process held a live lease on
+      (sharded runs only; they produce no record here);
+    * ``shard`` — this process's ``"i/n"`` designator, if sharded;
+    * ``campaign_id``/``store`` — durable identity for provenance.
     """
 
     total_jobs: int = 0
@@ -992,6 +1110,11 @@ class CampaignStats:
     retried: int = 0
     recovered: int = 0
     pool_rebuilds: int = 0
+    resumed: int = 0
+    skipped: int = 0
+    shard: str = ""
+    campaign_id: str = ""
+    store: str = ""
     wall_time_s: float = 0.0
     sim_time_s: float = 0.0
     #: (workload kind, arbitration policy) ->
@@ -1010,6 +1133,11 @@ class CampaignStats:
         retried: int = 0,
         recovered: int = 0,
         pool_rebuilds: int = 0,
+        resumed: int = 0,
+        skipped: int = 0,
+        shard: str = "",
+        campaign_id: str = "",
+        store: str = "",
     ) -> "CampaignStats":
         stats = cls(
             total_jobs=len(records),
@@ -1017,6 +1145,11 @@ class CampaignStats:
             retried=retried,
             recovered=recovered,
             pool_rebuilds=pool_rebuilds,
+            resumed=resumed,
+            skipped=skipped,
+            shard=shard,
+            campaign_id=campaign_id,
+            store=store,
         )
         for record in records:
             key = (record.job.workload.kind, record.job.config.arbitration)
@@ -1073,6 +1206,10 @@ class CampaignStats:
             f"({self.cache_hit_rate:.0%}), wall {self.wall_time_s:.2f}s "
             f"(simulation {self.sim_time_s:.2f}s)"
         )
+        if self.shard:
+            title += f" [shard {self.shard}]"
+        if self.resumed or self.skipped:
+            title += f" [{self.resumed} resumed, {self.skipped} skipped]"
         if self.failed or self.retried or self.recovered:
             title += (
                 f" [{self.failed} failed, {self.retried} retried, "
@@ -1156,12 +1293,20 @@ class SweepRunner:
         retry_backoff_s: float | None = None,
         max_pool_rebuilds: int | None = None,
         telemetry: CampaignTelemetry | None = None,
+        store: "ResultStore | str | None" = None,
+        shard: str | tuple[int, int] | None = None,
     ) -> None:
         self.processes = processes if processes is not None else (os.cpu_count() or 1)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.engine = engine if engine is not None else default_engine()
         self.result_cache = (
             result_cache if result_cache is not None else _RESULT_CACHE_DEFAULT
+        )
+        #: explicit result-store target (instance or URI); ``None``
+        #: resolves ``--store``/``REPRO_STORE``, then ``cache_dir``
+        self.store = store
+        self.shard = parse_shard(
+            shard if shard is not None else _EXECUTION_DEFAULTS["shard"]
         )
         defaults = _EXECUTION_DEFAULTS
         self.retries = int(retries) if retries is not None else defaults["retries"]
@@ -1211,12 +1356,49 @@ class SweepRunner:
         for spec in specs:
             spec.build(cache)
 
-    def _result_cache(self) -> ResultCache | None:
-        if self.cache_dir is None or not self.result_cache:
-            return None
-        return ResultCache(Path(self.cache_dir) / "results")
+    def _open_store(self) -> ResultStore | None:
+        """Resolve the result store this campaign runs against.
 
-    def run(self, jobs: Sequence[SweepJob], label: str = "") -> list[SweepRecord]:
+        Order: the runner's explicit ``store`` argument, then the
+        process default URI (CLI ``--store`` / ``REPRO_STORE``), then
+        the historical ``<cache_dir>/results`` directory backend.
+        ``result_cache=False`` disables all of it.
+        """
+        if not self.result_cache:
+            return None
+        if self.store is not None:
+            return open_store(self.store)
+        uri = default_store_uri()
+        if uri is not None:
+            return open_store(uri)
+        if self.cache_dir is None:
+            return None
+        return DirectoryStore(Path(self.cache_dir) / "results")
+
+    # kept for callers/tests that knew the pre-store name
+    _result_cache = _open_store
+
+    def run(
+        self,
+        jobs: Sequence[SweepJob],
+        label: str = "",
+        on_record: Any = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> list[SweepRecord]:
+        """Execute ``jobs``, returning one record per job.
+
+        ``on_record`` is an optional callable invoked with each
+        :class:`SweepRecord` as it lands (cache hits first, then
+        completions in finish order) — the hook :meth:`stream` and
+        :meth:`astream` are built on. ``meta`` is stored in the campaign
+        checkpoint for resuming processes (the CLI records the
+        experiment id, scale, and seed there).
+
+        In shard mode the returned list covers only this shard's
+        partition of the job list (plus none of the jobs another live
+        process holds a lease on); an unsharded run always returns all
+        jobs, in job-list order.
+        """
         if not jobs:
             self.last_campaign = CampaignStats()
             return []
@@ -1229,63 +1411,239 @@ class SweepRunner:
             set_active_registry(tele.registry) if tele is not None else None
         )
         try:
-            return self._run_campaign(jobs, label, tele)
+            return self._run_campaign(jobs, label, tele, on_record, meta)
         finally:
             if tele is not None:
                 set_active_registry(previous_registry)
             self._tele = None
+
+    def stream(
+        self,
+        jobs: Sequence[SweepJob],
+        label: str = "",
+        meta: Mapping[str, Any] | None = None,
+    ) -> Iterator[SweepRecord]:
+        """Yield records as they land instead of waiting for the end.
+
+        The campaign runs in a background thread; cache hits arrive
+        first, then fresh completions in finish order. The generator
+        re-raises any campaign failure (e.g. :class:`SweepFailure` in
+        strict mode) after draining the records that preceded it.
+        ``last_campaign`` is populated once the stream is exhausted.
+        """
+        out: queue.Queue[Any] = queue.Queue()
+        sentinel = object()
+        failure: list[BaseException] = []
+
+        def _drive() -> None:
+            try:
+                self.run(jobs, label=label, on_record=out.put, meta=meta)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                failure.append(exc)
+            finally:
+                out.put(sentinel)
+
+        thread = threading.Thread(
+            target=_drive, name="sweep-stream", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                item = out.get()
+                if item is sentinel:
+                    break
+                yield item
+        finally:
+            thread.join()
+            if failure:
+                raise failure[0]
+
+    async def arun(
+        self,
+        jobs: Sequence[SweepJob],
+        label: str = "",
+        meta: Mapping[str, Any] | None = None,
+    ) -> list[SweepRecord]:
+        """Async :meth:`run`: await the campaign without blocking the
+        event loop (execution itself stays in worker processes)."""
+        return await asyncio.to_thread(self.run, jobs, label, None, meta)
+
+    async def astream(
+        self,
+        jobs: Sequence[SweepJob],
+        label: str = "",
+        meta: Mapping[str, Any] | None = None,
+    ) -> Any:
+        """Async :meth:`stream`: ``async for record in runner.astream(...)``."""
+        records = self.stream(jobs, label=label, meta=meta)
+        sentinel = object()
+        while True:
+            item = await asyncio.to_thread(next, records, sentinel)
+            if item is sentinel:
+                return
+            yield item
 
     def _run_campaign(
         self,
         jobs: Sequence[SweepJob],
         label: str,
         tele: CampaignTelemetry | None,
+        on_record: Any = None,
+        meta: Mapping[str, Any] | None = None,
     ) -> list[SweepRecord]:
         campaign_start = time.perf_counter()
-        cache = self._result_cache()
+        cache = self._open_store()
+        shard = self.shard
+        if shard is not None and cache is None:
+            raise ValueError(
+                "sharded execution needs a result store: give the runner "
+                "a store/cache_dir (or unset shard)"
+            )
         records: list[SweepRecord | None] = [None] * len(jobs)
         keys: list[str | None] = [None] * len(jobs)
         pending: list[int] = []
         with phase("cache_probe"):
-            for idx, job in enumerate(jobs):
-                if cache is not None:
-                    keys[idx] = sweep_result_key(job.workload, job.config, job.payload)
-                    payload = cache.get(keys[idx])
+            if cache is not None:
+                for idx, job in enumerate(jobs):
+                    keys[idx] = sweep_result_key(
+                        job.workload, job.config, job.payload
+                    )
+                found = cache.get_many(keys)  # type: ignore[arg-type]
+                for idx, job in enumerate(jobs):
+                    payload = found.get(keys[idx])
                     if payload is not None:
                         record = _record_from_payload(job, payload)
                         if record is not None:
                             records[idx] = record
                             continue
-                pending.append(idx)
+                    pending.append(idx)
+            else:
+                pending = list(range(len(jobs)))
 
-        hits = len(jobs) - len(pending)
+        # -- campaign identity, frontier, and shard claiming ------------
+        # With a store, every campaign is durable: a write-once manifest
+        # pins the job list and an append-only frontier records each
+        # completed key, so a killed parent resumes and N shards
+        # coordinate. campaign_id stays "" when there is no store, which
+        # disables all of it.
+        campaign_id = ""
+        prior_done: set[str] = set()
+        resumed = 0
+        skipped = 0
+        if cache is not None:
+            campaign_id = campaign_id_for(label or "sweep", keys)  # type: ignore[arg-type]
+            existing = cache.load_checkpoint(campaign_id)
+            if existing is not None and existing.job_keys != set(keys):
+                log.warning(
+                    "campaign %s exists with a different job set; "
+                    "running without checkpointing",
+                    campaign_id,
+                )
+                campaign_id = ""
+            else:
+                if existing is None:
+                    cache.save_checkpoint(
+                        CampaignCheckpoint(
+                            campaign_id=campaign_id,
+                            label=label or "sweep",
+                            created_at=time.strftime(
+                                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                            ),
+                            jobs=tuple(
+                                {**sweep_job_to_dict(job), "key": keys[idx]}
+                                for idx, job in enumerate(jobs)
+                            ),
+                            meta=dict(meta or {}),
+                        )
+                    )
+                else:
+                    prior_done = cache.done_keys(campaign_id) & set(keys)
+
+        visible = (
+            [
+                idx
+                for idx in range(len(jobs))
+                if int(keys[idx], 16) % shard[1] == shard[0]  # type: ignore[index]
+            ]
+            if shard is not None
+            else list(range(len(jobs)))
+        )
+        if shard is not None:
+            mine = set(visible)
+            claimed: list[int] = []
+            for idx in pending:
+                if idx not in mine:
+                    continue
+                # A done-but-cache-missed key (entry cleared or
+                # quarantined after the frontier recorded it) must still
+                # re-run; claim() refuses done keys, so bypass the lease
+                # — a duplicate simulation is harmless, a hole is not.
+                if keys[idx] in prior_done or cache.claim(campaign_id, keys[idx]):
+                    claimed.append(idx)
+                else:
+                    skipped += 1
+            pending = claimed
+        # A *resumed* hit is one a previous life of this campaign marked
+        # done while work was still pending; a re-run of a campaign that
+        # already completed is a plain replay (resumed stays 0), keeping
+        # warm-run digests identical to the pre-checkpoint format.
+        if prior_done and not prior_done >= {keys[idx] for idx in visible}:
+            resumed = sum(
+                1
+                for idx in visible
+                if records[idx] is not None and keys[idx] in prior_done
+            )
+        if campaign_id:
+            # Record replayed hits in the frontier too, so a later kill
+            # -and-resume of this life knows they need no re-simulation.
+            for idx in visible:
+                if records[idx] is not None and keys[idx] not in prior_done:
+                    cache.mark_done(campaign_id, keys[idx])
+
+        hits = sum(1 for idx in visible if records[idx] is not None)
+        shard_str = f"{shard[0]}/{shard[1]}" if shard is not None else ""
         if tele is not None:
             tele.campaign_start(
                 label or "sweep",
-                total=len(jobs),
+                total=len(visible),
                 cache_hits=hits,
                 pending=len(pending),
                 engine=self.engine,
                 processes=self.processes,
+                resumed=resumed,
+                shard=shard_str,
             )
         log.info(
             "campaign start: %d jobs (%d cache hits, %d to simulate) "
             "engine=%s processes=%d cache=%s",
-            len(jobs),
+            len(visible),
             hits,
             len(pending),
             self.engine,
             self.processes,
             "off" if cache is None else "on",
         )
+        if campaign_id and (resumed or shard is not None):
+            log.info(
+                "campaign %s on %s: resumed=%d shard=%s skipped=%d",
+                campaign_id,
+                cache.describe(),
+                resumed,
+                shard_str or "-",
+                skipped,
+            )
         if cache is not None and log.isEnabledFor(10):  # DEBUG
             cache_stats = cache.stats()
             log.debug(
-                "result cache at %s: %d entries, %d bytes",
-                cache.directory,
+                "result store %s: %d entries, %d bytes",
+                cache.describe(),
                 cache_stats["entries"],
                 cache_stats["bytes"],
             )
+        if on_record is not None:
+            for idx in visible:
+                if records[idx] is not None:
+                    on_record(records[idx])
 
         def _store(idx: int, record: SweepRecord, manifest: dict[str, Any]) -> None:
             # The piggybacked telemetry rides transient manifest keys;
@@ -1305,8 +1663,18 @@ class SweepRunner:
                 cache.put(
                     keys[idx], {**_record_payload(record), "manifest": manifest}
                 )
+                if campaign_id:
+                    cache.mark_done(campaign_id, keys[idx])
+                    if shard is not None:
+                        cache.release(campaign_id, keys[idx])
             if tele is not None:
                 tele.job_done(record, worker_metrics, forwarded)
+            if on_record is not None:
+                on_record(record)
+            # Fault-injection point: the parent dies only after the
+            # record is durably stored and marked done, which is the
+            # contract resume relies on (see docs/ROBUSTNESS.md).
+            maybe_inject_parent(jobs[idx].tag)
 
         def _progress(done: int, idx: int, record: SweepRecord) -> None:
             job = jobs[idx]
@@ -1337,8 +1705,15 @@ class SweepRunner:
                 error.describe(),
             )
             records[idx] = SweepRecord.from_error(job, error)
+            # Failed jobs are never marked done — a resume re-runs them
+            # — and their lease is dropped so another shard's stale-
+            # lease takeover isn't needed to retry.
+            if campaign_id and shard is not None:
+                cache.release(campaign_id, keys[idx])
             if tele is not None:
                 tele.job_done(records[idx])
+            if on_record is not None:
+                on_record(records[idx])
 
         if pending:
             if self.processes <= 1 or len(pending) == 1:
@@ -1355,18 +1730,27 @@ class SweepRunner:
                 )
                 self._run_pool(jobs, order, _store, _progress, _fail, counters)
 
+        # Unsharded, every visible slot is filled; in shard mode, jobs
+        # another live process holds a lease on stay None and are
+        # dropped (they are that process's records, not ours).
+        out = [records[idx] for idx in visible if records[idx] is not None]
         stats = CampaignStats.collect(
-            records,  # type: ignore[arg-type]  # every slot filled
+            out,
             wall_time_s=time.perf_counter() - campaign_start,
             retried=counters["retried"],
             recovered=counters["recovered"],
             pool_rebuilds=counters["rebuilds"],
+            resumed=resumed,
+            skipped=skipped,
+            shard=shard_str,
+            campaign_id=campaign_id,
+            store=cache.describe() if cache is not None else "",
         )
         self.last_campaign = stats
         if tele is not None:
             tele.campaign_end(stats)
         log.info("%s", stats.summary_table())
-        return records  # type: ignore[return-value]  # every slot filled
+        return out
 
     def _backoff_s(self, attempt: int) -> float:
         """Delay before retrying after a failed ``attempt`` (1-based)."""

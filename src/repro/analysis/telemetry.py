@@ -58,6 +58,7 @@ __all__ = [
     "HeartbeatWriter",
     "set_telemetry_defaults",
     "default_telemetry",
+    "iter_campaign_events",
     "HEARTBEAT_INTERVAL_S",
 ]
 
@@ -67,8 +68,48 @@ log = get_logger("telemetry")
 #: (override with REPRO_HEARTBEAT_S)
 HEARTBEAT_INTERVAL_S = float(os.environ.get("REPRO_HEARTBEAT_S", "5.0"))
 
-#: event stream schema tag (bump on incompatible change)
-EVENT_SCHEMA = "repro.campaign.events/v1"
+#: event stream schema tag (bump on incompatible change).
+#: v2 added the campaign-durability fields (``resumed``, ``shard``,
+#: ``campaign_id``, ``store``) to start/end events; v1 streams differ
+#: only by their absence and stay readable (see
+#: :func:`iter_campaign_events`).
+EVENT_SCHEMA = "repro.campaign.events/v2"
+
+#: schema tags :func:`iter_campaign_events` accepts
+_READABLE_SCHEMAS = ("repro.campaign.events/v1", EVENT_SCHEMA)
+
+
+def iter_campaign_events(path: str | os.PathLike) -> "Any":
+    """Yield parsed events from a campaign JSONL stream.
+
+    Accepts both the v1 and v2 schemas; v1 events are upgraded in place
+    by filling the v2-only fields with their quiet defaults (``resumed``
+    0, ``shard``/``campaign_id``/``store`` empty) on start/end events.
+    Blank and truncated lines are skipped (the stream is append-only
+    and may be mid-write); an event with an unknown schema tag raises
+    ``ValueError`` rather than being misread.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn final line of a live stream
+            schema = event.get("schema", "")
+            if schema not in _READABLE_SCHEMAS:
+                raise ValueError(
+                    f"unknown campaign event schema {schema!r} in {path}"
+                )
+            if event.get("event") in ("campaign.start", "campaign.end"):
+                event.setdefault("resumed", 0)
+                event.setdefault("shard", "")
+                if event.get("event") == "campaign.end":
+                    event.setdefault("campaign_id", "")
+                    event.setdefault("store", "")
+            yield event
 
 _UNSET = object()
 
@@ -317,6 +358,8 @@ class CampaignTelemetry:
         pending: int,
         engine: str = "",
         processes: int = 0,
+        resumed: int = 0,
+        shard: str = "",
     ) -> None:
         self._label = label
         self._total = total
@@ -358,6 +401,8 @@ class CampaignTelemetry:
                 "pending": pending,
                 "engine": engine,
                 "processes": processes,
+                "resumed": resumed,
+                "shard": shard,
             },
         )
         self._live_dirty = True
@@ -483,6 +528,10 @@ class CampaignTelemetry:
                 "retried": stats.retried,
                 "recovered": stats.recovered,
                 "pool_rebuilds": stats.pool_rebuilds,
+                "resumed": getattr(stats, "resumed", 0),
+                "shard": getattr(stats, "shard", ""),
+                "campaign_id": getattr(stats, "campaign_id", ""),
+                "store": getattr(stats, "store", ""),
                 "wall_time_s": round(stats.wall_time_s, 6),
                 "sim_time_s": round(stats.sim_time_s, 6),
                 "cache_hit_rate": round(stats.cache_hit_rate, 4),

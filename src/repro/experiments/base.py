@@ -42,6 +42,7 @@ layout the CLI's ``--save`` flag writes.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 from dataclasses import dataclass, field
@@ -269,6 +270,7 @@ class Campaign:
             processes=processes,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
         )
+        drain_only = False
         if self.build_jobs is not None:
             if self.reduce is None:
                 raise TypeError(
@@ -285,18 +287,47 @@ class Campaign:
             global _ACTIVE_REDUCE
             try:
                 records = runner.run(
-                    list(self.build_jobs(ctx)), label=self.experiment_id
+                    list(self.build_jobs(ctx)),
+                    label=self.experiment_id,
+                    # Stored in the campaign checkpoint so a resuming
+                    # process (repro run --resume <id>) can re-derive
+                    # the invocation with no further arguments.
+                    meta={
+                        "experiment_id": self.experiment_id,
+                        "scale": ctx.scale,
+                        "seed": ctx.seed,
+                    },
                 )
-                _ACTIVE_REDUCE = {
-                    "experiment_id": self.experiment_id,
-                    "failed": sum(1 for r in records if r.failed),
-                    "total": len(records),
-                }
-                try:
-                    with phase("reduce"):
-                        reduction = self.reduce(ctx, records)
-                finally:
-                    _ACTIVE_REDUCE = None
+                shard = (
+                    runner.last_campaign.shard
+                    if runner.last_campaign is not None
+                    else ""
+                )
+                if shard:
+                    # A shard run holds only its partition's records —
+                    # never enough for a reducer. Drain into the shared
+                    # store; the final unsharded pass replays the full
+                    # campaign and reduces.
+                    drain_only = True
+                    reduction = Reduction(
+                        rows=[],
+                        text=(
+                            f"shard {shard}: drained {len(records)} "
+                            "record(s) into the shared store; re-run "
+                            "unsharded to reduce and render"
+                        ),
+                    )
+                else:
+                    _ACTIVE_REDUCE = {
+                        "experiment_id": self.experiment_id,
+                        "failed": sum(1 for r in records if r.failed),
+                        "total": len(records),
+                    }
+                    try:
+                        with phase("reduce"):
+                            reduction = self.reduce(ctx, records)
+                    finally:
+                        _ACTIVE_REDUCE = None
             finally:
                 if tele is not None:
                     set_active_registry(previous_registry)
@@ -309,7 +340,9 @@ class Campaign:
             raise TypeError(
                 f"campaign {self.experiment_id!r} defines neither jobs nor compute"
             )
-        if self.render is not None:
+        if drain_only:
+            text = reduction.text or ""
+        elif self.render is not None:
             text = self.render(ctx, reduction)
         elif reduction.text is not None:
             text = reduction.text
@@ -328,6 +361,24 @@ class Campaign:
             text=text,
             checks=reduction.checks,
             data=data,
+        )
+
+    async def arun(
+        self,
+        scale: str = "smoke",
+        processes: int | None = None,
+        cache_dir=None,
+        seed: int = 0,
+    ) -> ExperimentOutput:
+        """Async :meth:`run`: ``await campaign.arun(...)``.
+
+        The campaign executes in a worker thread (simulation itself is
+        already in pool processes), so an event loop can drive several
+        campaigns — or a campaign plus a UI — concurrently. Semantics
+        and outputs are identical to :meth:`run`.
+        """
+        return await asyncio.to_thread(
+            self.run, scale, processes, cache_dir, seed
         )
 
     def __call__(
@@ -355,6 +406,8 @@ def merge_campaign_stats(
         merged.retried += stats.retried
         merged.recovered += stats.recovered
         merged.pool_rebuilds += stats.pool_rebuilds
+        merged.resumed += stats.resumed
+        merged.skipped += stats.skipped
         merged.wall_time_s += stats.wall_time_s
         merged.sim_time_s += stats.sim_time_s
         for key, group in stats.by_group.items():
@@ -395,6 +448,13 @@ def _campaign_manifest(out: ExperimentOutput, seed: int | None) -> dict[str, Any
             "retried": stats.retried,
             "recovered": stats.recovered,
             "pool_rebuilds": stats.pool_rebuilds,
+            # durable-campaign lineage: which store held the records,
+            # under which campaign id, and whether any of this run's
+            # work was inherited from a previous (killed) life
+            "campaign_id": stats.campaign_id,
+            "store": stats.store,
+            "resumed": stats.resumed,
+            "shard": stats.shard,
             "wall_time_s": round(stats.wall_time_s, 6),
             "sim_time_s": round(stats.sim_time_s, 6),
         }

@@ -1,0 +1,43 @@
+"""Pluggable result stores for sweep campaigns.
+
+The package splits the historical ``repro.analysis.resultcache`` module
+into a backend protocol (:class:`ResultStore`), the default
+local-directory backend (:class:`DirectoryStore` — format-compatible
+with the old ``ResultCache``), and a SQLite/WAL backend
+(:class:`SQLiteStore`) for N concurrent campaign processes sharing one
+store. ``repro.analysis.resultcache`` remains as a compatibility shim.
+"""
+
+from .base import (
+    CHECKPOINT_SCHEMA,
+    STORE_ENV,
+    CampaignCheckpoint,
+    ResultStore,
+    campaign_id_for,
+    default_store_uri,
+    lease_is_stale,
+    lease_owner,
+    open_store,
+    parse_store_uri,
+    set_store_default,
+    sweep_result_key,
+)
+from .dirstore import DirectoryStore
+from .sqlitestore import SQLiteStore
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "STORE_ENV",
+    "CampaignCheckpoint",
+    "DirectoryStore",
+    "ResultStore",
+    "SQLiteStore",
+    "campaign_id_for",
+    "default_store_uri",
+    "lease_is_stale",
+    "lease_owner",
+    "open_store",
+    "parse_store_uri",
+    "set_store_default",
+    "sweep_result_key",
+]

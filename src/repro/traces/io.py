@@ -195,3 +195,16 @@ class WorkloadCache:
                 f.unlink(missing_ok=True)
                 removed += 1
         return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count and on-disk footprint, for ``repro cache stats``."""
+        entries = 0
+        size = 0
+        if self.directory.exists():
+            for f in self.directory.glob("*.npz"):
+                entries += 1
+                try:
+                    size += f.stat().st_size
+                except OSError:
+                    pass
+        return {"entries": entries, "bytes": size}

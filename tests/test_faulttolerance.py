@@ -379,6 +379,7 @@ class TestExecutionDefaults:
             "failure_mode": "strict",
             "retry_backoff_s": previous["retry_backoff_s"],
             "max_pool_rebuilds": 7,
+            "shard": None,
         }
         runner = SweepRunner(processes=1)
         assert runner.retries == previous["retries"]

@@ -513,3 +513,64 @@ class TestBenchTrend:
         )
         current = benchtrend.load_bench_files([tmp_path / "a", tmp_path / "b"])
         assert current == {"engine": {"ff_speedup": 5.0}}
+
+
+class TestEventSchemaV2:
+    """v2 events carry the campaign-durability fields; v1 streams stay
+    readable through :func:`iter_campaign_events`."""
+
+    def _events(self, path):
+        from repro.analysis.telemetry import iter_campaign_events
+
+        return list(iter_campaign_events(path))
+
+    def test_start_and_end_carry_durability_fields(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        tele = CampaignTelemetry(events_out=events_path, stream=io.StringIO())
+        runner = SweepRunner(
+            processes=1, cache_dir=tmp_path / "cache", telemetry=tele
+        )
+        runner.run(jobs(), label="v2-demo")
+        tele.close()
+        events = self._events(events_path)
+        start, end = events[0], events[-1]
+        assert start["schema"] == "repro.campaign.events/v2"
+        assert start["event"] == "campaign.start"
+        assert start["resumed"] == 0
+        assert start["shard"] == ""
+        assert end["event"] == "campaign.end"
+        assert end["campaign_id"] == runner.last_campaign.campaign_id
+        assert end["store"] == f"dir:{tmp_path / 'cache' / 'results'}"
+
+    def test_v1_stream_upgraded_with_quiet_defaults(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            {
+                "schema": "repro.campaign.events/v1",
+                "event": "campaign.start",
+                "seq": 0,
+                "campaign": "old",
+                "total": 3,
+            },
+            {
+                "schema": "repro.campaign.events/v1",
+                "event": "campaign.end",
+                "seq": 1,
+                "campaign": "old",
+                "simulated": 3,
+            },
+        ]
+        path.write_text(
+            "\n".join(json.dumps(line) for line in lines)
+            + "\n"
+            + '{"torn": '  # live stream cut mid-write
+        )
+        start, end = self._events(path)
+        assert start["resumed"] == 0 and start["shard"] == ""
+        assert end["campaign_id"] == "" and end["store"] == ""
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "alien.jsonl"
+        path.write_text(json.dumps({"schema": "alien/v9", "event": "x"}) + "\n")
+        with pytest.raises(ValueError):
+            self._events(path)
