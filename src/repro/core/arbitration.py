@@ -115,19 +115,37 @@ class ArbitrationPolicy(ABC):
         The engines' quiescent-interval fast-forward asks the policy to
         predict its own ``select`` sequence: the returned plan must pop
         and push exactly as the live policy would over ticks in
-        ``[now, plan.horizon)``, assuming ``begin_tick`` has no
-        observable effect in that range (the plan caps its ``horizon``
-        at the next remap boundary to guarantee this). ``limit`` is the
-        per-tick grant cap the engine will use.
+        ``[now, plan.horizon)``. ``begin_tick`` effects inside that
+        range must either be absent, or replayed by the plan itself via
+        its ``tick_hook`` (the priority family replays remaps this
+        way). ``limit`` is the per-tick grant cap the engine will use.
 
         The default is ``None``: the engine falls back to per-tick
-        execution, which is always correct. Stateless-per-tick policies
-        (FIFO, the priority family) override this; custom policies may
-        opt in the same way, and subclasses of an opted-in policy that
-        add per-tick ``begin_tick`` effects must override it back to
+        execution, which is always correct. Every built-in policy
+        except ``random`` overrides this; custom policies may opt in
+        the same way, and subclasses of an opted-in policy that add
+        per-tick ``begin_tick`` effects must override it back to
         ``None``.
         """
         return None
+
+    def skip_idle_ticks(self, start: int, end: int) -> bool:
+        """Apply ``begin_tick`` effects for elided ticks ``(start, end)``.
+
+        The engines' guaranteed-*hit* fast-forward never touches the
+        request queue (it stays empty for the whole interval), so the
+        only policy state that can drift is whatever ``begin_tick``
+        mutates. Implementations must either apply those effects for
+        every tick strictly between ``start`` and ``end`` and return
+        True, or mutate nothing and return False — a False return
+        makes the engine fall back to per-tick execution.
+
+        The base implementation returns True exactly when the policy
+        inherits the no-op ``begin_tick`` (nothing to replay); policies
+        that override ``begin_tick`` must override this too to stay
+        hit-fast-forwardable.
+        """
+        return type(self).begin_tick is ArbitrationPolicy.begin_tick
 
 
 class DrainPlan:
@@ -153,6 +171,19 @@ class DrainPlan:
     #: False — their grant order is not a function of arrival order.
     supports_bulk: bool = False
 
+    #: Optional per-tick callback ``tick_hook(tau)``: the planner calls
+    #: it once per planned tick (mirroring where ``begin_tick`` runs in
+    #: the live loop) so a plan can replay deterministic ``begin_tick``
+    #: effects — e.g. remap-boundary rank permutations — inside the
+    #: planned copy. ``None`` means the plan has nothing to replay.
+    tick_hook = None
+
+    #: True when :meth:`push` needs the requested page for each pushed
+    #: thread (address-aware plans, e.g. FR-FCFS). The planner then
+    #: passes per-thread page streams; engines that cannot supply pages
+    #: must treat such a plan as unavailable.
+    needs_pages: bool = False
+
     def __len__(self) -> int:  # pragma: no cover - interface default
         raise NotImplementedError
 
@@ -168,8 +199,12 @@ class DrainPlan:
         """What ``select(limit)`` would return next."""
         raise NotImplementedError
 
-    def push(self, threads: list[int]) -> None:
-        """Mirror of ``enqueue`` for a same-tick batch (core-id sorted)."""
+    def push(self, threads: list[int], pages: "list[int] | None" = None) -> None:
+        """Mirror of ``enqueue`` for a same-tick batch (core-id sorted).
+
+        ``pages`` carries the requested page per thread; only plans
+        with :attr:`needs_pages` set consume it.
+        """
         raise NotImplementedError
 
     def commit(self) -> None:
@@ -197,7 +232,7 @@ class _FifoDrainPlan(DrainPlan):
         n = min(limit, len(queue))
         return [queue.popleft() for _ in range(n)]
 
-    def push(self, threads: list[int]) -> None:
+    def push(self, threads: list[int], pages: list[int] | None = None) -> None:
         self._queue.extend(threads)
 
     def snapshot(self) -> list[int]:
@@ -215,22 +250,70 @@ class _PriorityDrainPlan(DrainPlan):
 
     Built from the waiting set with a fresh heap, which is equivalent
     to the policy's lazily-cleaned heap: stale entries only ever get
-    skipped. Valid while ranks do not change, which the horizon cap at
-    the next remap boundary guarantees.
+    skipped.
+
+    With ``cross_period`` set, the plan spans remap boundaries: its
+    ``tick_hook`` applies the policy's deterministic rank permutation
+    (:meth:`PriorityArbitration._permute_ranks`, fed by a cloned rng so
+    Dynamic Priority's random draws replay exactly) at every boundary
+    tick inside the planned interval, so the grant order stays exact
+    across arbitrarily many remaps. :meth:`commit` then installs the
+    final ranks, advances ``remap_count`` in bulk, and syncs the live
+    rng to the clone; discarding the plan rolls everything back for
+    free because the policy was never touched. Without ``cross_period``
+    the plan is only valid while ranks are fixed, and the caller must
+    cap ``horizon`` at the next remap boundary (legacy behavior kept
+    for subclasses that override ``_permute`` rather than
+    ``_permute_ranks``).
     """
 
-    __slots__ = ("_policy", "_waiting", "_heap", "_ranks", "horizon")
+    __slots__ = (
+        "_policy",
+        "_waiting",
+        "_heap",
+        "_ranks",
+        "_period",
+        "_remaps",
+        "_rng",
+        "horizon",
+    )
 
-    def __init__(self, policy: "PriorityArbitration", horizon: int) -> None:
+    def __init__(
+        self,
+        policy: "PriorityArbitration",
+        horizon: int,
+        cross_period: int | None = None,
+    ) -> None:
         self._policy = policy
         self._ranks = policy._ranks
         self._waiting = set(policy._waiting)
         self._heap = [(int(self._ranks[t]), t) for t in self._waiting]
         heapq.heapify(self._heap)
         self.horizon = horizon
+        self._period = cross_period
+        self._remaps = 0
+        self._rng: np.random.Generator | None = None
+        if cross_period is not None:
+            bit_gen = policy._rng.bit_generator
+            clone = type(bit_gen)()
+            clone.state = bit_gen.state
+            self._rng = np.random.Generator(clone)
+            self.tick_hook = self._tick_hook
 
     def __len__(self) -> int:
         return len(self._waiting)
+
+    def _tick_hook(self, tau: int) -> None:
+        if tau % self._period:
+            return
+        # Mirror of PriorityArbitration.remap() on the planned copy:
+        # permute ranks (a pure function of the old ranks + cloned rng)
+        # and rebuild the heap from the waiting set.
+        self._ranks = self._policy._permute_ranks(self._ranks, self._rng)
+        self._remaps += 1
+        ranks = self._ranks
+        self._heap = [(int(ranks[t]), t) for t in self._waiting]
+        heapq.heapify(self._heap)
 
     def pop(self, limit: int) -> list[int]:
         granted: list[int] = []
@@ -242,7 +325,7 @@ class _PriorityDrainPlan(DrainPlan):
                 granted.append(thread)
         return granted
 
-    def push(self, threads: list[int]) -> None:
+    def push(self, threads: list[int], pages: list[int] | None = None) -> None:
         heap, waiting, ranks = self._heap, self._waiting, self._ranks
         for thread in threads:
             waiting.add(thread)
@@ -251,9 +334,120 @@ class _PriorityDrainPlan(DrainPlan):
     def commit(self) -> None:
         policy = self._policy
         policy._waiting = self._waiting
+        if self._remaps:
+            policy._ranks = self._ranks
+            policy.remap_count += self._remaps
+            policy._rng.bit_generator.state = self._rng.bit_generator.state
         heap = [(int(self._ranks[t]), t) for t in self._waiting]
         heapq.heapify(heap)
         policy._heap = heap
+
+
+class _RoundRobinDrainPlan(DrainPlan):
+    """Round-robin grants from a copied waiting bitmap + scan pointer.
+
+    The policy's per-tick transition is a deterministic recurrence in
+    ``(waiting, next)``: the plan replays the exact cyclic scan on a
+    copy, so the grant order is exact over any horizon.
+    """
+
+    __slots__ = ("_policy", "_waiting", "_count", "_next", "horizon")
+
+    def __init__(self, policy: "RoundRobinArbitration", horizon: int) -> None:
+        self._policy = policy
+        self._waiting = policy._waiting.copy()
+        self._count = policy._count
+        self._next = policy._next
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return self._count
+
+    def pop(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        waiting = self._waiting
+        p = self._policy.num_threads
+        pos = self._next
+        scanned = 0
+        target = min(limit, self._count)
+        while len(granted) < target and scanned < p:
+            if waiting[pos]:
+                waiting[pos] = False
+                granted.append(pos)
+            pos = (pos + 1) % p
+            scanned += 1
+        self._count -= len(granted)
+        self._next = pos
+        return granted
+
+    def push(self, threads: list[int], pages: list[int] | None = None) -> None:
+        waiting = self._waiting
+        for thread in threads:
+            if not waiting[thread]:
+                waiting[thread] = True
+                self._count += 1
+
+    def commit(self) -> None:
+        policy = self._policy
+        policy._waiting = self._waiting
+        policy._count = self._count
+        policy._next = self._next
+
+
+class _FrfcfsDrainPlan(DrainPlan):
+    """FR-FCFS grants from a copied request queue + bank open-row state.
+
+    Row-hit streaks are a deterministic function of the queued
+    ``(thread, page)`` pairs and the open rows, both copied here; the
+    plan needs the requested page of every future arrival, so it sets
+    :attr:`needs_pages` and the planner feeds per-thread page streams
+    through :meth:`push`.
+    """
+
+    __slots__ = ("_policy", "_queue", "_banks", "horizon")
+
+    needs_pages = True
+
+    def __init__(self, policy: "FRFCFSArbitration", horizon: int) -> None:
+        from .dram import BankState
+
+        self._policy = policy
+        self._queue: deque[tuple[int, int]] = deque(policy._queue)
+        banks = BankState(policy.geometry)
+        banks._open_rows.update(policy._banks._open_rows)
+        self._banks = banks
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pop(self, limit: int) -> list[int]:
+        granted: list[int] = []
+        queue, banks = self._queue, self._banks
+        is_row_hit = banks.is_row_hit
+        while queue and len(granted) < limit:
+            chosen = None
+            for idx, (_, page) in enumerate(queue):
+                if is_row_hit(page):
+                    chosen = idx
+                    break
+            if chosen is None:
+                chosen = 0  # no ready request: oldest wins
+            thread, page = queue[chosen]
+            del queue[chosen]
+            banks.access(page)
+            granted.append(thread)
+        return granted
+
+    def push(self, threads: list[int], pages: list[int] | None = None) -> None:
+        if pages is None:
+            raise ValueError("fr_fcfs drain plan requires pages on push")
+        self._queue.extend(zip(threads, pages))
+
+    def commit(self) -> None:
+        policy = self._policy
+        policy._queue = self._queue
+        policy._banks = self._banks
 
 
 class FIFOArbitration(ArbitrationPolicy):
@@ -335,22 +529,41 @@ class PriorityArbitration(ArbitrationPolicy):
         if period is not None and tick % period == 0:
             self.remap()
 
-    def drain_plan(self, limit: int, horizon: int) -> _PriorityDrainPlan:
+    def skip_idle_ticks(self, start: int, end: int) -> bool:
+        # begin_tick with an empty queue only ever remaps; replay every
+        # boundary strictly inside (start, end) in one sweep.
         period = self.remap_period
         if period is not None:
-            # Ranks are stable only until the next remap boundary
-            # strictly after the current tick (whose begin_tick,
-            # including any remap, has already run).
+            first = (start // period + 1) * period
+            for _tau in range(first, end, period):
+                self.remap()
+        self._last_tick = max(self._last_tick, end - 1)
+        return True
+
+    def drain_plan(self, limit: int, horizon: int) -> _PriorityDrainPlan:
+        period = self.remap_period
+        cls = type(self)
+        legacy = (
+            cls._permute is not PriorityArbitration._permute
+            and cls._permute_ranks is PriorityArbitration._permute_ranks
+        )
+        if period is not None and legacy:
+            # A subclass still overrides the in-place `_permute` hook
+            # without providing the pure `_permute_ranks`: the plan
+            # cannot replay its remaps, so ranks are only trusted until
+            # the next boundary strictly after the current tick (whose
+            # begin_tick, including any remap, has already run).
             boundary = (self._last_tick // period + 1) * period
             if boundary < horizon:
                 horizon = boundary
-        return _PriorityDrainPlan(self, horizon)
+            return _PriorityDrainPlan(self, horizon)
+        return _PriorityDrainPlan(self, horizon, cross_period=period)
 
     def remap(self) -> None:
         """Permute ranks and rebuild the waiting heap.
 
         Static Priority keeps the identity permutation; subclasses
-        override :meth:`_permute`.
+        override :meth:`_permute_ranks`.
         """
         self._permute()
         self.remap_count += 1
@@ -359,7 +572,20 @@ class PriorityArbitration(ArbitrationPolicy):
         heapq.heapify(self._heap)
 
     def _permute(self) -> None:
-        pass  # static priority: ranks never change
+        self._ranks = self._permute_ranks(self._ranks, self._rng)
+
+    def _permute_ranks(
+        self, ranks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pure remap step: next rank array from the current one.
+
+        Must not mutate ``ranks`` and must draw randomness only from
+        ``rng`` — this is what lets drain plans replay remaps on a
+        copy (cross-remap planning). Static Priority is the identity;
+        subclasses override this (not ``_permute``) to stay plannable
+        across boundaries.
+        """
+        return ranks
 
 
 class DynamicPriorityArbitration(PriorityArbitration):
@@ -367,8 +593,10 @@ class DynamicPriorityArbitration(PriorityArbitration):
 
     name = "dynamic_priority"
 
-    def _permute(self) -> None:
-        self._ranks = self._rng.permutation(self.num_threads).astype(np.int64)
+    def _permute_ranks(
+        self, ranks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.permutation(len(ranks)).astype(np.int64)
 
 
 class CyclePriorityArbitration(PriorityArbitration):
@@ -376,9 +604,10 @@ class CyclePriorityArbitration(PriorityArbitration):
 
     name = "cycle_priority"
 
-    def _permute(self) -> None:
-        np.add(self._ranks, 1, out=self._ranks)
-        np.mod(self._ranks, self.num_threads, out=self._ranks)
+    def _permute_ranks(
+        self, ranks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return (ranks + 1) % self.num_threads
 
 
 class CycleReversePriorityArbitration(PriorityArbitration):
@@ -386,9 +615,10 @@ class CycleReversePriorityArbitration(PriorityArbitration):
 
     name = "cycle_reverse_priority"
 
-    def _permute(self) -> None:
-        np.add(self._ranks, self.num_threads - 1, out=self._ranks)
-        np.mod(self._ranks, self.num_threads, out=self._ranks)
+    def _permute_ranks(
+        self, ranks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return (ranks + self.num_threads - 1) % self.num_threads
 
 
 class InterleavePriorityArbitration(PriorityArbitration):
@@ -396,8 +626,10 @@ class InterleavePriorityArbitration(PriorityArbitration):
 
     name = "interleave_priority"
 
-    def _permute(self) -> None:
-        self._ranks = riffle_permutation(self._ranks)
+    def _permute_ranks(
+        self, ranks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return riffle_permutation(ranks)
 
 
 class RandomArbitration(ArbitrationPolicy):
@@ -479,6 +711,9 @@ class RoundRobinArbitration(ArbitrationPolicy):
         self._next = pos
         return granted
 
+    def drain_plan(self, limit: int, horizon: int) -> _RoundRobinDrainPlan:
+        return _RoundRobinDrainPlan(self, horizon)
+
 
 class FRFCFSArbitration(ArbitrationPolicy):
     """First-Ready FCFS: the discipline of real DRAM controllers [49].
@@ -530,6 +765,9 @@ class FRFCFSArbitration(ArbitrationPolicy):
             banks.access(page)
             granted.append(thread)
         return granted
+
+    def drain_plan(self, limit: int, horizon: int) -> _FrfcfsDrainPlan:
+        return _FrfcfsDrainPlan(self, horizon)
 
 
 _ARBITRATION_CLASSES: dict[str, type[ArbitrationPolicy]] = {

@@ -117,7 +117,23 @@ def batch_limit() -> int:
             return 1
         if text in ("on", "true", "yes", ""):
             return DEFAULT_BATCH_LANES
-        return int(text)
+        try:
+            value = int(text)
+        except ValueError:
+            value = -1
+        if value < 0:
+            from ..obs.log import get_logger, warn_once
+
+            warn_once(
+                get_logger("core"),
+                "batch-env",
+                "ignoring invalid REPRO_BATCH=%r (want an integer lane "
+                "cap >= 0, or on/off); using default %d",
+                env,
+                DEFAULT_BATCH_LANES,
+            )
+            return DEFAULT_BATCH_LANES
+        return value
     return DEFAULT_BATCH_LANES
 
 
@@ -287,6 +303,7 @@ class BatchSimulator:
         probe_strides: list[int] = []
         ff_enabled = drain.fast_forward_enabled()
         ff_eligible = [ff_enabled] * B
+        ff_states = [drain.FFState() for _ in range(B)]
         ff_next_try = [0] * B
         ff_backoff = [drain.BACKOFF_MIN] * B
         ff_horizon: list[int] = []
@@ -414,10 +431,6 @@ class BatchSimulator:
             """
             t = t_l[b]
             arb = arbs[b]
-            plan = arb.drain_plan(q_l[b], ff_horizon[b])
-            if plan is None:
-                ff_eligible[b] = False
-                return False
             g0 = cs_l[b]
             g1 = g0 + p_l[b]
             u0 = us_l[b]
@@ -430,7 +443,7 @@ class BatchSimulator:
             tmp_t: list[np.ndarray] = []
             tmp_w: list[np.ndarray] = []
             ff = _attempt_fast_forward(
-                plan, arb, t, p_l[b], q_l[b], cap_l[b],
+                ff_states[b], arb, t, p_l[b], q_l[b], cap_l[b],
                 big_trace[toff : toff + trace_len_l[b]],
                 offsets[g0:g1] - toff, lengths[g0:g1],
                 pos[g0:g1], current[g0:g1], request_tick[g0:g1],
@@ -440,10 +453,14 @@ class BatchSimulator:
                 done_l[b], mksp_l[b], metrics[b],
                 tmp_t, tmp_w,
                 probes_by_lane[b], probe_strides[b],
+                ff_horizon[b],
             )
             if ff is None:
-                ff_next_try[b] = t + ff_backoff[b]
-                ff_backoff[b] = min(ff_backoff[b] * 2, drain.BACKOFF_MAX)
+                if not ff_states[b].eligible:
+                    ff_eligible[b] = False
+                else:
+                    ff_next_try[b] = t + ff_backoff[b]
+                    ff_backoff[b] = min(ff_backoff[b] * 2, drain.BACKOFF_MAX)
                 return False
             ff_backoff[b] = drain.BACKOFF_MIN
             ff_intervals[b] += 1
@@ -711,6 +728,9 @@ class BatchSimulator:
             for probe in probes_by_lane[b]:
                 probe.on_run_end(result)
             results[b] = result
+            drain.record_ff_engagement(
+                self.lanes[b][1].arbitration, ff_states[b]
+            )
 
         if ff_wall:
             _record_ff_phase(ff_wall)

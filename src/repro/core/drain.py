@@ -36,11 +36,18 @@ deterministic once three facts are pinned down at its entry tick:
    the per-tick engine would start fetching short — outside the
    fast-forward's exact regime.
 
-The interval additionally ends at the policy's plan horizon (next
-remap boundary), at ``max_ticks``, at any core's *deadline* (two ticks
-after its last in-window grant, when its uncertain reference would be
-classified), or when the queue runs dry. Probe samples falling inside
-a skipped interval are reconstructed tick-for-tick by
+The interval additionally ends at the policy's plan horizon, at
+``max_ticks``, at any core's *deadline* (two ticks after its last
+in-window grant, when its uncertain reference would be classified), or
+when the queue runs dry. Plans are no longer capped at remap
+boundaries: the priority family's remaps are pure permutations of the
+current ranks (plus a clonable rng for Dynamic Priority), so a plan
+replays them inside the planned copy via its ``tick_hook`` and the
+planner carries grant order exactly across any number of boundaries.
+Address-aware policies (FR-FCFS) plan too: the planner feeds each
+re-enqueue the core's next requested page from ``page_streams``. Probe
+samples falling inside a skipped interval are reconstructed
+tick-for-tick by
 :func:`repro.obs.probe.materialize_interval_samples` from the
 schedule's closed-form histories, so probe series are bit-identical to
 the per-tick engines' output.
@@ -67,7 +74,9 @@ __all__ = [
     "set_fast_forward",
     "traces_disjoint",
     "DrainSchedule",
+    "FFState",
     "plan_drain",
+    "record_ff_engagement",
     "response_times",
     "apply_serve_metrics",
 ]
@@ -119,6 +128,73 @@ def set_fast_forward(enabled: bool | None) -> bool | None:
     previous = _ff_override
     _ff_override = None if enabled is None else bool(enabled)
     return previous
+
+
+class FFState:
+    """Per-run fast-forward engagement bookkeeping.
+
+    Tracks, separately for the guaranteed-miss and guaranteed-hit
+    provers, how many attempts were made and how many committed an
+    interval, plus whether each prover is still worth attempting
+    (``plan_ok`` flips off when the policy declines to produce a drain
+    plan, ``hit_ok`` when it cannot skip idle ticks — both permanent
+    for the run). :func:`record_ff_engagement` exports the totals as
+    per-policy counters.
+    """
+
+    __slots__ = (
+        "plan_ok",
+        "hit_ok",
+        "attempts_miss",
+        "commits_miss",
+        "attempts_hit",
+        "commits_hit",
+    )
+
+    def __init__(self) -> None:
+        self.plan_ok = True
+        self.hit_ok = True
+        self.attempts_miss = 0
+        self.commits_miss = 0
+        self.attempts_hit = 0
+        self.commits_hit = 0
+
+    @property
+    def eligible(self) -> bool:
+        """False once neither prover can ever engage again this run."""
+        return self.plan_ok or self.hit_ok
+
+
+def record_ff_engagement(policy_name: str, state: FFState) -> None:
+    """Export a run's FF attempt/decline totals to the metrics registry.
+
+    ``repro_ff_plan_attempts{policy=,window=hit|miss}`` counts prover
+    attempts; ``repro_ff_plan_declines`` counts the attempts that did
+    not commit an interval (plan refused, window too short, or plan
+    infeasible). No-op when no metrics registry is active.
+    """
+    from ..obs.metrics import active_registry
+
+    registry = active_registry()
+    if registry is None:
+        return
+    attempts = registry.counter(
+        "repro_ff_plan_attempts",
+        "fast-forward prover attempts by policy and window kind",
+    )
+    declines = registry.counter(
+        "repro_ff_plan_declines",
+        "fast-forward prover attempts that did not commit an interval",
+    )
+    for window, n_attempts, n_commits in (
+        ("miss", state.attempts_miss, state.commits_miss),
+        ("hit", state.attempts_hit, state.commits_hit),
+    ):
+        if n_attempts:
+            attempts.inc(n_attempts, policy=policy_name, window=window)
+        dropped = n_attempts - n_commits
+        if dropped:
+            declines.inc(dropped, policy=policy_name, window=window)
 
 
 def traces_disjoint(traces: list[np.ndarray]) -> bool:
@@ -304,6 +380,7 @@ def plan_drain(
     b_threads: list[int],
     grant_avail: dict[int, int],
     completes: dict[int, bool],
+    page_streams: "dict[int, object] | None" = None,
 ) -> DrainSchedule | None:
     """Simulate the whole drain against the policy's queue snapshot.
 
@@ -314,11 +391,24 @@ def plan_drain(
     guaranteed-miss window allows (mutated in place); ``completes``
     flags cores whose window reaches the end of their trace.
 
+    When the plan declares :attr:`~repro.core.arbitration.DrainPlan.
+    needs_pages` (address-aware policies), ``page_streams`` must map
+    every live core to its upcoming reference stream starting at the
+    core's *current* reference; the planner feeds each re-enqueue the
+    right page off that stream. When the plan declares a ``tick_hook``
+    (remap-replaying plans), the planner invokes it once per planned
+    tick after the first, exactly where the live loop runs
+    ``begin_tick``.
+
     Returns ``None`` when the interval is shorter than
     :data:`MIN_FF_TICKS` (callers then fall back to per-tick execution
     and back off). The caller must treat ``plan`` and ``grant_avail``
     as consumed either way.
     """
+    needs_pages = plan.needs_pages
+    if needs_pages and page_streams is None:
+        return None
+    hook = plan.tick_hook
     end = plan.horizon
     if end - start < MIN_FF_TICKS:
         return None
@@ -358,7 +448,8 @@ def plan_drain(
     prot = len(h_threads)  # resident pages eviction must not touch
     total_evicted = 0
     q = channels
-    supports_bulk = plan.supports_bulk
+    supports_bulk = plan.supports_bulk and hook is None
+    next_idx: dict[int, int] = dict.fromkeys(b_threads, 0) if needs_pages else {}
     tau = start
     while tau < end:
         if supports_bulk and end - tau >= 2 * MIN_FF_TICKS:
@@ -377,8 +468,11 @@ def plan_drain(
             # grants: the drain is over. Keep tick tau inside the
             # interval only if it still serves last tick's grants —
             # and then record its (idle) history row so the per-tick
-            # histories span the whole interval.
+            # histories span the whole interval (its begin_tick is
+            # elided with it, so replay any remap hook first).
             if g_hist and g_hist[-1]:
+                if hook is not None:
+                    hook(tau)
                 end = tau + 1
                 g_hist.append(0)
                 d_hist.append(0)
@@ -397,11 +491,27 @@ def plan_drain(
             elif deficit > R - prot:
                 # Eviction would need a protected page: the per-tick
                 # engine would fetch short here, which is outside the
-                # deterministic drain regime. End before this tick.
+                # deterministic drain regime. End before this tick
+                # (which therefore keeps its live begin_tick: no hook).
                 end = tau
                 break
+        if hook is not None and tau > start:
+            # The live loop runs begin_tick(tau) before enqueuing this
+            # tick's arrivals and granting; tick `start`'s already ran.
+            hook(tau)
         if arr:
-            plan.push(arr)
+            if needs_pages:
+                pages: list[int] = []
+                for i in arr:
+                    # A core's first push re-requests stream[0] only if
+                    # it entered as a queued/entry miss; entry hits and
+                    # re-arrivals already consumed earlier references.
+                    idx = next_idx.get(i, 1)
+                    pages.append(int(page_streams[i][idx]))
+                    next_idx[i] = idx + 1
+                plan.push(arr, pages)
+            else:
+                plan.push(arr)
         qlen = qlen_eff
         if will:
             granted = plan.pop(will)

@@ -88,7 +88,7 @@ def _next_use_indices(trace: np.ndarray) -> np.ndarray:
 
 
 def _attempt_fast_forward(
-    plan,
+    ffstate,
     arb,
     t,
     p,
@@ -113,16 +113,22 @@ def _attempt_fast_forward(
     response_logs,
     probes,
     probe_stride,
+    ff_horizon,
 ):
     """One quiescent-interval fast-forward attempt at tick ``t``.
 
     Plans the whole queue drain (see :mod:`repro.core.drain`), and on
     success applies it in bulk — serves, response times, completions,
     evictions in exact LRU victim order, fetched-page inserts, probe
-    samples — mutating the engine's state containers in place. Returns
-    the updated scalars ``(t, ready, queue_len, fetches, evictions,
-    done_count, makespan)``, or ``None`` when the interval is too short
-    to be worth committing (the caller backs off and ticks normally).
+    samples — mutating the engine's state containers in place. When the
+    entry tick is instead fully hit-quiescent (empty queue, every ready
+    reference resident) it dispatches to the guaranteed-hit prover
+    :func:`_attempt_hit_fast_forward`. ``ffstate`` (a
+    :class:`repro.core.drain.FFState`) tracks prover availability and
+    attempt/commit counts. Returns the updated scalars ``(t, ready,
+    queue_len, fetches, evictions, done_count, makespan)``, or ``None``
+    when no interval could be committed (the caller backs off and ticks
+    normally).
     """
     # Entry classification: ready cores whose current reference is
     # resident serve this tick (H); the rest enqueue this tick (B).
@@ -133,16 +139,42 @@ def _attempt_fast_forward(
             h_list.append(i)
         else:
             b_list.append(i)
+
+    if queue_len == 0 and not b_list:
+        if not ffstate.hit_ok or not h_list:
+            return None
+        ffstate.attempts_hit += 1
+        result = _attempt_hit_fast_forward(
+            arb, t, q, traces, lengths, pos, current, request_tick,
+            h_list, residency, protected, track_protected, fetches,
+            evictions, done_count, makespan, metrics, histograms,
+            response_logs, probes, probe_stride, ff_horizon, ffstate,
+        )
+        if result is not None:
+            ffstate.commits_hit += 1
+        return result
+
+    if not ffstate.plan_ok:
+        return None
+    ffstate.attempts_miss += 1
+    plan = arb.drain_plan(q, ff_horizon)
+    if plan is None:
+        ffstate.plan_ok = False
+        return None
     h_set = set(h_list)
 
     # Guaranteed-miss windows: per live core, the prefix of upcoming
     # references that are certain misses (non-resident at entry, no
     # repeats within the window). The scan is capped for work-bounding
-    # and by the remap period (the plan horizon cannot exceed it).
+    # and by the plan's own horizon (cross-remap plans stretch to
+    # max_ticks; legacy plans stop at the next remap boundary).
     scan_cap = drain.WINDOW_CAP
-    remap_period = getattr(arb, "remap_period", None)
-    if remap_period is not None and remap_period < scan_cap:
-        scan_cap = remap_period
+    if plan.horizon < drain.UNBOUNDED:
+        span = plan.horizon - t
+        if span < scan_cap:
+            scan_cap = span if span > 1 else 1
+    needs_pages = plan.needs_pages
+    streams: dict[int, list[int]] = {}
     avail: dict[int, int] = {}
     completes: dict[int, bool] = {}
     for i in range(p):
@@ -168,6 +200,8 @@ def _attempt_fast_forward(
         # An H core's current serve is not a grant; everything else in
         # the window (and a non-H core's whole window) needs a channel.
         avail[i] = window - 1 if i in h_set else window
+        if needs_pages:
+            streams[i] = trace[start_pos:j]
 
     sched = drain.plan_drain(
         plan,
@@ -180,6 +214,7 @@ def _attempt_fast_forward(
         b_threads=b_list,
         grant_avail=avail,
         completes=completes,
+        page_streams=streams if needs_pages else None,
     )
     if sched is None:
         return None
@@ -322,7 +357,180 @@ def _attempt_fast_forward(
             completion_tick=completion_tick,
         )
 
+    ffstate.commits_miss += 1
     return end, new_ready, queue_len, fetches, evictions, done_count, makespan
+
+
+def _attempt_hit_fast_forward(
+    arb,
+    t,
+    q,
+    traces,
+    lengths,
+    pos,
+    current,
+    request_tick,
+    h_list,
+    residency,
+    protected,
+    track_protected,
+    fetches,
+    evictions,
+    done_count,
+    makespan,
+    metrics,
+    histograms,
+    response_logs,
+    probes,
+    probe_stride,
+    ff_horizon,
+    ffstate,
+):
+    """Bulk-retire a guaranteed-*hit* stretch starting at tick ``t``.
+
+    Preconditions (established by the caller): the request queue is
+    empty and every live core's current reference is resident. No fetch
+    can then happen until some core reaches a non-resident reference,
+    and without fetches there are no evictions — residency membership
+    is frozen and each core serves one reference per tick while its
+    *hit run* (maximal prefix of resident upcoming references) lasts.
+    The interval ends one tick before the first non-completing core
+    would classify a non-resident reference.
+
+    The bulk apply replays per-tick effects exactly: response times are
+    ``t - request_tick + 1`` for a core's first serve and 1 afterwards,
+    the LRU order after the interval is "untouched pages first, then
+    touched pages by last touch" (one ``move_to_end`` sweep), and the
+    policy replays its elided ``begin_tick`` effects through
+    :meth:`~repro.core.arbitration.ArbitrationPolicy.skip_idle_ticks`
+    (refusal permanently disables this prover via ``ffstate.hit_ok``).
+    Returns the same scalar tuple as :func:`_attempt_fast_forward` or
+    ``None``.
+    """
+    cap = drain.WINDOW_CAP
+    if ff_horizon < drain.UNBOUNDED:
+        span = ff_horizon - t
+        if span < cap:
+            cap = span
+    if cap < drain.MIN_FF_TICKS:
+        return None
+
+    # Per-core hit runs. The scan cost is proportional to the run (it
+    # stops at the first non-resident reference), so failures are cheap
+    # and long scans always pay for themselves in elided ticks.
+    runs: dict[int, int] = {}
+    comp: dict[int, bool] = {}
+    for i in h_list:
+        trace = traces[i]
+        length = lengths[i]
+        start_pos = pos[i]
+        j = start_pos
+        j_max = start_pos + cap
+        if j_max > length:
+            j_max = length
+        while j < j_max and trace[j] in residency:
+            j += 1
+        runs[i] = j - start_pos
+        comp[i] = j >= length
+    noncomp = [runs[i] for i in h_list if not comp[i]]
+    k = min(noncomp) if noncomp else max(runs.values())
+    if k < drain.MIN_FF_TICKS:
+        return None
+    end = t + k
+
+    # ---- read-only derivations (no state touched yet) ----------------
+    s = {i: k if lengths[i] - pos[i] > k else lengths[i] - pos[i] for i in h_list}
+    serve_pages_chrono: list[int] = []
+    serve_threads: list[int] = []
+    serve_ticks: list[int] = []
+    for off in range(k):
+        tau = t + off
+        for i in h_list:
+            if s[i] > off:
+                serve_threads.append(i)
+                serve_ticks.append(tau)
+                serve_pages_chrono.append(traces[i][pos[i] + off])
+    if probes:
+        entry_live = np.array([c is not None for c in current], dtype=bool)
+        probe_rt = np.asarray(request_tick, dtype=np.int64).copy()
+    resident0 = len(residency)
+
+    # ---- commit -------------------------------------------------------
+    # The policy goes first: it either replays every elided begin_tick
+    # (remaps) or refuses, in which case nothing has been mutated yet
+    # and the per-tick loop takes over for good.
+    if not arb.skip_idle_ticks(t, end):
+        ffstate.hit_ok = False
+        return None
+
+    # LRU order after the interval: untouched pages keep their relative
+    # order at the front; touched pages follow, ordered by *last* touch.
+    # One move_to_end sweep in last-touch order reproduces the per-tick
+    # touch sequence's final order exactly.
+    last_order = list(dict.fromkeys(reversed(serve_pages_chrono)))
+    for page in reversed(last_order):
+        residency.move_to_end(page)
+
+    completion_tick: dict[int, int] = {}
+    new_ready: list[int] = []
+    for i in h_list:
+        si = s[i]
+        hist = histograms[i]
+        w0 = t - request_tick[i] + 1
+        hist[w0] = hist.get(w0, 0) + 1
+        if si > 1:
+            hist[1] = hist.get(1, 0) + si - 1
+        if response_logs is not None:
+            response_logs[i].append(w0)
+            if si > 1:
+                response_logs[i].extend([1] * (si - 1))
+        j = pos[i] + si
+        if j >= lengths[i]:
+            ct = t + si
+            metrics.record_completion(i, ct)
+            done_count += 1
+            if ct > makespan:
+                makespan = ct
+            completion_tick[i] = t + si - 1
+            current[i] = None
+            pos[i] = j - 1
+        else:
+            pos[i] = j
+            current[i] = traces[i][j]
+            request_tick[i] = end
+            new_ready.append(i)
+
+    if track_protected:
+        protected.clear()
+        for cur in current:
+            if cur is not None:
+                protected.add(cur)
+
+    if probes:
+        from ..obs.probe import materialize_interval_samples
+
+        materialize_interval_samples(
+            probes,
+            start=t,
+            end=end,
+            stride=probe_stride,
+            channels=q,
+            fetches0=fetches,
+            evictions0=evictions,
+            grants_per_tick=[0] * k,
+            evicts_per_tick=[0] * k,
+            queue_per_tick=[0] * k,
+            resident_per_tick=[resident0] * k,
+            serve_threads=serve_threads,
+            serve_ticks=serve_ticks,
+            grant_threads=[],
+            grant_ticks=[],
+            request_tick=probe_rt,
+            live=entry_live,
+            completion_tick=completion_tick,
+        )
+
+    return end, new_ready, 0, fetches, evictions, done_count, makespan
 
 
 class Simulator:
@@ -442,6 +650,7 @@ class Simulator:
         # Belady/timeline wiring. Trace disjointness is checked lazily
         # at the first attempt; a policy without a drain plan disables
         # it for the run. Results are bit-identical either way.
+        ff_state = drain.FFState()
         ff_eligible = (
             drain.fast_forward_enabled()
             and cfg.replacement == "lru"
@@ -472,34 +681,33 @@ class Simulator:
                     if not drain.traces_disjoint(self.traces):
                         ff_eligible = False
                 if ff_eligible:
-                    ff_plan = arb.drain_plan(q, ff_horizon)
-                    if ff_plan is None:
-                        ff_eligible = False
-                    else:
-                        ff = _attempt_fast_forward(
-                            ff_plan, arb, t, p, q, capacity, traces,
-                            lengths, pos, current, request_tick, ready,
-                            residency, protected, track_protected,
-                            queue_len, fetches, evictions, done_count,
-                            makespan, metrics, histograms, response_logs,
-                            probes, probe_stride,
-                        )
-                        if ff is None:
+                    ff = _attempt_fast_forward(
+                        ff_state, arb, t, p, q, capacity, traces,
+                        lengths, pos, current, request_tick, ready,
+                        residency, protected, track_protected,
+                        queue_len, fetches, evictions, done_count,
+                        makespan, metrics, histograms, response_logs,
+                        probes, probe_stride, ff_horizon,
+                    )
+                    if ff is None:
+                        if not ff_state.eligible:
+                            ff_eligible = False
+                        else:
                             ff_next_try = t + ff_backoff
                             ff_backoff = min(ff_backoff * 2, drain.BACKOFF_MAX)
-                        else:
-                            ff_backoff = drain.BACKOFF_MIN
-                            ff_intervals += 1
-                            ff_elided += ff[0] - t
-                            (t, ready, queue_len, fetches, evictions,
-                             done_count, makespan) = ff
-                            ff_wall += time.perf_counter() - _ff_t0
-                            if max_ticks is not None and t > max_ticks:
-                                raise SimulationLimitError(
-                                    f"simulation exceeded max_ticks={max_ticks} "
-                                    f"({done_count}/{p} threads complete)"
-                                )
-                            continue
+                    else:
+                        ff_backoff = drain.BACKOFF_MIN
+                        ff_intervals += 1
+                        ff_elided += ff[0] - t
+                        (t, ready, queue_len, fetches, evictions,
+                         done_count, makespan) = ff
+                        ff_wall += time.perf_counter() - _ff_t0
+                        if max_ticks is not None and t > max_ticks:
+                            raise SimulationLimitError(
+                                f"simulation exceeded max_ticks={max_ticks} "
+                                f"({done_count}/{p} threads complete)"
+                            )
+                        continue
                 ff_wall += time.perf_counter() - _ff_t0
 
             # -- step 2 (classify + enqueue misses) ----------------------
@@ -622,6 +830,7 @@ class Simulator:
             from ..obs.metrics import record_phase
 
             record_phase("fast_forward", ff_wall)
+        drain.record_ff_engagement(cfg.arbitration, ff_state)
         remap_count = getattr(arb, "remap_count", 0)
         wall = time.perf_counter() - start
         result = metrics.finalize(

@@ -149,13 +149,29 @@ def vector_threshold() -> int:
     Resolution order: :func:`set_vector_threshold` override, then the
     ``REPRO_VECTOR_THRESHOLD`` environment variable, then a cached
     :func:`_calibrate_vector_threshold` measurement. Purely a
-    performance knob — both paths implement identical semantics.
+    performance knob — both paths implement identical semantics, so an
+    invalid env value (non-integer, non-positive) is warned about once
+    and ignored rather than failing the dispatch.
     """
     if _vector_threshold_override is not None:
         return _vector_threshold_override
     env = os.environ.get("REPRO_VECTOR_THRESHOLD")
     if env is not None:
-        return int(env)
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+        from ..obs.log import get_logger, warn_once
+
+        warn_once(
+            get_logger("core"),
+            "vector-threshold-env",
+            "ignoring invalid REPRO_VECTOR_THRESHOLD=%r "
+            "(expected an integer >= 1); using calibrated default",
+            env,
+        )
     global _calibrated_threshold
     if _calibrated_threshold is None:
         _calibrated_threshold = _calibrate_vector_threshold()
@@ -167,13 +183,32 @@ def set_vector_threshold(n: int | None) -> int | None:
 
     ``None`` removes the override, restoring env-var/calibration
     resolution. Used by differential tests to pin one path and by
-    benchmarks to measure both.
+    benchmarks to measure both. An invalid value (non-integer,
+    non-positive) warns once and clears the override — the knob is
+    purely performance, so misuse must never change or abort a run.
     """
     global _vector_threshold_override
-    if n is not None and n < 1:
-        raise ValueError(f"vector threshold must be >= 1, got {n}")
     previous = _vector_threshold_override
-    _vector_threshold_override = None if n is None else int(n)
+    if n is None:
+        _vector_threshold_override = None
+        return previous
+    try:
+        value = int(n)
+    except (TypeError, ValueError):
+        value = 0
+    if value < 1:
+        from ..obs.log import get_logger, warn_once
+
+        warn_once(
+            get_logger("core"),
+            "vector-threshold-set",
+            "ignoring invalid vector threshold %r "
+            "(expected an integer >= 1); override cleared",
+            n,
+        )
+        _vector_threshold_override = None
+        return previous
+    _vector_threshold_override = value
     return previous
 
 #: dense page-state arrays must stay sane
@@ -265,7 +300,7 @@ def _supports(
 
 
 def _attempt_fast_forward(
-    plan,
+    ffstate,
     arb,
     t,
     p,
@@ -293,6 +328,7 @@ def _attempt_fast_forward(
     served_w,
     probes,
     probe_stride,
+    ff_horizon,
 ):
     """One quiescent-interval fast-forward attempt at tick ``t``.
 
@@ -304,32 +340,68 @@ def _attempt_fast_forward(
     falls out of popping the heap minimum with *no* protection
     predicate (plan feasibility already guarantees no protected page is
     reached), and the response times land in the chronological serve
-    buffers the end-of-run aggregation consumes anyway. Returns the
-    updated scalars ``(t, ready, queue_len, fetches, evictions,
-    done_count, makespan, resident_count)`` or ``None`` when the
-    interval is too short to commit.
+    buffers the end-of-run aggregation consumes anyway.
+
+    Dispatches to the guaranteed-*hit* prover
+    (:func:`_attempt_hit_fast_forward`) when the entry tick is fully
+    quiescent the other way round — empty queue, every ready reference
+    resident — and to the guaranteed-miss drain planner otherwise.
+    ``ffstate`` (a :class:`repro.core.drain.FFState`) tracks which
+    provers are permanently unavailable for this run and counts
+    attempts/commits per window kind. Returns the updated scalars
+    ``(t, ready, queue_len, fetches, evictions, done_count, makespan,
+    resident_count)`` or ``None`` when no interval could be committed.
     """
     # Entry classification (H serves this tick, B enqueues this tick).
     pages = current[ready]
     flags = resident[pages]
     h_arr = ready[flags]
     b_arr = ready[~flags]
+
+    if queue_len == 0 and not len(b_arr):
+        if not ffstate.hit_ok or not len(h_arr):
+            return None
+        ffstate.attempts_hit += 1
+        result = _attempt_hit_fast_forward(
+            arb, t, p, q, big_trace, offsets, lengths, pos, current,
+            request_tick, h_arr, resident, resident_count, last_stamp,
+            stamp_stride, fetches, evictions, done_count, makespan,
+            metrics, served_threads, served_w, probes, probe_stride,
+            ff_horizon, ffstate,
+        )
+        if result is not None:
+            ffstate.commits_hit += 1
+        return result
+
+    if not ffstate.plan_ok:
+        return None
+    ffstate.attempts_miss += 1
+    plan = arb.drain_plan(q, ff_horizon)
+    if plan is None:
+        ffstate.plan_ok = False
+        return None
+
     n_h = len(h_arr)
     is_h = np.zeros(p, dtype=bool)
     is_h[h_arr] = True
 
     # Guaranteed-miss windows, vectorized per core: a window reference
     # is bad if resident at entry or a repeat of an earlier window
-    # reference; the window ends at the first bad position.
+    # reference; the window ends at the first bad position. The scan is
+    # bounded by the plan's own horizon (cross-remap plans stretch to
+    # max_ticks; legacy plans stop at the next remap boundary).
     full_cap = drain.WINDOW_CAP
-    remap_period = getattr(arb, "remap_period", None)
-    if remap_period is not None and remap_period < full_cap:
-        full_cap = remap_period
+    if plan.horizon < drain.UNBOUNDED:
+        span = plan.horizon - t
+        if span < full_cap:
+            full_cap = span if span > 1 else 1
     live = np.flatnonzero(current >= 0).tolist()
+    needs_pages = plan.needs_pages
 
     def scan_windows(scan_cap):
         avail: dict[int, int] = {}
         completes: dict[int, bool] = {}
+        streams: dict[int, np.ndarray] = {}
         truncated = False
         for i in live:
             start_pos = int(pos[i])
@@ -353,9 +425,11 @@ def _attempt_fast_forward(
                 truncated = True
             completes[i] = start_pos + window >= length
             avail[i] = window - 1 if is_h[i] else window
-        return avail, completes, truncated
+            if needs_pages:
+                streams[i] = arr
+        return avail, completes, streams, truncated
 
-    def plan_with(avail, completes, the_plan):
+    def plan_with(avail, completes, streams, the_plan):
         return drain.plan_drain(
             the_plan,
             start=t,
@@ -367,6 +441,7 @@ def _attempt_fast_forward(
             b_threads=b_arr.tolist(),
             grant_avail=avail,
             completes=completes,
+            page_streams=streams if needs_pages else None,
         )
 
     # Staged scan: most *failed* attempts (hit-heavy regimes) have tiny
@@ -374,15 +449,15 @@ def _attempt_fast_forward(
     # full-trace scan only runs when a capped plan already committed to
     # an interval that the cap may have shortened.
     stage_cap = _SCAN_STAGE_CAP if _SCAN_STAGE_CAP < full_cap else full_cap
-    avail, completes, truncated = scan_windows(stage_cap)
-    sched = plan_with(avail, completes, plan)
+    avail, completes, streams, truncated = scan_windows(stage_cap)
+    sched = plan_with(avail, completes, streams, plan)
     if sched is None:
         return None
     if truncated:
         replan = arb.drain_plan(q, plan.horizon)
         if replan is not None:
-            avail, completes, _ = scan_windows(full_cap)
-            full_sched = plan_with(avail, completes, replan)
+            avail, completes, streams, _ = scan_windows(full_cap)
+            full_sched = plan_with(avail, completes, streams, replan)
             if full_sched is not None:
                 sched = full_sched
     end = sched.end
@@ -534,10 +609,206 @@ def _attempt_fast_forward(
             completion_tick=completion_tick,
         )
 
+    ffstate.commits_miss += 1
     return (
         end,
         new_ready,
         queue_len,
+        fetches,
+        evictions,
+        done_count,
+        makespan,
+        resident_count,
+    )
+
+
+def _attempt_hit_fast_forward(
+    arb,
+    t,
+    p,
+    q,
+    big_trace,
+    offsets,
+    lengths,
+    pos,
+    current,
+    request_tick,
+    h_arr,
+    resident,
+    resident_count,
+    last_stamp,
+    stamp_stride,
+    fetches,
+    evictions,
+    done_count,
+    makespan,
+    metrics,
+    served_threads,
+    served_w,
+    probes,
+    probe_stride,
+    ff_horizon,
+    ffstate,
+):
+    """Bulk-retire a guaranteed-*hit* stretch starting at tick ``t``.
+
+    Preconditions established by the caller: the request queue is empty
+    and every live core's current reference is resident. Under those
+    conditions no fetch can happen until some core reaches a
+    non-resident reference, and with no fetches there are no evictions
+    — so residency is frozen and each core simply serves one trace
+    reference per tick while its *hit run* (maximal prefix of resident
+    references) lasts. The interval ends one tick before the first
+    non-completing core would classify a non-resident reference, which
+    keeps that classification in the live loop.
+
+    The bulk apply is pure timestamp work: serves scatter their final
+    stamps into ``last_stamp`` (hits never push heap entries on the
+    per-tick paths either — stale heap stamps refresh lazily), response
+    times are 1 for every serve after a core's first, and the policy
+    replays its elided ``begin_tick`` effects through
+    :meth:`~repro.core.arbitration.ArbitrationPolicy.skip_idle_ticks`
+    (refusal permanently disables this prover for the run via
+    ``ffstate.hit_ok``). Returns the same scalar tuple as
+    :func:`_attempt_fast_forward` or ``None``.
+    """
+    live = h_arr  # queue empty: the live set IS the ready set
+    full_cap = drain.WINDOW_CAP
+    if ff_horizon < drain.UNBOUNDED:
+        span = ff_horizon - t
+        if span < full_cap:
+            full_cap = span
+    if full_cap < drain.MIN_FF_TICKS:
+        return None
+
+    def scan_runs(scan_cap):
+        """Per-core hit-run lengths (capped) + completion flags."""
+        runs: dict[int, int] = {}
+        comp: dict[int, bool] = {}
+        for i in live.tolist():
+            start_pos = int(pos[i])
+            length = int(lengths[i])
+            off = int(offsets[i])
+            j_max = start_pos + scan_cap
+            if j_max > length:
+                j_max = length
+            arr = big_trace[off + start_pos : off + j_max]
+            res = resident[arr]
+            m = len(arr) if res.all() else int(res.argmin())
+            runs[i] = m
+            comp[i] = start_pos + m >= length
+        return runs, comp
+
+    # Staged like the miss scan: a cheap capped pass decides most
+    # failures; rescan at the full cap only when every non-completing
+    # core's run was cut by the stage cap.
+    stage_cap = _SCAN_STAGE_CAP if _SCAN_STAGE_CAP < full_cap else full_cap
+    runs, comp = scan_runs(stage_cap)
+    noncomp = [runs[i] for i in runs if not comp[i]]
+    k = min(noncomp) if noncomp else max(runs.values())
+    if noncomp and k == stage_cap < full_cap:
+        runs, comp = scan_runs(full_cap)
+        noncomp = [runs[i] for i in runs if not comp[i]]
+        k = min(noncomp) if noncomp else max(runs.values())
+    if k < drain.MIN_FF_TICKS:
+        return None
+    end = t + k
+
+    # ---- read-only derivations (no state touched yet) ----------------
+    s = np.minimum(k, lengths[live] - pos[live])
+    n = int(s.sum())
+    starts = np.zeros(len(live) + 1, dtype=np.int64)
+    np.cumsum(s, out=starts[1:])
+    th_tm = np.repeat(live, s)  # thread-major serve events
+    occ = np.arange(n, dtype=np.int64) - np.repeat(starts[:-1], s)
+    ticks_tm = t + occ
+    pages_tm = big_trace[offsets[th_tm] + pos[th_tm] + occ]
+    w_tm = np.ones(n, dtype=np.int64)
+    w_tm[starts[:-1]] = t - request_tick[live] + 1
+
+    # Chronological (tick-major, core-id ascending within a tick —
+    # live is sorted and the sort is stable, so within-tick order is
+    # exactly the per-tick serve order).
+    order = np.argsort(ticks_tm, kind="stable")
+    th_c = th_tm[order]
+    tk_c = ticks_tm[order]
+    pages_c = pages_tm[order]
+    w_c = w_tm[order]
+    within = np.arange(n, dtype=np.int64) - np.searchsorted(tk_c, tk_c)
+    stamps_c = tk_c * stamp_stride + within
+
+    if probes:
+        entry_live = current >= 0
+        probe_rt = request_tick.copy()
+    fetches0 = fetches
+    evictions0 = evictions
+
+    # ---- commit -------------------------------------------------------
+    # The policy goes first: it either replays every elided begin_tick
+    # (remaps) or refuses, in which case nothing has been mutated yet
+    # and the per-tick loop takes over for good.
+    if not arb.skip_idle_ticks(t, end):
+        ffstate.hit_ok = False
+        return None
+
+    # Duplicate pages keep their *last* serve's stamp (numpy fancy
+    # assignment applies in index order), matching per-tick re-touches.
+    last_stamp[pages_c] = stamps_c
+    served_threads.append(th_c)
+    served_w.append(w_c)
+
+    completion_tick: dict[int, int] = {}
+    cont_mask = np.empty(len(live), dtype=bool)
+    for idx, i in enumerate(live.tolist()):
+        si = int(s[idx])
+        j = int(pos[i]) + si
+        if j >= lengths[i]:
+            ct = t + si
+            metrics.record_completion(i, ct)
+            done_count += 1
+            if ct > makespan:
+                makespan = ct
+            completion_tick[i] = t + si - 1
+            current[i] = -1
+            pos[i] = j - 1
+            cont_mask[idx] = False
+        else:
+            cont_mask[idx] = True
+    cont = live[cont_mask]
+    if len(cont):
+        pos[cont] += k
+        current[cont] = big_trace[offsets[cont] + pos[cont]]
+        request_tick[cont] = end
+    new_ready = cont
+
+    if probes:
+        from ..obs.probe import materialize_interval_samples
+
+        materialize_interval_samples(
+            probes,
+            start=t,
+            end=end,
+            stride=probe_stride,
+            channels=q,
+            fetches0=fetches0,
+            evictions0=evictions0,
+            grants_per_tick=[0] * k,
+            evicts_per_tick=[0] * k,
+            queue_per_tick=[0] * k,
+            resident_per_tick=[resident_count] * k,
+            serve_threads=th_c.tolist(),
+            serve_ticks=tk_c.tolist(),
+            grant_threads=[],
+            grant_ticks=[],
+            request_tick=probe_rt,
+            live=entry_live,
+            completion_tick=completion_tick,
+        )
+
+    return (
+        end,
+        new_ready,
+        0,
         fetches,
         evictions,
         done_count,
@@ -677,7 +948,10 @@ class FastSimulator:
         # path's scope (LRU + protect_pending + disjoint compact traces,
         # no timeline) already satisfies every exactness precondition,
         # so the only gates left are the process knob and the policy
-        # having a drain plan. Results are bit-identical either way.
+        # cooperating with at least one prover (drain plans for
+        # miss-bound stretches, idle-tick skipping for hit-bound ones).
+        # Results are bit-identical either way.
+        ff_state = drain.FFState()
         ff_eligible = drain.fast_forward_enabled()
         ff_next_try = 0
         ff_backoff = drain.BACKOFF_MIN
@@ -694,34 +968,34 @@ class FastSimulator:
 
             if ff_eligible and t >= ff_next_try:
                 _ff_t0 = time.perf_counter()
-                ff_plan = arb.drain_plan(q, ff_horizon)
-                if ff_plan is None:
-                    ff_eligible = False
-                else:
-                    ff = _attempt_fast_forward(
-                        ff_plan, arb, t, p, q, capacity, big_trace,
-                        offsets, lengths, pos, current, request_tick,
-                        ready, resident, resident_count, last_stamp,
-                        heap, stamp_stride, queue_len, fetches,
-                        evictions, done_count, makespan, metrics,
-                        served_threads, served_w, probes, probe_stride,
-                    )
-                    if ff is None:
+                ff = _attempt_fast_forward(
+                    ff_state, arb, t, p, q, capacity, big_trace,
+                    offsets, lengths, pos, current, request_tick,
+                    ready, resident, resident_count, last_stamp,
+                    heap, stamp_stride, queue_len, fetches,
+                    evictions, done_count, makespan, metrics,
+                    served_threads, served_w, probes, probe_stride,
+                    ff_horizon,
+                )
+                if ff is None:
+                    if not ff_state.eligible:
+                        ff_eligible = False
+                    else:
                         ff_next_try = t + ff_backoff
                         ff_backoff = min(ff_backoff * 2, drain.BACKOFF_MAX)
-                    else:
-                        ff_backoff = drain.BACKOFF_MIN
-                        ff_intervals += 1
-                        ff_elided += ff[0] - t
-                        (t, ready, queue_len, fetches, evictions,
-                         done_count, makespan, resident_count) = ff
-                        ff_wall += time.perf_counter() - _ff_t0
-                        if max_ticks is not None and t > max_ticks:
-                            raise SimulationLimitError(
-                                f"simulation exceeded max_ticks={max_ticks} "
-                                f"({done_count}/{p} threads complete)"
-                            )
-                        continue
+                else:
+                    ff_backoff = drain.BACKOFF_MIN
+                    ff_intervals += 1
+                    ff_elided += ff[0] - t
+                    (t, ready, queue_len, fetches, evictions,
+                     done_count, makespan, resident_count) = ff
+                    ff_wall += time.perf_counter() - _ff_t0
+                    if max_ticks is not None and t > max_ticks:
+                        raise SimulationLimitError(
+                            f"simulation exceeded max_ticks={max_ticks} "
+                            f"({done_count}/{p} threads complete)"
+                        )
+                    continue
                 ff_wall += time.perf_counter() - _ff_t0
 
             n_ready = len(ready)
@@ -901,6 +1175,7 @@ class FastSimulator:
         remap_count = getattr(arb, "remap_count", 0)
         if ff_wall:
             _record_ff_phase(ff_wall)
+        drain.record_ff_engagement(cfg.arbitration, ff_state)
         result = metrics.finalize(
             makespan=makespan,
             ticks=t,

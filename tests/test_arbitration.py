@@ -423,12 +423,19 @@ class TestTieBreaking:
 class TestDrainPlan:
     """drain_plan() must predict select() exactly — plan vs live oracle."""
 
-    @pytest.mark.parametrize(
-        "name", ["random", "round_robin", "fr_fcfs"]
-    )
-    def test_stateful_policies_opt_out(self, name):
-        policy = make_any(name)
+    def test_random_opts_out(self):
+        # select() draws from the RNG per grant: inherently unplannable
+        policy = make_any("random")
         assert policy.drain_plan(2, 1000) is None
+
+    @pytest.mark.parametrize("name", ["round_robin", "fr_fcfs"])
+    def test_stateful_policies_opt_in(self, name):
+        # deterministic state recurrences: both plan from copied state
+        # (the pop-vs-select oracles live in tests/test_drain.py)
+        policy = make_any(name)
+        plan = policy.drain_plan(2, 1000)
+        assert plan is not None
+        assert plan.horizon == 1000
 
     @pytest.mark.parametrize("name", ["fifo"] + PRIORITY_NAMES)
     def test_plan_pops_match_live_selects(self, name):
@@ -485,13 +492,48 @@ class TestDrainPlan:
         assert policy.select(8) == oracle.select(8)
 
     @pytest.mark.parametrize("name", PRIORITY_NAMES)
-    def test_priority_horizon_caps_at_next_remap_boundary(self, name):
+    def test_priority_horizon_crosses_remap_boundaries(self, name):
+        # horizons are no longer capped at the next boundary: the plan
+        # replays the pure rank permutation itself (via tick_hook)
         policy = make(name, p=8, T=10, seed=2)
         policy.begin_tick(13)
         plan = policy.drain_plan(2, 10_000)
-        assert plan.horizon == 20  # next multiple of T after tick 13
+        assert plan.horizon == 10_000
+        assert plan.tick_hook is not None
         plan = policy.drain_plan(2, 15)
-        assert plan.horizon == 15  # caller bound already tighter
+        assert plan.horizon == 15
+
+    @pytest.mark.parametrize("name", PRIORITY_NAMES)
+    def test_cross_remap_plan_matches_live_policy(self, name):
+        # drive the plan through several boundaries exactly as
+        # plan_drain does (hook, then pop) against a live twin that
+        # runs begin_tick per tick; grant order must never diverge
+        live = make(name, p=8, T=10, seed=2)
+        planned = make(name, p=8, T=10, seed=2)
+        for policy in (live, planned):
+            policy.begin_tick(13)
+            for thread in (4, 1, 6, 3, 0, 7):
+                policy.enqueue(thread)
+        plan = planned.drain_plan(2, 1000)
+        got, want = [], []
+        for tau in range(14, 44):
+            plan.tick_hook(tau)
+            live.begin_tick(tau)
+            got.extend(plan.pop(1))
+            want.extend(live.select(1))
+            if got and tau % 3 == 0:  # keep the queue busy across remaps
+                plan.push([got[-1]])
+                live.enqueue(want[-1])
+        assert got == want
+        # commit installs the final ranks and advances remap_count and
+        # the RNG stream in bulk: future remaps stay in lockstep
+        plan.commit()
+        assert planned.remap_count == live.remap_count
+        for policy in (live, planned):
+            policy.begin_tick(50)
+            for thread in (2, 5, 1):
+                policy.enqueue(thread)
+        assert planned.select(8) == live.select(8)
 
     def test_fifo_horizon_is_unbounded_by_remap(self):
         policy = make("fifo")

@@ -231,6 +231,31 @@ class TestKnobs:
         monkeypatch.delenv("REPRO_BATCH")
         assert batch_limit() > 1
 
+    @pytest.mark.parametrize("bad", ["three", "-2", "4.5"])
+    def test_invalid_env_warns_and_uses_default(self, monkeypatch, bad):
+        # the lane cap is a perf knob: a bad REPRO_BATCH must warn once
+        # and fall back to the default, never fail dispatch
+        import logging
+
+        from repro.core.batchengine import DEFAULT_BATCH_LANES
+        from repro.obs.log import get_logger, reset_warn_once
+
+        set_batch_limit(None)
+        monkeypatch.setenv("REPRO_BATCH", bad)
+        reset_warn_once()
+        captured: list[str] = []
+        handler = logging.Handler()
+        handler.emit = lambda rec: captured.append(rec.getMessage())
+        logger = get_logger("core")
+        logger.addHandler(handler)
+        try:
+            assert batch_limit() == DEFAULT_BATCH_LANES
+            assert batch_limit() == DEFAULT_BATCH_LANES  # warn once only
+        finally:
+            logger.removeHandler(handler)
+        assert len(captured) == 1
+        assert "REPRO_BATCH" in captured[0]
+
     def test_limit_one_forces_single_path(self):
         w = make_workload("zipf", threads=8, seed=1, length=200, pages=24)
         config = SimulationConfig(hbm_slots=12, channels=2, seed=1)

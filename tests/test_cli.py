@@ -344,7 +344,9 @@ class TestBenchCommand:
 
         directory.mkdir(parents=True, exist_ok=True)
         (directory / "BENCH_engine.json").write_text(
-            json.dumps({"ff_speedup": ff_speedup, "ff_on_s": 0.05})
+            json.dumps(
+                {"miss_bound": {"ff_speedup": ff_speedup, "ff_on_s": 0.05}}
+            )
         )
 
     def test_record_then_diff_passes(self, tmp_path, capsys):
@@ -394,7 +396,7 @@ class TestBenchCommand:
         )
         assert code == 4
         captured = capsys.readouterr()
-        assert "REGRESSION engine.ff_speedup" in captured.err
+        assert "REGRESSION engine.miss_bound.ff_speedup" in captured.err
 
     def test_diff_without_baseline_explains(self, tmp_path, capsys):
         self._write_bench(tmp_path, 8.0)

@@ -31,6 +31,26 @@ from repro.traces import make_workload
 
 ENGINES = [Simulator, FastSimulator]
 
+ALL_POLICIES = [
+    "fifo",
+    "priority",
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+    "random",
+    "round_robin",
+    "fr_fcfs",
+]
+
+REMAPPING_POLICIES = [
+    "priority",
+    "dynamic_priority",
+    "cycle_priority",
+    "cycle_reverse_priority",
+    "interleave_priority",
+]
+
 
 @pytest.fixture(autouse=True)
 def _restore_ff_override():
@@ -89,6 +109,22 @@ def miss_bound_traces(threads=8, pages=12, repeats=8):
     return wl.traces
 
 
+def hit_heavy_traces(threads=6, pages=20, repeats=100):
+    """Cache-fitting per-core loops: one cold pass, then pure hits."""
+    return [
+        list(range(50 * i, 50 * i + pages)) * repeats for i in range(threads)
+    ]
+
+
+def policy_config(arb, **overrides):
+    """A config for ``arb``; remapping policies get a remap period."""
+    kwargs = dict(hbm_slots=256, channels=2, arbitration=arb, seed=7)
+    if arb in REMAPPING_POLICIES and arb != "priority":
+        kwargs["remap_period"] = 37
+    kwargs.update(overrides)
+    return SimulationConfig(**kwargs)
+
+
 # -- bit-identical differential matrix ------------------------------------
 
 
@@ -145,10 +181,108 @@ class TestBitIdentical:
         finally:
             set_vector_threshold(previous)
 
-    def test_hit_bound_workload_disengages_gracefully(self):
+    def test_hit_bound_workload_elides_hit_stretches(self):
+        # Everything fits in HBM, so after the cold pass the run is pure
+        # hits: the guaranteed-hit prover must engage (the miss prover
+        # alone used to leave this workload at ff_elided_fraction == 0).
         wl = make_workload("zipf", threads=6, seed=0, length=300, pages=16)
         cfg = SimulationConfig(hbm_slots=2048)
-        assert_ff_identical(wl.traces, cfg, expect_ff=False)
+        assert_ff_identical(wl.traces, cfg)
+
+
+class TestCrossRemap:
+    """Plans chain across remap boundaries by replaying the permutation.
+
+    ``remap_period=5 < MIN_FF_TICKS=8`` means every plannable window
+    spans at least one boundary — before cross-remap planning these
+    configs could never fast-forward at all.
+    """
+
+    @pytest.mark.parametrize("arb", REMAPPING_POLICIES)
+    def test_remap_period_shorter_than_min_window(self, arb):
+        assert 5 < MIN_FF_TICKS
+        cfg = SimulationConfig(
+            hbm_slots=24, channels=2, arbitration=arb, remap_period=5, seed=9
+        )
+        baseline = assert_ff_identical(miss_bound_traces(), cfg)
+        assert baseline.remap_count > 0
+
+    @pytest.mark.parametrize("arb", REMAPPING_POLICIES)
+    @pytest.mark.parametrize("period", [7, 13, 37])
+    def test_remap_count_and_rng_stream_advance_in_bulk(self, arb, period):
+        # remap_count and the policy's RNG stream must end up exactly
+        # where per-tick execution leaves them, or later remaps diverge.
+        cfg = SimulationConfig(
+            hbm_slots=20,
+            channels=2,
+            arbitration=arb,
+            remap_period=period,
+            seed=11,
+        )
+        traces = miss_bound_traces(threads=6, pages=10)
+        assert_ff_identical(traces, cfg)
+
+
+class TestHitHeavy:
+    """Guaranteed-hit windows are elided for every policy."""
+
+    @pytest.mark.parametrize("arb", ALL_POLICIES)
+    def test_hit_heavy_bit_identical_and_mostly_elided(self, arb):
+        traces = hit_heavy_traces()
+        cfg = policy_config(arb)
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        for engine_cls in ENGINES:
+            result = run_with_ff(engine_cls, traces, cfg, True)
+            assert_results_equal(result, baseline)
+            assert result.ff_intervals > 0
+            assert result.ff_elided_fraction > 0.5
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_completion_inside_hit_window(self, engine_cls):
+        # staggered lengths: cores finish mid-window, and the interval
+        # must retire them at the same tick the per-tick engine does
+        traces = [
+            list(range(50 * i, 50 * i + 10)) * (3 + 5 * i) for i in range(4)
+        ]
+        cfg = SimulationConfig(hbm_slots=128, channels=2)
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        result = run_with_ff(engine_cls, traces, cfg, True)
+        assert_results_equal(result, baseline)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_hit_runs_update_lru_order(self, engine_cls):
+        # capacity is tight enough that post-window evictions depend on
+        # the LRU stamps written during the elided hit stretch
+        traces = [
+            (list(range(10 * i, 10 * i + 4)) * 30) + [100 + i, 10 * i]
+            for i in range(4)
+        ]
+        cfg = SimulationConfig(hbm_slots=17, channels=1)
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        result = run_with_ff(engine_cls, traces, cfg, True)
+        assert_results_equal(result, baseline)
+
+    @pytest.mark.parametrize("arb", ["dynamic_priority", "cycle_priority"])
+    def test_hit_window_replays_elided_remaps(self, arb):
+        # remaps land inside elided hit stretches; skip_idle_ticks must
+        # replay them or the post-window grant order diverges
+        cfg = policy_config(arb, remap_period=5, hbm_slots=160, seed=3)
+        traces = hit_heavy_traces(threads=5, pages=16, repeats=40)
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        assert baseline.remap_count > 0
+        for engine_cls in ENGINES:
+            result = run_with_ff(engine_cls, traces, cfg, True)
+            assert_results_equal(result, baseline)
+
+    def test_record_responses_identical_on_hit_heavy(self):
+        traces = hit_heavy_traces(threads=4)
+        cfg = policy_config("fifo", record_responses=True)
+        baseline = run_with_ff(Simulator, traces, cfg, False)
+        for engine_cls in ENGINES:
+            result = run_with_ff(engine_cls, traces, cfg, True)
+            assert baseline.response_log is not None
+            for la, lb in zip(result.response_log, baseline.response_log):
+                assert list(la) == list(lb)
 
 
 class TestProbeSeries:
@@ -168,6 +302,29 @@ class TestProbeSeries:
                 probe_stride=stride,
             )
             run_with_ff(engine_cls, traces, cfg, enabled)
+            series[enabled] = probe.as_arrays()
+        assert series[False].keys() == series[True].keys()
+        for key in series[False]:
+            np.testing.assert_array_equal(
+                series[False][key], series[True][key], err_msg=key
+            )
+
+    @pytest.mark.parametrize("stride", [1, 7])
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_probe_series_identical_inside_hit_windows(self, stride, engine_cls):
+        traces = hit_heavy_traces(threads=4, pages=12, repeats=40)
+        series = {}
+        for enabled in (False, True):
+            probe = TimelineProbe()
+            cfg = SimulationConfig(
+                hbm_slots=128,
+                channels=2,
+                probes=(probe,),
+                probe_stride=stride,
+            )
+            result = run_with_ff(engine_cls, traces, cfg, enabled)
+            if enabled:
+                assert result.ff_elided_fraction > 0.5
             series[enabled] = probe.as_arrays()
         assert series[False].keys() == series[True].keys()
         for key in series[False]:
@@ -241,13 +398,25 @@ class TestRecordResponses:
 
 
 class TestGatesAndFallbacks:
-    @pytest.mark.parametrize("arb", ["random", "round_robin", "fr_fcfs"])
-    def test_non_plannable_policies_never_fast_forward(self, arb):
-        cfg = SimulationConfig(hbm_slots=24, channels=2, arbitration=arb, seed=3)
+    def test_random_declines_miss_planning(self):
+        # RandomArbitration draws from its RNG per select, so miss-bound
+        # windows stay unplannable; a miss-only run must never FF.
+        cfg = SimulationConfig(
+            hbm_slots=24, channels=2, arbitration="random", seed=3
+        )
         baseline = run_with_ff(Simulator, miss_bound_traces(), cfg, False)
         result = run_with_ff(Simulator, miss_bound_traces(), cfg, True)
         assert result.ff_intervals == 0
         assert_results_equal(result, baseline)
+
+    @pytest.mark.parametrize("arb", ["round_robin", "fr_fcfs"])
+    def test_stateful_policies_now_plan_miss_windows(self, arb):
+        # round-robin and FR-FCFS replay their deterministic state
+        # recurrences inside the plan: miss-bound runs fast-forward.
+        cfg = SimulationConfig(
+            hbm_slots=24, channels=2, arbitration=arb, seed=3
+        )
+        assert_ff_identical(miss_bound_traces(), cfg)
 
     def test_shared_pages_gate_reference_engine(self):
         # Two threads share page 0: guaranteed-miss windows are invalid,
@@ -322,6 +491,15 @@ class TestStats:
         assert result.ff_elided_ticks == 0
         assert result.ff_elided_fraction == 0.0
 
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_zero_tick_run_reports_zero_fraction(self, engine_cls):
+        # empty workload: ticks == 0 must not divide-by-zero the fraction
+        result = run_with_ff(engine_cls, [[]], SimulationConfig(hbm_slots=2), True)
+        assert result.ticks == 0
+        assert result.ff_intervals == 0
+        assert result.ff_elided_ticks == 0
+        assert result.ff_elided_fraction == 0.0
+
     def test_manifest_carries_ff_fields(self):
         from repro.obs import RunManifest
 
@@ -333,6 +511,190 @@ class TestStats:
         assert (
             manifest.result["ff_elided_fraction"] == result.ff_elided_fraction
         )
+
+
+class TestEngagementCounters:
+    """Per-policy FF attempt/decline totals flow into repro.obs.metrics."""
+
+    @pytest.fixture(autouse=True)
+    def _registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        registry = obs_metrics.MetricsRegistry()
+        previous = obs_metrics.set_active_registry(registry)
+        yield registry
+        obs_metrics.set_active_registry(previous)
+
+    @staticmethod
+    def _series(registry, name):
+        fam = registry.snapshot()["families"].get(name)
+        if fam is None:
+            return {}
+        return {
+            frozenset(tuple(pair) for pair in key): value
+            for key, value in fam["series"]
+        }
+
+    def test_miss_window_attempts_recorded(self, _registry):
+        cfg = SimulationConfig(hbm_slots=24, channels=2)
+        run_with_ff(FastSimulator, miss_bound_traces(), cfg, True)
+        attempts = self._series(_registry, "repro_ff_plan_attempts")
+        key = frozenset({("policy", "fifo"), ("window", "miss")})
+        assert attempts.get(key, 0) > 0
+
+    def test_hit_window_attempts_recorded(self, _registry):
+        cfg = policy_config("round_robin")
+        run_with_ff(FastSimulator, hit_heavy_traces(), cfg, True)
+        attempts = self._series(_registry, "repro_ff_plan_attempts")
+        key = frozenset({("policy", "round_robin"), ("window", "hit")})
+        assert attempts.get(key, 0) > 0
+
+    def test_declining_policy_shows_up_as_declines(self, _registry):
+        # random never plans miss windows: its attempts never commit,
+        # so telemetry must show where planning falls through
+        cfg = SimulationConfig(
+            hbm_slots=24, channels=2, arbitration="random", seed=3
+        )
+        run_with_ff(FastSimulator, miss_bound_traces(), cfg, True)
+        key = frozenset({("policy", "random"), ("window", "miss")})
+        attempts = self._series(_registry, "repro_ff_plan_attempts")
+        declines = self._series(_registry, "repro_ff_plan_declines")
+        assert attempts.get(key, 0) >= 1
+        assert declines.get(key, 0) == attempts.get(key, 0)
+
+    def test_reference_engine_records_too(self, _registry):
+        cfg = SimulationConfig(hbm_slots=24, channels=2)
+        run_with_ff(Simulator, miss_bound_traces(), cfg, True)
+        attempts = self._series(_registry, "repro_ff_plan_attempts")
+        key = frozenset({("policy", "fifo"), ("window", "miss")})
+        assert attempts.get(key, 0) > 0
+
+    def test_no_registry_is_a_no_op(self):
+        from repro.obs import metrics as obs_metrics
+
+        previous = obs_metrics.set_active_registry(None)
+        try:
+            cfg = SimulationConfig(hbm_slots=24, channels=2)
+            result = run_with_ff(FastSimulator, miss_bound_traces(), cfg, True)
+            assert result.ff_intervals > 0
+        finally:
+            obs_metrics.set_active_registry(previous)
+
+
+class TestStatefulPlanOracles:
+    """Plan pop sequences must equal the live policy's select sequence."""
+
+    def test_round_robin_plan_matches_live_select(self):
+        from repro.core.arbitration import RoundRobinArbitration
+
+        live = RoundRobinArbitration(8)
+        planned = RoundRobinArbitration(8)
+        for policy in (live, planned):
+            for thread in (2, 5, 7):
+                policy.enqueue(thread)
+            policy.select(2)  # leave the scan pointer mid-cycle
+            for thread in (0, 1, 4):
+                policy.enqueue(thread)
+        plan = planned.drain_plan(3, 1000)
+        assert len(plan) == len(live)
+        pushes = [[3], [], [6, 2], []]
+        got, want = [], []
+        for arrivals in pushes:
+            got.extend(plan.pop(2))
+            want.extend(live.select(2))
+            plan.push(list(arrivals))
+            for thread in arrivals:
+                live.enqueue(thread)
+        while len(plan) or len(live):
+            got.extend(plan.pop(3))
+            want.extend(live.select(3))
+        assert got == want
+        # commit converges the planned policy onto the live state: the
+        # same future arrivals must now be granted in the same order
+        plan.commit()
+        for policy in (live, planned):
+            for thread in (5, 0, 3):
+                policy.enqueue(thread)
+        assert planned.select(8) == live.select(8)
+
+    def test_round_robin_plan_discard_leaves_policy_untouched(self):
+        from repro.core.arbitration import RoundRobinArbitration
+
+        policy = RoundRobinArbitration(4)
+        for thread in (1, 3):
+            policy.enqueue(thread)
+        plan = policy.drain_plan(2, 1000)
+        plan.push([0, 2])
+        # the cyclic scan starts at the pointer (0) and grants in id order
+        assert plan.pop(4) == [0, 1, 2, 3]
+        # no commit: live state is exactly as before the plan existed
+        assert len(policy) == 2
+        assert policy.select(4) == [1, 3]
+
+    def test_frfcfs_plan_matches_live_select(self):
+        from repro.core.arbitration import FRFCFSArbitration
+        from repro.core.dram import DramGeometry
+
+        geometry = DramGeometry(banks=2, row_pages=4)
+        live = FRFCFSArbitration(8, geometry=geometry)
+        planned = FRFCFSArbitration(8, geometry=geometry)
+        # mixed row-hit / row-miss pattern across both banks
+        warm = [(0, 0), (1, 8), (2, 1), (3, 17), (4, 2)]
+        for policy in (live, planned):
+            for thread, page in warm:
+                policy.enqueue(thread, page)
+            policy.select(2)  # open rows diverge from the reset state
+        plan = planned.drain_plan(2, 1000)
+        assert plan.needs_pages
+        assert len(plan) == len(live)
+        pushes = [[(5, 3)], [(6, 9), (7, 16)], []]
+        got, want = [], []
+        for arrivals in pushes:
+            got.extend(plan.pop(2))
+            want.extend(live.select(2))
+            plan.push(
+                [thread for thread, _ in arrivals],
+                [page for _, page in arrivals],
+            )
+            for thread, page in arrivals:
+                live.enqueue(thread, page)
+        while len(plan) or len(live):
+            got.extend(plan.pop(2))
+            want.extend(live.select(2))
+        assert got == want
+        plan.commit()
+        for policy in (live, planned):
+            policy.enqueue(0, 1)  # row-hit status depends on open rows
+            policy.enqueue(1, 5)
+        assert planned.select(2) == live.select(2)
+
+    def test_frfcfs_plan_push_requires_pages(self):
+        from repro.core.arbitration import FRFCFSArbitration
+
+        plan = FRFCFSArbitration(4).drain_plan(2, 1000)
+        with pytest.raises(ValueError):
+            plan.push([0])
+
+    def test_frfcfs_plan_discard_leaves_banks_untouched(self):
+        from repro.core.arbitration import FRFCFSArbitration
+        from repro.core.dram import DramGeometry
+
+        policy = FRFCFSArbitration(4, geometry=DramGeometry(banks=1, row_pages=4))
+        policy.enqueue(0, 0)
+        policy.select(1)  # bank 0 now has row 0 open
+        policy.enqueue(1, 8)   # row 2: a miss...
+        policy.enqueue(2, 1)   # row 0: ...that the open row jumps past
+        plan = policy.drain_plan(1, 1000)
+        assert plan.pop(2) == [2, 1]
+        # no commit: the live queue and open-row state are unchanged
+        assert policy.select(2) == [2, 1]
+
+    def test_random_has_no_drain_plan(self):
+        from repro.core.arbitration import RandomArbitration
+
+        policy = RandomArbitration(4, rng=np.random.default_rng(0))
+        policy.enqueue(1)
+        assert policy.drain_plan(2, 1000) is None
 
 
 # -- unit tests for the planner helpers -----------------------------------

@@ -333,17 +333,58 @@ class TestVectorThreshold:
         assert vector_threshold() == 10
         assert set_vector_threshold(None) == 10
 
-    def test_setter_rejects_non_positive(self):
-        from repro.core.fastengine import set_vector_threshold
+    @staticmethod
+    def _capture_core_warnings():
+        import logging
 
-        with pytest.raises(ValueError):
-            set_vector_threshold(0)
+        from repro.obs.log import get_logger, reset_warn_once
+
+        reset_warn_once()
+        captured: list[str] = []
+        handler = logging.Handler()
+        handler.emit = lambda rec: captured.append(rec.getMessage())
+        logger = get_logger("core")
+        logger.addHandler(handler)
+        return captured, logger, handler
+
+    @pytest.mark.parametrize("bad", [0, -3, "nope"])
+    def test_setter_warns_and_clears_on_invalid(self, bad, monkeypatch):
+        # a perf-only knob must never abort a run: invalid values warn
+        # once and fall back to env/calibration resolution
+        from repro.core.fastengine import set_vector_threshold, vector_threshold
+
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "33")
+        captured, logger, handler = self._capture_core_warnings()
+        try:
+            set_vector_threshold(10)
+            assert set_vector_threshold(bad) == 10
+        finally:
+            logger.removeHandler(handler)
+        assert len(captured) == 1
+        assert "vector threshold" in captured[0]
+        # override cleared, not kept: env resolution is back in force
+        assert vector_threshold() == 33
 
     def test_env_variable(self, monkeypatch):
         from repro.core.fastengine import vector_threshold
 
         monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "17")
         assert vector_threshold() == 17
+
+    @pytest.mark.parametrize("bad", ["seventeen", "-4", "0", "1.5"])
+    def test_invalid_env_warns_and_uses_calibration(self, monkeypatch, bad):
+        from repro.core import fastengine
+
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", bad)
+        captured, logger, handler = self._capture_core_warnings()
+        try:
+            value = fastengine.vector_threshold()
+            fastengine.vector_threshold()  # second call: warn once only
+        finally:
+            logger.removeHandler(handler)
+        assert 8 <= value <= 96  # calibrated fallback, not a crash
+        assert len(captured) == 1
+        assert "REPRO_VECTOR_THRESHOLD" in captured[0]
 
     def test_override_beats_env(self, monkeypatch):
         from repro.core.fastengine import set_vector_threshold, vector_threshold

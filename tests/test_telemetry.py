@@ -439,7 +439,11 @@ BASELINE = {
     "schema": benchtrend.BASELINE_SCHEMA,
     "updated": "",
     "suites": {
-        "engine": {"ff_speedup": 8.0, "ff_on_s": 0.05},
+        "engine": {
+            "miss_bound.ff_speedup": 8.0,
+            "miss_bound.ff_on_s": 0.05,
+            "hit_heavy.ff_speedup": 10.0,
+        },
         "obs": {"fast.overhead_fraction": 0.01},
         "sweep": {"cache_speedup": 1000.0, "dispatch_speedup": 1.2},
     },
@@ -454,28 +458,35 @@ class TestBenchTrend:
         assert flat == {"a": 1.0, "b.c": 2.5}
 
     def test_within_tolerance_is_ok(self):
-        current = {"engine": {"ff_speedup": 6.5, "ff_on_s": 0.06}}
+        current = {
+            "engine": {
+                "miss_bound.ff_speedup": 6.5,
+                "miss_bound.ff_on_s": 0.06,
+                "hit_heavy.ff_speedup": 8.5,
+            }
+        }
         diff = benchtrend.compare(current, BASELINE, tolerance=0.25)
         by_metric = {(e.suite, e.metric): e.status for e in diff.entries}
-        assert by_metric[("engine", "ff_speedup")] == "ok"
-        assert by_metric[("engine", "ff_on_s")] == "info"  # times never gate
+        assert by_metric[("engine", "miss_bound.ff_speedup")] == "ok"
+        assert by_metric[("engine", "hit_heavy.ff_speedup")] == "ok"
+        assert by_metric[("engine", "miss_bound.ff_on_s")] == "info"  # times never gate
         assert diff.ok
 
     def test_synthetic_slowdown_is_a_regression(self):
         # the acceptance scenario: a 2x slowdown halves the speedup
-        current = {"engine": {"ff_speedup": 4.0}}
+        current = {"engine": {"miss_bound.ff_speedup": 4.0}}
         diff = benchtrend.compare(current, BASELINE, tolerance=0.25)
-        assert [e.metric for e in diff.regressions] == ["ff_speedup"]
+        assert [e.metric for e in diff.regressions] == ["miss_bound.ff_speedup"]
         assert not diff.ok
 
     def test_improvement_and_ceiling_modes(self):
         current = {
-            "engine": {"ff_speedup": 12.0},
+            "engine": {"miss_bound.ff_speedup": 12.0},
             "obs": {"fast.overhead_fraction": 0.2},
         }
         diff = benchtrend.compare(current, BASELINE, tolerance=0.25)
         by_metric = {(e.suite, e.metric): e.status for e in diff.entries}
-        assert by_metric[("engine", "ff_speedup")] == "improved"
+        assert by_metric[("engine", "miss_bound.ff_speedup")] == "improved"
         assert by_metric[("obs", "fast.overhead_fraction")] == "regression"
 
     def test_missing_suite_never_fails_the_gate(self):
