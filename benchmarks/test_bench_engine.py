@@ -173,7 +173,9 @@ def _merge_engine_bench(key, payload):
         except (OSError, ValueError):
             existing = {}
         if isinstance(existing, dict) and (
-            "miss_bound" in existing or "hit_heavy" in existing
+            "miss_bound" in existing
+            or "hit_heavy" in existing
+            or "ff_policy_coverage" in existing
         ):
             doc = existing
     doc[key] = payload
@@ -223,3 +225,56 @@ def test_fast_forward_speedup_hit_heavy():
     assert payload["ff_elided_fraction"] >= 0.5
     _merge_engine_bench("hit_heavy", payload)
     assert payload["ff_speedup"] >= 2.0, payload
+
+
+def test_ff_policy_zoo_coverage():
+    """FF engagement counters for the zoo policies (blacklist + DPQ).
+
+    Runs each policy on a hit-heavy workload under an active metrics
+    registry and exports its ``repro_ff_plan_attempts``/``declines``
+    series into BENCH_engine.json, so bench-trend artifacts show when a
+    policy's drain plans stop engaging (a silent perf regression: runs
+    stay correct but fall back to per-tick execution).
+    """
+    from repro.core import simulate
+    from repro.core.drain import set_fast_forward
+    from repro.obs.metrics import MetricsRegistry, set_active_registry
+
+    traces = [
+        list(range(50 * i, 50 * i + 20)) * 100 for i in range(6)
+    ]
+    registry = MetricsRegistry()
+    set_active_registry(registry)
+    previous = set_fast_forward(True)
+    try:
+        results = {}
+        for arb in ("blacklist", "dpq"):
+            cfg = SimulationConfig(hbm_slots=256, channels=2, arbitration=arb)
+            results[arb] = simulate(traces, cfg)
+    finally:
+        set_fast_forward(previous)
+        set_active_registry(None)
+
+    snapshot = registry.snapshot()["families"]
+    attempts = snapshot["repro_ff_plan_attempts"]["series"]
+    declines = snapshot.get("repro_ff_plan_declines", {}).get("series", [])
+
+    def per_window(series, arb):
+        return {
+            dict(labels)["window"]: value
+            for labels, value in series
+            if dict(labels)["policy"] == arb
+        }
+
+    payload = {}
+    for arb in ("blacklist", "dpq"):
+        assert results[arb].ff_intervals > 0, arb
+        by_window = per_window(attempts, arb)
+        assert by_window, f"no FF plan attempts recorded for {arb}"
+        payload[arb] = {
+            "ff_intervals": results[arb].ff_intervals,
+            "ff_elided_fraction": round(results[arb].ff_elided_fraction, 4),
+            "plan_attempts": by_window,
+            "plan_declines": per_window(declines, arb),
+        }
+    _merge_engine_bench("ff_policy_coverage", payload)

@@ -225,6 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--remap-period", type=int, default=None,
         help="T in ticks for remapping schemes",
     )
+    sim_p.add_argument(
+        "--blacklist-threshold", type=int, default=None,
+        help="consecutive grants before a thread is blacklisted "
+        "(blacklist arbitration; default 4)",
+    )
+    sim_p.add_argument(
+        "--blacklist-clear-interval", type=int, default=None,
+        help="ticks between blacklist clears (blacklist arbitration; "
+        "default 1000)",
+    )
     sim_p.add_argument("--seed", type=int, default=0)
     sim_p.add_argument(
         "--param", action="append", default=[], metavar="KEY=VALUE",
@@ -270,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument(
         "--remap-period", type=int, default=None,
         help="T in ticks for remapping schemes",
+    )
+    trace_p.add_argument(
+        "--blacklist-threshold", type=int, default=None,
+        help="consecutive grants before a thread is blacklisted "
+        "(blacklist arbitration; default 4)",
+    )
+    trace_p.add_argument(
+        "--blacklist-clear-interval", type=int, default=None,
+        help="ticks between blacklist clears (blacklist arbitration; "
+        "default 1000)",
     )
     trace_p.add_argument("--seed", type=int, default=0)
     trace_p.add_argument(
@@ -646,6 +666,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return status
 
 
+def _blacklist_kwargs(args: argparse.Namespace) -> dict:
+    """Blacklist knobs for SimulationConfig, only when explicitly set.
+
+    Unset knobs are omitted (not passed as None) so ad-hoc configs
+    serialize exactly like pre-knob configs and hit warm result caches.
+    """
+    kwargs = {}
+    if args.blacklist_threshold is not None:
+        kwargs["blacklist_threshold"] = args.blacklist_threshold
+    if args.blacklist_clear_interval is not None:
+        kwargs["blacklist_clear_interval"] = args.blacklist_clear_interval
+    return kwargs
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     workload = make_workload(
@@ -661,6 +695,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         probes=(probe,) if probe is not None else (),
         probe_stride=args.probe_stride,
+        **_blacklist_kwargs(args),
     )
     print(workload)
     result = simulate(
@@ -736,6 +771,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         probes=(probe,),
         probe_stride=args.probe_stride,
+        **_blacklist_kwargs(args),
     )
     out_dir = Path(args.output_dir or f"trace-{args.workload}")
     out_dir.mkdir(parents=True, exist_ok=True)

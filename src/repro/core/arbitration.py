@@ -30,6 +30,16 @@ Policies:
   real DRAM controllers (section 1.3): open-row ("ready") requests are
   served before older row-missing ones, using the bank/row geometry of
   :mod:`repro.core.dram`.
+* :class:`BlacklistingArbitration` — the Blacklisting memory scheduler
+  (Subramanian et al.): FCFS, except threads whose requests were served
+  in long consecutive streaks are blacklisted and deprioritized until
+  the periodic clearing interval; application-aware fairness without
+  per-thread ranking hardware.
+* :class:`DynamicPriorityQueueArbitration` — the Dynamic Priority Queue
+  SDRAM arbiter (Shah et al.): requestors occupy priority slots; a
+  served requestor drops to the lowest slot and every other requestor
+  implicitly promotes, which yields an analytic worst-case per-request
+  latency bound (see :func:`repro.theory.dpq_latency_bound`).
 
 Priorities follow the paper's Definition 1: ``pi`` maps thread ids to
 priority ranks, and *smaller rank = higher priority* (static Priority is
@@ -56,6 +66,8 @@ __all__ = [
     "RandomArbitration",
     "RoundRobinArbitration",
     "FRFCFSArbitration",
+    "BlacklistingArbitration",
+    "DynamicPriorityQueueArbitration",
     "make_arbitration_policy",
     "register_arbitration_policy",
     "arbitration_policy_names",
@@ -80,6 +92,13 @@ class ArbitrationPolicy(ABC):
     """Interface shared by all far-channel arbitration policies."""
 
     name: str = ""
+
+    #: True for policies that cannot operate without the paper's T:
+    #: :func:`make_arbitration_policy` rejects construction with
+    #: ``remap_period=None`` up front instead of letting the policy fail
+    #: deep in its constructor. Honored for custom registrations too —
+    #: set it on any policy whose constructor requires ``remap_period``.
+    requires_remap_period: bool = False
 
     def __init__(self, num_threads: int) -> None:
         if num_threads < 1:
@@ -450,6 +469,180 @@ class _FrfcfsDrainPlan(DrainPlan):
         policy._banks = self._banks
 
 
+def _blacklist_grant(
+    queue: "deque[int]", blacklisted: np.ndarray, limit: int
+) -> list[int]:
+    """Pop up to ``limit`` threads: oldest non-blacklisted first, then
+    oldest blacklisted. Shared by the live policy and its drain plan so
+    the two grant orders cannot diverge.
+    """
+    if limit <= 0 or not queue:
+        return []
+    granted: list[int] = []
+    skipped: deque[int] = deque()
+    while queue and len(granted) < limit:
+        thread = queue.popleft()
+        if blacklisted[thread]:
+            skipped.append(thread)
+        else:
+            granted.append(thread)
+    while skipped and len(granted) < limit:
+        granted.append(skipped.popleft())
+    # un-granted blacklisted entries are older than everything left in
+    # the queue: re-prepending them preserves FCFS order exactly
+    while skipped:
+        queue.appendleft(skipped.pop())
+    return granted
+
+
+def _blacklist_note_serves(
+    granted: list[int],
+    blacklisted: np.ndarray,
+    streak_thread: int,
+    streak: int,
+    threshold: int,
+) -> tuple[int, int]:
+    """Advance the served-request streak counter over ``granted``.
+
+    A thread whose streak reaches ``threshold`` is blacklisted and the
+    streak restarts. Returns the new ``(streak_thread, streak)``.
+    """
+    for thread in granted:
+        if thread == streak_thread:
+            streak += 1
+        else:
+            streak_thread = thread
+            streak = 1
+        if streak >= threshold:
+            blacklisted[thread] = True
+            streak = 0
+    return streak_thread, streak
+
+
+class _BlacklistDrainPlan(DrainPlan):
+    """Blacklisting grants from a copied queue + streak/blacklist state.
+
+    The per-tick transition is a deterministic recurrence in
+    ``(queue, blacklisted, streak)``; the plan replays it on copies, and
+    its ``tick_hook`` mirrors :meth:`BlacklistingArbitration.begin_tick`
+    by clearing the copied blacklist at every clearing boundary inside
+    the planned interval.
+    """
+
+    __slots__ = (
+        "_policy",
+        "_queue",
+        "_blacklisted",
+        "_streak_thread",
+        "_streak",
+        "horizon",
+        "tick_hook",
+    )
+
+    def __init__(self, policy: "BlacklistingArbitration", horizon: int) -> None:
+        self._policy = policy
+        self._queue: deque[int] = deque(policy._queue)
+        self._blacklisted = policy._blacklisted.copy()
+        self._streak_thread = policy._streak_thread
+        self._streak = policy._streak
+        self.horizon = horizon
+        self.tick_hook = self._tick_hook
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def _tick_hook(self, tau: int) -> None:
+        if tau % self._policy.blacklist_clear_interval == 0:
+            self._blacklisted[:] = False
+            self._streak_thread = -1
+            self._streak = 0
+
+    def pop(self, limit: int) -> list[int]:
+        granted = _blacklist_grant(self._queue, self._blacklisted, limit)
+        self._streak_thread, self._streak = _blacklist_note_serves(
+            granted,
+            self._blacklisted,
+            self._streak_thread,
+            self._streak,
+            self._policy.blacklist_threshold,
+        )
+        return granted
+
+    def push(self, threads: list[int], pages: list[int] | None = None) -> None:
+        self._queue.extend(threads)
+
+    def commit(self) -> None:
+        policy = self._policy
+        policy._queue = self._queue
+        policy._blacklisted = self._blacklisted
+        policy._streak_thread = self._streak_thread
+        policy._streak = self._streak
+
+
+def _dpq_grant(order: list[int], waiting: np.ndarray, target: int) -> list[int]:
+    """Grant up to ``target`` waiting threads in priority-slot order and
+    drop the granted ones to the lowest slots (everyone else implicitly
+    promotes). Shared by the live policy and its drain plan.
+    """
+    if target <= 0:
+        return []
+    granted: list[int] = []
+    for thread in order:
+        if waiting[thread]:
+            waiting[thread] = False
+            granted.append(thread)
+            if len(granted) == target:
+                break
+    if granted:
+        taken = set(granted)
+        order[:] = [t for t in order if t not in taken] + granted
+    return granted
+
+
+class _DpqDrainPlan(DrainPlan):
+    """DPQ grants from a copied slot order + waiting bitmap.
+
+    Like round-robin, the per-tick transition is a deterministic
+    recurrence in ``(order, waiting)``: the plan replays the exact slot
+    scan and demotion on copies, so the grant order is exact over any
+    horizon.
+    """
+
+    __slots__ = ("_policy", "_order", "_waiting", "_count", "horizon")
+
+    def __init__(
+        self, policy: "DynamicPriorityQueueArbitration", horizon: int
+    ) -> None:
+        self._policy = policy
+        self._order = list(policy._order)
+        self._waiting = policy._waiting.copy()
+        self._count = policy._count
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return self._count
+
+    def pop(self, limit: int) -> list[int]:
+        granted = _dpq_grant(
+            self._order, self._waiting, min(limit, self._count)
+        )
+        self._count -= len(granted)
+        return granted
+
+    def push(self, threads: list[int], pages: list[int] | None = None) -> None:
+        waiting = self._waiting
+        for thread in threads:
+            if not waiting[thread]:
+                waiting[thread] = True
+                self._count += 1
+
+    def commit(self) -> None:
+        policy = self._policy
+        policy._order = self._order
+        policy._waiting = self._waiting
+        policy._count = self._count
+
+
 class FIFOArbitration(ArbitrationPolicy):
     """First-Come-First-Served: grant channels in arrival order.
 
@@ -592,6 +785,7 @@ class DynamicPriorityArbitration(PriorityArbitration):
     """Dynamic Priority: a fresh uniformly random permutation every T ticks."""
 
     name = "dynamic_priority"
+    requires_remap_period = True
 
     def _permute_ranks(
         self, ranks: np.ndarray, rng: np.random.Generator
@@ -603,6 +797,7 @@ class CyclePriorityArbitration(PriorityArbitration):
     """Cycle Priority (Definition 1): ``pi'(i) = (pi(i) + 1) mod p``."""
 
     name = "cycle_priority"
+    requires_remap_period = True
 
     def _permute_ranks(
         self, ranks: np.ndarray, rng: np.random.Generator
@@ -614,6 +809,7 @@ class CycleReversePriorityArbitration(PriorityArbitration):
     """Reverse cycling: ``pi'(i) = (pi(i) - 1) mod p`` (paper's sweep)."""
 
     name = "cycle_reverse_priority"
+    requires_remap_period = True
 
     def _permute_ranks(
         self, ranks: np.ndarray, rng: np.random.Generator
@@ -625,6 +821,7 @@ class InterleavePriorityArbitration(PriorityArbitration):
     """Interleave scheme: perfect out-riffle of the rank order every T ticks."""
 
     name = "interleave_priority"
+    requires_remap_period = True
 
     def _permute_ranks(
         self, ranks: np.ndarray, rng: np.random.Generator
@@ -648,7 +845,21 @@ class RandomArbitration(ArbitrationPolicy):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(num_threads)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            # An unseeded generator here would make directly constructed
+            # runs irreproducible (and poison result caches keyed on the
+            # config); fall back to a fixed seed instead.
+            from ..obs.log import get_logger, warn_once
+
+            warn_once(
+                get_logger("core"),
+                "random-arbitration-default-rng",
+                "RandomArbitration built without rng; using a "
+                "deterministic seed-0 generator — pass rng= (or go "
+                "through SimulationConfig.seed) to control the stream",
+            )
+            rng = np.random.default_rng(0)
+        self._rng = rng
         self._threads: list[int] = []
         self._index: dict[int, int] = {}
 
@@ -770,6 +981,132 @@ class FRFCFSArbitration(ArbitrationPolicy):
         return _FrfcfsDrainPlan(self, horizon)
 
 
+class BlacklistingArbitration(ArbitrationPolicy):
+    """The Blacklisting memory scheduler (Subramanian et al.).
+
+    FCFS, with one twist: a per-scheduler streak counter tracks how
+    many *consecutive* grants went to the same thread. A thread whose
+    streak reaches ``blacklist_threshold`` is blacklisted; blacklisted
+    threads are deprioritized (served only when no non-blacklisted
+    request is waiting, oldest first within each class) until the
+    blacklist is cleared, which happens every
+    ``blacklist_clear_interval`` ticks. The scheme approximates
+    application-aware fairness without maintaining a per-thread
+    ranking. Ties are broken FCFS within each class, and same-tick
+    arrivals enqueue in core-id order like FIFO.
+    """
+
+    name = "blacklist"
+
+    def __init__(
+        self,
+        num_threads: int,
+        blacklist_threshold: int = 4,
+        blacklist_clear_interval: int = 1000,
+    ) -> None:
+        super().__init__(num_threads)
+        if blacklist_threshold < 1:
+            raise ValueError(
+                f"blacklist_threshold must be >= 1, got {blacklist_threshold}"
+            )
+        if blacklist_clear_interval < 1:
+            raise ValueError(
+                "blacklist_clear_interval must be >= 1, got "
+                f"{blacklist_clear_interval}"
+            )
+        self.blacklist_threshold = blacklist_threshold
+        self.blacklist_clear_interval = blacklist_clear_interval
+        self._queue: deque[int] = deque()
+        self._blacklisted = np.zeros(num_threads, dtype=bool)
+        self._streak_thread = -1
+        self._streak = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        self._queue.append(thread)
+
+    def begin_tick(self, tick: int) -> None:
+        if tick % self.blacklist_clear_interval == 0:
+            self._clear()
+
+    def _clear(self) -> None:
+        self._blacklisted[:] = False
+        self._streak_thread = -1
+        self._streak = 0
+
+    def select(self, limit: int) -> list[int]:
+        granted = _blacklist_grant(self._queue, self._blacklisted, limit)
+        self._streak_thread, self._streak = _blacklist_note_serves(
+            granted,
+            self._blacklisted,
+            self._streak_thread,
+            self._streak,
+            self.blacklist_threshold,
+        )
+        return granted
+
+    def skip_idle_ticks(self, start: int, end: int) -> bool:
+        # begin_tick only ever clears state, and no serves happen in an
+        # idle window, so one clear stands in for every boundary
+        # strictly inside (start, end).
+        interval = self.blacklist_clear_interval
+        first = (start // interval + 1) * interval
+        if first < end:
+            self._clear()
+        return True
+
+    def drain_plan(self, limit: int, horizon: int) -> _BlacklistDrainPlan:
+        return _BlacklistDrainPlan(self, horizon)
+
+
+class DynamicPriorityQueueArbitration(ArbitrationPolicy):
+    """The Dynamic Priority Queue SDRAM arbiter (Shah et al.).
+
+    Every requestor occupies a priority slot (front = highest). Each
+    selection grants the waiting requestors in slot order; a granted
+    requestor drops to the lowest slots while every non-granted
+    requestor implicitly promotes past it. Because a requestor that
+    jumped behind a waiting thread cannot get ahead of it again before
+    that thread is served, at most ``p - 1`` distinct requestors are
+    ever served ahead of a waiting request — the analytic worst-case
+    per-request latency bound checked by
+    :func:`repro.theory.check_latency_bound`.
+    """
+
+    name = "dpq"
+
+    def __init__(self, num_threads: int) -> None:
+        super().__init__(num_threads)
+        self._order = list(range(num_threads))
+        self._waiting = np.zeros(num_threads, dtype=bool)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def enqueue(self, thread: int, page: int | None = None) -> None:
+        if not self._waiting[thread]:
+            self._waiting[thread] = True
+            self._count += 1
+
+    def priorities(self) -> np.ndarray:
+        ranks = np.empty(self.num_threads, dtype=np.int64)
+        ranks[self._order] = np.arange(self.num_threads, dtype=np.int64)
+        return ranks
+
+    def select(self, limit: int) -> list[int]:
+        granted = _dpq_grant(
+            self._order, self._waiting, min(limit, self._count)
+        )
+        self._count -= len(granted)
+        return granted
+
+    def drain_plan(self, limit: int, horizon: int) -> _DpqDrainPlan:
+        return _DpqDrainPlan(self, horizon)
+
+
 _ARBITRATION_CLASSES: dict[str, type[ArbitrationPolicy]] = {
     cls.name: cls
     for cls in (
@@ -782,15 +1119,9 @@ _ARBITRATION_CLASSES: dict[str, type[ArbitrationPolicy]] = {
         RandomArbitration,
         RoundRobinArbitration,
         FRFCFSArbitration,
+        BlacklistingArbitration,
+        DynamicPriorityQueueArbitration,
     )
-}
-
-#: policies whose constructor takes (num_threads, remap_period, rng)
-_REMAPPING_NAMES = {
-    "dynamic_priority",
-    "cycle_priority",
-    "cycle_reverse_priority",
-    "interleave_priority",
 }
 
 
@@ -801,7 +1132,12 @@ def register_arbitration_policy(cls: type[ArbitrationPolicy]) -> type[Arbitratio
     name via :func:`make_arbitration_policy` and therefore usable in
     :class:`~repro.core.config.SimulationConfig`. The constructor must
     accept ``(num_threads)``; keyword parameters named ``remap_period``,
-    ``rng``, or ``geometry`` are forwarded when present.
+    ``rng``, ``geometry``, ``blacklist_threshold``, or
+    ``blacklist_clear_interval`` are forwarded when present. Set
+    ``requires_remap_period = True`` on the class if construction is
+    meaningless without the paper's T — the factory then rejects
+    ``remap_period=None`` with a clear error instead of failing deep in
+    your constructor.
     """
     if not cls.name:
         raise ValueError("policy class must set a non-empty `name`")
@@ -822,12 +1158,18 @@ def make_arbitration_policy(
     remap_period: int | None = None,
     rng: np.random.Generator | None = None,
     dram_geometry=None,
+    blacklist_threshold: int | None = None,
+    blacklist_clear_interval: int | None = None,
 ) -> ArbitrationPolicy:
     """Instantiate an arbitration policy by registry name.
 
     ``remap_period`` applies to the remapping priority schemes; ``rng``
-    to the stochastic ones; ``dram_geometry`` to FR-FCFS. Parameters a
-    policy's constructor does not declare are omitted.
+    to the stochastic ones; ``dram_geometry`` to FR-FCFS; the blacklist
+    knobs to the Blacklisting scheduler (``None`` keeps the policy's
+    own defaults). Parameters a policy's constructor does not declare
+    are omitted. Policies whose class sets ``requires_remap_period``
+    (built-in or registered) are rejected up front when
+    ``remap_period`` is missing.
     """
     try:
         cls = _ARBITRATION_CLASSES[name]
@@ -836,7 +1178,7 @@ def make_arbitration_policy(
             f"unknown arbitration policy {name!r}; expected one of "
             f"{arbitration_policy_names()}"
         ) from None
-    if name in _REMAPPING_NAMES and remap_period is None:
+    if cls.requires_remap_period and remap_period is None:
         raise ValueError(f"{name} requires remap_period (the paper's T)")
     import inspect
 
@@ -848,4 +1190,11 @@ def make_arbitration_policy(
         kwargs["rng"] = rng
     if "geometry" in params:
         kwargs["geometry"] = dram_geometry
+    if "blacklist_threshold" in params and blacklist_threshold is not None:
+        kwargs["blacklist_threshold"] = blacklist_threshold
+    if (
+        "blacklist_clear_interval" in params
+        and blacklist_clear_interval is not None
+    ):
+        kwargs["blacklist_clear_interval"] = blacklist_clear_interval
     return cls(num_threads, **kwargs)

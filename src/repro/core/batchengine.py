@@ -319,6 +319,8 @@ class BatchSimulator:
                 remap_period=cfg.remap_period,
                 rng=rng,
                 dram_geometry=DramGeometry(cfg.dram_banks, cfg.dram_row_pages),
+                blacklist_threshold=cfg.blacklist_threshold,
+                blacklist_clear_interval=cfg.blacklist_clear_interval,
             )
             arbs.append(arb)
             begin_live.append(

@@ -48,11 +48,19 @@ ARBITRATION_POLICIES = (
     "random",
     "round_robin",
     "fr_fcfs",
+    "blacklist",
+    "dpq",
 )
 
 #: runtime-only observability fields, excluded from ``to_dict`` (and so
 #: from sweep result-cache keys) because they cannot affect results
 _OBS_ONLY_FIELDS = ("probes", "probe_stride")
+
+#: knob fields added after result caches were first populated: elided
+#: from ``to_dict`` while at their defaults, so every historical config
+#: serializes — and therefore cache-keys — exactly as it always did.
+#: Only configs that actually set these knobs get the new keys.
+_ELIDE_AT_DEFAULT_FIELDS = ("blacklist_threshold", "blacklist_clear_interval")
 
 
 @dataclass(frozen=True)
@@ -128,6 +136,8 @@ class SimulationConfig:
     max_ticks: int | None = None
     dram_banks: int = 16
     dram_row_pages: int = 8
+    blacklist_threshold: int = 4
+    blacklist_clear_interval: int = 1000
     probes: tuple = field(default=(), compare=False, repr=False)
     probe_stride: int = field(default=1, compare=False, repr=False)
 
@@ -162,6 +172,12 @@ class SimulationConfig:
                 f"dram_banks and dram_row_pages must be >= 1, got "
                 f"{self.dram_banks}, {self.dram_row_pages}"
             )
+        if self.blacklist_threshold < 1 or self.blacklist_clear_interval < 1:
+            raise ValueError(
+                "blacklist_threshold and blacklist_clear_interval must be "
+                f">= 1, got {self.blacklist_threshold}, "
+                f"{self.blacklist_clear_interval}"
+            )
         if not isinstance(self.probes, tuple):
             object.__setattr__(self, "probes", tuple(self.probes))
         if self.probe_stride < 1:
@@ -179,13 +195,20 @@ class SimulationConfig:
         Observability-only fields (``probes``, ``probe_stride``) are
         excluded: they never alter simulation outputs, so serialized
         configs — and the result-cache keys derived from them — stay
-        identical whether or not a run was probed.
+        identical whether or not a run was probed. Late-added knob
+        fields (:data:`_ELIDE_AT_DEFAULT_FIELDS`) are excluded while at
+        their defaults, so configs from before those knobs existed keep
+        their historical serialization and result caches stay warm.
         """
-        return {
-            f.name: getattr(self, f.name)
-            for f in dataclasses.fields(self)
-            if f.name not in _OBS_ONLY_FIELDS
-        }
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            if f.name in _OBS_ONLY_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if f.name in _ELIDE_AT_DEFAULT_FIELDS and value == f.default:
+                continue
+            out[f.name] = value
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":

@@ -860,6 +860,8 @@ class FastSimulator:
             remap_period=cfg.remap_period,
             rng=rng,
             dram_geometry=DramGeometry(cfg.dram_banks, cfg.dram_row_pages),
+            blacklist_threshold=cfg.blacklist_threshold,
+            blacklist_clear_interval=cfg.blacklist_clear_interval,
         )
         metrics = MetricsCollector(p, record_responses=cfg.record_responses)
 

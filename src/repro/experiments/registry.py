@@ -26,6 +26,7 @@ from .figure5 import figure5, figure5a, figure5b, table1
 from .sapphire import sapphire_projection
 from .table2 import figure6, table2, table2a, table2b
 from .theory_checks import lemma1, response_bound, theorem1_3, theorem2, theorem4
+from .zoo import zoo
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
@@ -75,6 +76,10 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentOutput], str]] = {
     "sapphire": (
         sapphire_projection,
         "Extension: section 5 microbenchmarks projected on Sapphire Rapids",
+    ),
+    "zoo": (
+        zoo,
+        "Policy zoo: Cycle Priority vs shipped arbiters (BLISS + DPQ)",
     ),
 }
 

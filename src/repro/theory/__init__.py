@@ -17,8 +17,10 @@ from .bounds import (
 from .validation import (
     CompetitivenessRow,
     check_cycle_response_bound,
+    check_latency_bound,
     check_priority_competitiveness,
     cycle_response_time_bound,
+    dpq_latency_bound,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "check_priority_competitiveness",
     "cycle_response_time_bound",
     "check_cycle_response_bound",
+    "dpq_latency_bound",
+    "check_latency_bound",
 ]

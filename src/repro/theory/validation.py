@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..core import SimulationConfig, SimulationResult, simulate
+from ..obs.log import get_logger, warn_once
 from ..traces.base import Workload
 from .bounds import LowerBoundReport, competitive_ratio, makespan_lower_bound
 
@@ -25,6 +26,8 @@ __all__ = [
     "check_priority_competitiveness",
     "cycle_response_time_bound",
     "check_cycle_response_bound",
+    "dpq_latency_bound",
+    "check_latency_bound",
 ]
 
 
@@ -64,6 +67,18 @@ def check_priority_competitiveness(
                 if bound is None:
                     bound = makespan_lower_bound(workload.traces, k, q)
                     bound_cache[q] = bound
+                if bound.value <= 0:
+                    # Degenerate (e.g. empty-trace) workloads certify a
+                    # zero lower bound; a ratio to it is undefined, so
+                    # skip the cell instead of crashing the whole grid.
+                    warn_once(
+                        get_logger("theory"),
+                        f"competitiveness-zero-bound:{workload.name}",
+                        "workload %r certifies a zero makespan lower "
+                        "bound; skipping its competitiveness rows",
+                        workload.name,
+                    )
+                    continue
                 cfg = SimulationConfig(
                     hbm_slots=k,
                     channels=q,
@@ -93,11 +108,14 @@ def cycle_response_time_bound(threads: int, remap_period: int, channels: int = 1
     A thread becomes top priority within p permutations, i.e. within
     ``p * T`` ticks of entering the queue; once on top it is granted a
     channel on the next selection and served one tick later. With q
-    channels the top q ranks are all served, so the bound only improves.
+    channels the top *q* ranks are all granted per selection, so a
+    thread only needs to climb into the top q — at most ``ceil(p / q)``
+    permutations — giving ``ceil(p / q) * T + 2``. For q = 1 this is
+    the paper's ``p * T + 2``.
     """
     if threads < 1 or remap_period < 1 or channels < 1:
         raise ValueError("threads, remap_period, channels must be >= 1")
-    return threads * remap_period + 2
+    return -(-threads // channels) * remap_period + 2
 
 
 def check_cycle_response_bound(
@@ -110,3 +128,38 @@ def check_cycle_response_bound(
     return result.max_response <= cycle_response_time_bound(
         threads, remap_period, channels
     )
+
+
+def dpq_latency_bound(threads: int, channels: int = 1) -> int:
+    """Worst-case per-request response time for the DPQ arbiter.
+
+    In the dynamic-priority-queue scheme every granted requestor drops
+    to the lowest slot, implicitly promoting everyone it passed. While a
+    request waits, each of the ``q`` grants per tick goes to a thread
+    ahead of it in the slot order, and a granted thread cannot be ahead
+    of it again until it is served — so a request is denied for at most
+    ``floor((p - 1) / q)`` ticks before its thread reaches the top q.
+    Add the fetch tick and the serve tick for
+
+    ``w <= floor((p - 1) / q) + 2``.
+
+    The bound assumes the fetch limit is not starved by eviction
+    infeasibility — ample HBM (``k >= p + q``) together with the
+    default ``protect_pending=True`` guarantees it.
+    """
+    if threads < 1 or channels < 1:
+        raise ValueError("threads and channels must be >= 1")
+    return (threads - 1) // channels + 2
+
+
+def check_latency_bound(
+    result: SimulationResult,
+    threads: int,
+    channels: int = 1,
+) -> bool:
+    """True iff measured ``max_response`` obeys :func:`dpq_latency_bound`.
+
+    Follows the :func:`check_cycle_response_bound` shape so campaign
+    reducers can assert it per sweep row.
+    """
+    return result.max_response <= dpq_latency_bound(threads, channels)

@@ -6,15 +6,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.arbitration import (
+    _ARBITRATION_CLASSES,
+    ArbitrationPolicy,
+    BlacklistingArbitration,
     CyclePriorityArbitration,
     CycleReversePriorityArbitration,
     DynamicPriorityArbitration,
+    DynamicPriorityQueueArbitration,
     FIFOArbitration,
     InterleavePriorityArbitration,
     PriorityArbitration,
     RandomArbitration,
     RoundRobinArbitration,
     make_arbitration_policy,
+    register_arbitration_policy,
     riffle_permutation,
 )
 
@@ -27,6 +32,8 @@ ALL_NAMES = [
     "interleave_priority",
     "random",
     "round_robin",
+    "blacklist",
+    "dpq",
 ]
 
 
@@ -57,6 +64,45 @@ class TestFactory:
     def test_bad_thread_count(self):
         with pytest.raises(ValueError, match="num_threads"):
             FIFOArbitration(0)
+
+    def test_custom_policy_honors_requires_remap_period(self):
+        # Regression: the factory used to gate the "requires
+        # remap_period" error on a hardcoded name set, so a custom
+        # remapping policy silently received remap_period=None and
+        # failed deep in its constructor instead.
+        @register_arbitration_policy
+        class _CustomRemapper(FIFOArbitration):
+            name = "test_custom_remapper"
+            requires_remap_period = True
+
+            def __init__(self, num_threads, remap_period):
+                super().__init__(num_threads)
+                self.remap_period = remap_period
+
+        try:
+            with pytest.raises(ValueError, match="remap_period"):
+                make_arbitration_policy("test_custom_remapper", 4)
+            policy = make_arbitration_policy(
+                "test_custom_remapper", 4, remap_period=12
+            )
+            assert policy.remap_period == 12
+        finally:
+            _ARBITRATION_CLASSES.pop("test_custom_remapper", None)
+
+    def test_blacklist_knobs_forwarded(self):
+        policy = make_arbitration_policy(
+            "blacklist", 4, blacklist_threshold=2, blacklist_clear_interval=9
+        )
+        assert policy.blacklist_threshold == 2
+        assert policy.blacklist_clear_interval == 9
+
+    def test_blacklist_knobs_none_keeps_defaults(self):
+        policy = make_arbitration_policy(
+            "blacklist", 4, blacklist_threshold=None,
+            blacklist_clear_interval=None,
+        )
+        assert policy.blacklist_threshold == 4
+        assert policy.blacklist_clear_interval == 1000
 
 
 class TestCommonBehaviour:
@@ -248,6 +294,34 @@ class TestRandomArbitration:
         counts = np.bincount(firsts, minlength=4)
         assert counts.min() > 80  # expected 150 each
 
+    def test_missing_rng_falls_back_deterministically(self):
+        # Regression: the rng=None fallback used to be an *unseeded*
+        # default_rng(), so direct construction gave irreproducible
+        # runs. It must now be deterministic (and warn once).
+        import logging
+
+        from repro.obs.log import get_logger, reset_warn_once
+
+        reset_warn_once()
+        captured: list[str] = []
+        handler = logging.Handler()
+        handler.emit = lambda rec: captured.append(rec.getMessage())
+        logger = get_logger("core")
+        logger.addHandler(handler)
+        try:
+            a = RandomArbitration(8)
+            b = RandomArbitration(8)
+        finally:
+            logger.removeHandler(handler)
+        for policy in (a, b):
+            for thread in range(8):
+                policy.enqueue(thread)
+        grants_a = [a.select(3) for _ in range(3)]
+        grants_b = [b.select(3) for _ in range(3)]
+        assert grants_a == grants_b
+        assert len(captured) == 1
+        assert "rng" in captured[0]
+
 
 class TestRoundRobin:
     def test_cycles_after_last_grant(self):
@@ -266,6 +340,106 @@ class TestRoundRobin:
         rr.enqueue(2)
         assert len(rr) == 1
         assert rr.select(4) == [2]
+
+
+class TestBlacklist:
+    def test_streak_reaches_threshold_blacklists(self):
+        bl = BlacklistingArbitration(4, blacklist_threshold=2)
+        bl.enqueue(0)
+        bl.enqueue(0)
+        assert bl.select(1) == [0]
+        assert bl.select(1) == [0]  # streak hits 2 -> blacklisted
+        assert bool(bl._blacklisted[0])
+        bl.enqueue(0)
+        bl.enqueue(3)
+        # thread 3 arrived later but jumps the blacklisted thread 0
+        assert bl.select(2) == [3, 0]
+
+    def test_interleaved_grants_never_blacklist(self):
+        bl = BlacklistingArbitration(4, blacklist_threshold=2)
+        for thread in (0, 1, 0, 1, 0, 1):
+            bl.enqueue(thread)
+        assert bl.select(6) == [0, 1, 0, 1, 0, 1]
+        assert not bl._blacklisted.any()
+
+    def test_begin_tick_clears_on_interval(self):
+        bl = BlacklistingArbitration(4, blacklist_threshold=1,
+                                     blacklist_clear_interval=10)
+        bl.enqueue(2)
+        assert bl.select(1) == [2]  # threshold 1: instant blacklist
+        assert bool(bl._blacklisted[2])
+        bl.begin_tick(9)
+        assert bool(bl._blacklisted[2])  # not a boundary
+        bl.begin_tick(10)
+        assert not bl._blacklisted.any()
+
+    def test_skip_idle_ticks_applies_interior_boundary(self):
+        bl = BlacklistingArbitration(4, blacklist_threshold=1,
+                                     blacklist_clear_interval=10)
+        bl.enqueue(2)
+        bl.select(1)
+        assert bl.skip_idle_ticks(3, 8)  # no boundary in (3, 8)
+        assert bool(bl._blacklisted[2])
+        assert bl.skip_idle_ticks(3, 25)  # 10 and 20 inside
+        assert not bl._blacklisted.any()
+
+    def test_fcfs_within_each_class(self):
+        bl = BlacklistingArbitration(6, blacklist_threshold=1)
+        bl.enqueue(5)
+        bl.select(1)  # blacklists 5
+        bl.enqueue(4)
+        bl.select(1)  # blacklists 4
+        for thread in (5, 2, 4, 0):
+            bl.enqueue(thread)
+        # non-blacklisted in arrival order, then blacklisted in
+        # arrival order
+        assert bl.select(6) == [2, 0, 5, 4]
+
+    def test_bad_knobs_raise(self):
+        with pytest.raises(ValueError, match="blacklist_threshold"):
+            BlacklistingArbitration(4, blacklist_threshold=0)
+        with pytest.raises(ValueError, match="blacklist_clear_interval"):
+            BlacklistingArbitration(4, blacklist_clear_interval=0)
+
+
+class TestDpq:
+    def test_initial_order_is_thread_id(self):
+        dpq = DynamicPriorityQueueArbitration(4)
+        assert list(dpq.priorities()) == [0, 1, 2, 3]
+        for thread in (3, 1, 2):
+            dpq.enqueue(thread)
+        assert dpq.select(2) == [1, 2]  # slot order, not arrival order
+
+    def test_granted_thread_drops_to_lowest_slot(self):
+        dpq = DynamicPriorityQueueArbitration(4)
+        dpq.enqueue(0)
+        assert dpq.select(1) == [0]
+        assert list(dpq.priorities()) == [3, 0, 1, 2]  # 0 now last
+        dpq.enqueue(0)
+        dpq.enqueue(3)
+        # thread 3 (slot 2) outranks demoted thread 0 (slot 3)
+        assert dpq.select(2) == [3, 0]
+
+    def test_waiting_thread_promotes_past_granted(self):
+        # the bound's core invariant: once a granted thread drops
+        # behind a waiting one, it cannot get ahead again unserved —
+        # with p=3, q=2 a request is denied at most floor((p-1)/q)=1
+        # selections before reaching the top slots
+        dpq = DynamicPriorityQueueArbitration(3)
+        dpq.enqueue(2)
+        dpq.enqueue(0)
+        dpq.enqueue(1)
+        assert dpq.select(2) == [0, 1]  # the one allowed denial
+        dpq.enqueue(0)
+        dpq.enqueue(1)
+        assert dpq.select(2) == [2, 0]  # promoted past both grantees
+
+    def test_duplicate_enqueue_ignored(self):
+        dpq = DynamicPriorityQueueArbitration(4)
+        dpq.enqueue(2)
+        dpq.enqueue(2)
+        assert len(dpq) == 1
+        assert dpq.select(4) == [2]
 
 
 # -- property-based invariants -------------------------------------------
@@ -317,7 +491,7 @@ PRIORITY_NAMES = [
     "interleave_priority",
 ]
 
-NINE_NAMES = ALL_NAMES + ["fr_fcfs"]
+ELEVEN_NAMES = ALL_NAMES + ["fr_fcfs"]
 
 
 def make_any(name, p=8, T=16, seed=0):
@@ -339,14 +513,14 @@ def enqueue_any(policy, thread, page=None):
 
 
 class TestTieBreaking:
-    @pytest.mark.parametrize("name", NINE_NAMES)
+    @pytest.mark.parametrize("name", ELEVEN_NAMES)
     def test_empty_queue_selects_nothing(self, name):
         policy = make_any(name)
         policy.begin_tick(1)
         assert policy.select(4) == []
         assert policy.select(0) == []
 
-    @pytest.mark.parametrize("name", NINE_NAMES)
+    @pytest.mark.parametrize("name", ELEVEN_NAMES)
     def test_limit_beyond_queue_returns_whole_queue(self, name):
         policy = make_any(name)
         policy.begin_tick(1)
@@ -404,6 +578,28 @@ class TestTieBreaking:
         # pointer sits after 3 -> wraps to 0 before revisiting 3
         assert rr.select(99) == [0, 3]
 
+    def test_blacklist_tie_break_is_fcfs_per_class(self):
+        bl = BlacklistingArbitration(8, blacklist_threshold=1)
+        bl.enqueue(6)
+        bl.select(1)  # blacklist 6
+        for thread in (6, 3, 1, 7):
+            bl.enqueue(thread)
+        # pinned semantics: FCFS among non-blacklisted (3, 1, 7), then
+        # the blacklisted 6 — deterministic under ties
+        assert bl.select(8) == [3, 1, 7, 6]
+
+    def test_dpq_tie_break_is_slot_order(self):
+        dpq = DynamicPriorityQueueArbitration(8)
+        for thread in (6, 3, 1, 7):
+            dpq.enqueue(thread)
+        # pinned semantics: same-tick arrivals grant in slot order
+        # (initially thread id), never arrival order
+        assert dpq.select(8) == [1, 3, 6, 7]
+        dpq.enqueue(3)
+        dpq.enqueue(0)
+        # 0 kept its original slot; 3 was demoted below it
+        assert dpq.select(8) == [0, 3]
+
     def test_fr_fcfs_row_hits_first_then_fcfs(self):
         from repro.core.dram import DramGeometry
 
@@ -428,7 +624,9 @@ class TestDrainPlan:
         policy = make_any("random")
         assert policy.drain_plan(2, 1000) is None
 
-    @pytest.mark.parametrize("name", ["round_robin", "fr_fcfs"])
+    @pytest.mark.parametrize(
+        "name", ["round_robin", "fr_fcfs", "blacklist", "dpq"]
+    )
     def test_stateful_policies_opt_in(self, name):
         # deterministic state recurrences: both plan from copied state
         # (the pop-vs-select oracles live in tests/test_drain.py)

@@ -45,6 +45,11 @@ class TestValidation:
         with pytest.raises(ValueError, match="max_ticks"):
             SimulationConfig(hbm_slots=10, max_ticks=0)
 
+    @pytest.mark.parametrize("knob", ["blacklist_threshold", "blacklist_clear_interval"])
+    def test_rejects_bad_blacklist_knobs(self, knob):
+        with pytest.raises(ValueError, match="blacklist"):
+            SimulationConfig(hbm_slots=10, **{knob: 0})
+
     @pytest.mark.parametrize("name", REPLACEMENT_POLICIES)
     def test_all_registered_replacements_accepted(self, name):
         assert SimulationConfig(hbm_slots=10, replacement=name).replacement == name
@@ -84,3 +89,24 @@ class TestRoundTrips:
         cfg = SimulationConfig(hbm_slots=64, seed=3)
         assert hash(cfg) == hash(cfg.replace())
         assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    def test_blacklist_knobs_elided_at_defaults(self):
+        # Cache-warmness contract: configs that never touch the
+        # late-added blacklist knobs must serialize exactly as they did
+        # before the knobs existed, so historical result-cache keys
+        # (hashes of to_dict) are unchanged.
+        d = SimulationConfig(hbm_slots=64, arbitration="blacklist").to_dict()
+        assert "blacklist_threshold" not in d
+        assert "blacklist_clear_interval" not in d
+
+    def test_blacklist_knobs_serialized_when_set(self):
+        cfg = SimulationConfig(
+            hbm_slots=64,
+            arbitration="blacklist",
+            blacklist_threshold=2,
+            blacklist_clear_interval=37,
+        )
+        d = cfg.to_dict()
+        assert d["blacklist_threshold"] == 2
+        assert d["blacklist_clear_interval"] == 37
+        assert SimulationConfig.from_dict(d) == cfg

@@ -41,6 +41,8 @@ ALL_POLICIES = [
     "random",
     "round_robin",
     "fr_fcfs",
+    "blacklist",
+    "dpq",
 ]
 
 REMAPPING_POLICIES = [
@@ -409,12 +411,29 @@ class TestGatesAndFallbacks:
         assert result.ff_intervals == 0
         assert_results_equal(result, baseline)
 
-    @pytest.mark.parametrize("arb", ["round_robin", "fr_fcfs"])
+    @pytest.mark.parametrize(
+        "arb", ["round_robin", "fr_fcfs", "blacklist", "dpq"]
+    )
     def test_stateful_policies_now_plan_miss_windows(self, arb):
-        # round-robin and FR-FCFS replay their deterministic state
-        # recurrences inside the plan: miss-bound runs fast-forward.
+        # round-robin, FR-FCFS, blacklist, and DPQ replay their
+        # deterministic state recurrences inside the plan: miss-bound
+        # runs fast-forward.
         cfg = SimulationConfig(
             hbm_slots=24, channels=2, arbitration=arb, seed=3
+        )
+        assert_ff_identical(miss_bound_traces(), cfg)
+
+    def test_blacklist_clear_boundary_lands_mid_drain(self):
+        # blacklist_clear_interval=37 forces clearing boundaries inside
+        # planned intervals: the plan's tick_hook must replay each
+        # clear, keeping FF bit-identical to per-tick execution.
+        cfg = SimulationConfig(
+            hbm_slots=24,
+            channels=2,
+            arbitration="blacklist",
+            blacklist_threshold=2,
+            blacklist_clear_interval=37,
+            seed=3,
         )
         assert_ff_identical(miss_bound_traces(), cfg)
 
@@ -695,6 +714,127 @@ class TestStatefulPlanOracles:
         policy = RandomArbitration(4, rng=np.random.default_rng(0))
         policy.enqueue(1)
         assert policy.drain_plan(2, 1000) is None
+
+    def test_blacklist_plan_matches_live_select(self):
+        from repro.core.arbitration import BlacklistingArbitration
+
+        live = BlacklistingArbitration(8, blacklist_threshold=2)
+        planned = BlacklistingArbitration(8, blacklist_threshold=2)
+        for policy in (live, planned):
+            for thread in (2, 2, 5, 2):
+                policy.enqueue(thread)
+            policy.select(2)  # thread 2 streaks to the threshold
+            for thread in (0, 2, 4):
+                policy.enqueue(thread)
+        plan = planned.drain_plan(3, 1000)
+        assert len(plan) == len(live)
+        pushes = [[3], [], [2, 6], []]
+        got, want = [], []
+        for arrivals in pushes:
+            got.extend(plan.pop(2))
+            want.extend(live.select(2))
+            plan.push(list(arrivals))
+            for thread in arrivals:
+                live.enqueue(thread)
+        while len(plan) or len(live):
+            got.extend(plan.pop(3))
+            want.extend(live.select(3))
+        assert got == want
+        # commit converges the planned policy onto the live state: the
+        # same future serves must blacklist the same threads
+        plan.commit()
+        for policy in (live, planned):
+            for thread in (5, 5, 0):
+                policy.enqueue(thread)
+        assert planned.select(8) == live.select(8)
+        assert list(planned._blacklisted) == list(live._blacklisted)
+
+    def test_blacklist_plan_tick_hook_replays_clears(self):
+        from repro.core.arbitration import BlacklistingArbitration
+
+        live = BlacklistingArbitration(
+            4, blacklist_threshold=1, blacklist_clear_interval=10
+        )
+        planned = BlacklistingArbitration(
+            4, blacklist_threshold=1, blacklist_clear_interval=10
+        )
+        for policy in (live, planned):
+            policy.enqueue(3)
+            policy.select(1)  # blacklists 3 immediately
+            for thread in (3, 1):
+                policy.enqueue(thread)
+        plan = planned.drain_plan(1, 1000)
+        got, want = [], []
+        for tau in range(6, 14):  # crosses the clear boundary at 10
+            plan.tick_hook(tau)
+            live.begin_tick(tau)
+            got.extend(plan.pop(1))
+            want.extend(live.select(1))
+            if tau == 8:  # keep 3 deprioritized until the clear
+                plan.push([3])
+                live.enqueue(3)
+        assert got == want
+
+    def test_blacklist_plan_discard_leaves_policy_untouched(self):
+        from repro.core.arbitration import BlacklistingArbitration
+
+        policy = BlacklistingArbitration(4, blacklist_threshold=1)
+        for thread in (1, 3):
+            policy.enqueue(thread)
+        plan = policy.drain_plan(2, 1000)
+        plan.push([0, 2])
+        assert plan.pop(4) == [1, 3, 0, 2]
+        # plan serves blacklisted threads on its copies only
+        assert not policy._blacklisted.any()
+        assert len(policy) == 2
+        assert policy.select(4) == [1, 3]
+
+    def test_dpq_plan_matches_live_select(self):
+        from repro.core.arbitration import DynamicPriorityQueueArbitration
+
+        live = DynamicPriorityQueueArbitration(8)
+        planned = DynamicPriorityQueueArbitration(8)
+        for policy in (live, planned):
+            for thread in (2, 5, 7):
+                policy.enqueue(thread)
+            policy.select(2)  # slot order diverges from thread-id order
+            for thread in (0, 1, 4):
+                policy.enqueue(thread)
+        plan = planned.drain_plan(3, 1000)
+        assert len(plan) == len(live)
+        pushes = [[3], [], [6, 2], []]
+        got, want = [], []
+        for arrivals in pushes:
+            got.extend(plan.pop(2))
+            want.extend(live.select(2))
+            plan.push(list(arrivals))
+            for thread in arrivals:
+                live.enqueue(thread)
+        while len(plan) or len(live):
+            got.extend(plan.pop(3))
+            want.extend(live.select(3))
+        assert got == want
+        # commit converges the planned policy onto the live slot order
+        plan.commit()
+        for policy in (live, planned):
+            for thread in (5, 0, 3):
+                policy.enqueue(thread)
+        assert planned.select(8) == live.select(8)
+        assert planned._order == live._order
+
+    def test_dpq_plan_discard_leaves_policy_untouched(self):
+        from repro.core.arbitration import DynamicPriorityQueueArbitration
+
+        policy = DynamicPriorityQueueArbitration(4)
+        for thread in (1, 3):
+            policy.enqueue(thread)
+        plan = policy.drain_plan(2, 1000)
+        plan.push([0, 2])
+        assert plan.pop(4) == [0, 1, 2, 3]
+        # no commit: the live slot order and waiting set are unchanged
+        assert policy._order == [0, 1, 2, 3]
+        assert len(policy) == 2
+        assert policy.select(4) == [1, 3]
 
 
 # -- unit tests for the planner helpers -----------------------------------

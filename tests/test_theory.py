@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 from repro.core import SimulationConfig, Simulator, run_simulation
 from repro.theory import (
     check_cycle_response_bound,
+    check_latency_bound,
     check_priority_competitiveness,
     competitive_ratio,
     cycle_response_time_bound,
+    dpq_latency_bound,
     fcfs_gap_experiment,
     fit_linear,
     makespan_lower_bound,
@@ -177,6 +179,33 @@ class TestValidation:
         with pytest.raises(ValueError):
             cycle_response_time_bound(0, 10)
 
+    def test_cycle_response_bound_uses_channels(self):
+        # Regression: channels was accepted but ignored, so the
+        # multi-channel bound was stuck at the q=1 value.
+        assert cycle_response_time_bound(4, 10, channels=1) == 42  # unchanged
+        assert cycle_response_time_bound(4, 10, channels=2) == 22  # ceil(4/2)*10+2
+        assert cycle_response_time_bound(4, 10, channels=3) == 22  # ceil(4/3)=2
+        assert cycle_response_time_bound(4, 10, channels=4) == 12
+        with pytest.raises(ValueError):
+            cycle_response_time_bound(4, 10, channels=0)
+
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_tightened_bound_still_holds_empirically(self, q):
+        wl = make_workload("adversarial_cycle", threads=6, pages=16, repeats=8)
+        k, T = 24, 48
+        result = Simulator(
+            wl.traces,
+            SimulationConfig(
+                hbm_slots=k,
+                channels=q,
+                arbitration="cycle_priority",
+                remap_period=T,
+            ),
+        ).run()
+        assert check_cycle_response_bound(result, 6, T, channels=q)
+        # and the tightened bound really is tighter than p*T+2
+        assert cycle_response_time_bound(6, T, channels=q) < 6 * T + 2
+
     def test_cycle_response_bound_holds_empirically(self):
         wl = make_workload("adversarial_cycle", threads=6, pages=16, repeats=8)
         k, T = 24, 48
@@ -190,3 +219,75 @@ class TestValidation:
         ).run()
         assert check_cycle_response_bound(result, 6, T)
         assert result.max_response <= 6 * T + 2
+
+    def test_dpq_latency_bound_formula(self):
+        assert dpq_latency_bound(1) == 2  # alone: fetch + serve
+        assert dpq_latency_bound(6) == 7
+        assert dpq_latency_bound(6, channels=2) == 4  # floor(5/2)+2
+        assert dpq_latency_bound(6, channels=5) == 3
+        with pytest.raises(ValueError):
+            dpq_latency_bound(0)
+        with pytest.raises(ValueError):
+            dpq_latency_bound(4, channels=0)
+
+    def test_dpq_latency_bound_holds_empirically(self):
+        wl = make_workload("random", threads=6, seed=0, length=400, pages=16)
+        result = Simulator(
+            wl.traces,
+            SimulationConfig(hbm_slots=16, channels=2, arbitration="dpq"),
+        ).run()
+        assert check_latency_bound(result, 6, channels=2)
+        # the bound is tight here: measured worst response reaches it
+        assert result.max_response == dpq_latency_bound(6, channels=2)
+
+    def test_mis_set_latency_bound_is_caught(self):
+        # a deliberately wrong parameterization (claiming more channels
+        # than the run had) yields a bound below the measured worst
+        # response, and the checker must flag it
+        wl = make_workload("random", threads=6, seed=0, length=400, pages=16)
+        result = Simulator(
+            wl.traces,
+            SimulationConfig(hbm_slots=16, channels=2, arbitration="dpq"),
+        ).run()
+        assert not check_latency_bound(result, 6, channels=5)
+
+    def test_competitiveness_skips_degenerate_workloads(self):
+        # Regression: a zero makespan lower bound (empty traces) used
+        # to crash the harness with competitive_ratio's ValueError.
+        import logging
+
+        from repro.obs.log import get_logger, reset_warn_once
+        from repro.traces.base import Workload
+
+        empty = Workload(
+            [np.array([], dtype=np.int64), np.array([], dtype=np.int64)],
+            name="empty",
+        )
+        reset_warn_once()
+        captured: list[str] = []
+        handler = logging.Handler()
+        handler.emit = lambda rec: captured.append(rec.getMessage())
+        logger = get_logger("theory")
+        logger.addHandler(handler)
+        try:
+            rows = check_priority_competitiveness(
+                [empty], hbm_slots=[8], channels=[1, 2]
+            )
+        finally:
+            logger.removeHandler(handler)
+        assert rows == []
+        assert len(captured) == 1
+        assert "empty" in captured[0]
+
+    def test_competitiveness_mixes_degenerate_and_real_workloads(self):
+        # the degenerate workload is skipped; the real one still rows
+        from repro.obs.log import reset_warn_once
+        from repro.traces.base import Workload
+
+        reset_warn_once()
+        empty = Workload([np.array([], dtype=np.int64)], name="empty")
+        real = make_workload("random", threads=4, seed=0, length=400, pages=16)
+        rows = check_priority_competitiveness(
+            [empty, real], hbm_slots=[8], channels=[1]
+        )
+        assert [r.workload for r in rows] == [real.name]
